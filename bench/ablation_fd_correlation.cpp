@@ -1,0 +1,70 @@
+// Ablation: the independent-failure-detector assumption (Section 3.4/5.4).
+//
+// The paper models each of the n(n-1) failure detectors as an independent
+// two-state process and observes that, under frequent wrong suspicions,
+// the model diverges from measurements because real suspicions correlate
+// (heartbeats of every pair share the contended network and CPUs).
+//
+// This harness makes the comparison directly with matched QoS:
+//   1. run the emulator's class-3 campaign at a given timeout T and
+//      estimate (T_MR, T_M);
+//   2. feed exactly those QoS values into the independent-FD SAN model;
+//   3. compare latency distributions.
+// Any residual gap is attributable to correlation (plus secondary model
+// simplifications), not to QoS mismatch.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace sanperf;
+  auto scale = core::Scale::from_env();
+  const auto ctx = core::make_context(scale);
+
+  core::print_banner(std::cout, "Ablation -- FD independence assumption (scale: " +
+                                    scale.name() + ")");
+
+  core::TablePrinter table{std::cout,
+                           {{"n", 3},
+                            {"T[ms]", 7},
+                            {"meas lat", 10},
+                            {"sim lat (indep FD)", 19},
+                            {"sim/meas", 9},
+                            {"T_MR[ms]", 10},
+                            {"T_M[ms]", 9}}};
+  table.print_header();
+
+  for (const std::size_t n : ctx.scale.sim_ns) {
+    for (const double timeout : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+      const auto meas = core::measure_class3(n, ctx.network, ctx.timers, timeout,
+                                             scale.class3_runs, scale.class3_executions,
+                                             ctx.seed + 31 * n + static_cast<std::uint64_t>(timeout));
+      const auto& qos = meas.pooled_qos;
+      double sim_mean = 0;
+      if (qos.pairs_used == 0 || !(qos.t_m_ms > 0) || qos.t_m_ms >= qos.t_mr_ms) {
+        sim_mean = core::simulate_class1(n, ctx.transport(n), scale.sim_replications,
+                                         ctx.seed + 51)
+                       .summary.mean();
+      } else {
+        const auto params = fd::AbstractFdParams::from_qos(
+            qos, fd::AbstractFdParams::Sojourn::kExponential);
+        sim_mean = core::simulate_class3(n, ctx.transport(n), params, scale.sim_replications,
+                                         ctx.seed + 52)
+                       .summary.mean();
+      }
+      const double meas_mean = meas.latency_ms.mean;
+      table.print_row({std::to_string(n), core::fmt(timeout, 0), core::fmt(meas_mean, 2),
+                       core::fmt(sim_mean, 2),
+                       core::fmt(meas_mean > 0 ? sim_mean / meas_mean : 0.0, 2),
+                       qos.pairs_used ? core::fmt(qos.t_mr_ms, 1) : "-",
+                       qos.pairs_used ? core::fmt(qos.t_m_ms, 1) : "-"});
+    }
+    table.print_rule();
+  }
+  std::cout << "Expected shape (paper Section 5.4): sim/meas near 1 at large T, a\n"
+               "clear divergence at small T where wrong suspicions are frequent and\n"
+               "correlated in reality but independent in the model.\n";
+  return 0;
+}

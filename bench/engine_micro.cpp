@@ -1,0 +1,108 @@
+// Microbenchmarks of the substrates: event queue, SAN firing loop,
+// contention network, consensus emulation and SAN consensus replication.
+#include <benchmark/benchmark.h>
+
+#include <any>
+
+#include "consensus/ct_consensus.hpp"
+#include "core/measurement.hpp"
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+#include "fd/failure_detector.hpp"
+#include "net/network.hpp"
+#include "runtime/cluster.hpp"
+#include "san/simulator.hpp"
+#include "sanmodels/consensus_model.hpp"
+
+namespace {
+
+using namespace sanperf;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  des::RandomEngine rng{1};
+  des::EventQueue q;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(des::TimePoint::origin() + des::Duration::nanos(rng.uniform_int(0, 1'000'000)),
+             [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    int remaining = 1024;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule(des::Duration::nanos(10), chain);
+    };
+    sim.schedule(des::Duration::nanos(10), chain);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_NetworkUnicastThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Simulator sim;
+    net::ContentionNetwork netw{sim, des::RandomEngine{2}, net::NetworkParams::defaults(), 4};
+    std::uint64_t delivered = 0;
+    netw.set_deliver([&](const net::Packet&) { ++delivered; });
+    for (int i = 0; i < 256; ++i) netw.send(i % 3, 3, std::any{});
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NetworkUnicastThroughput);
+
+void BM_ConsensusEmulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto res = core::measure_latency(n, net::NetworkParams::defaults(),
+                                           net::TimerModel::ideal(), -1, 1, seed++);
+    benchmark::DoNotOptimize(res.latencies_ms);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsensusEmulation)->Arg(3)->Arg(5)->Arg(11);
+
+void BM_SanConsensusReplication(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sanmodels::ConsensusSanConfig cfg;
+  cfg.n = n;
+  cfg.transport = sanmodels::TransportParams::nominal(n);
+  const auto model = sanmodels::build_consensus_san(cfg);
+  san::SanSimulator sim{model.model, des::RandomEngine{3}};
+  sim.set_stop_predicate(model.stop_predicate());
+  const des::RandomEngine master{4};
+  std::uint64_t rep = 0;
+  for (auto _ : state) {
+    sim.reset(master.substream("rep", rep++));
+    benchmark::DoNotOptimize(sim.run(des::Duration::seconds(5)).end_time);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SanConsensusReplication)->Arg(3)->Arg(5);
+
+void BM_SanModelBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = n;
+    cfg.transport = sanmodels::TransportParams::nominal(n);
+    const auto model = sanmodels::build_consensus_san(cfg);
+    benchmark::DoNotOptimize(model.model.activity_count());
+  }
+}
+BENCHMARK(BM_SanModelBuild)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Extension: comparative analysis of consensus algorithms -- the follow-up
+// the paper's Section 6 announces ("we will analyze alternative protocols
+// and then we will be able to make statements about how good the protocols
+// are by comparing the results").
+//
+// Chandra-Toueg <>S (the paper's algorithm; three communication steps,
+// Theta(n) messages per round) against Mostefaoui-Raynal <>S (two steps,
+// Theta(n^2) messages). Failure-free, MR's shorter critical path wins;
+// under a coordinator crash MR wastes a full all-to-all round on bottoms
+// and CT wins by a factor that grows with n.
+#include <iostream>
+
+#include "core/config.hpp"
+#include "core/extensions.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace sanperf;
+  const auto scale = core::Scale::from_env();
+  const auto network = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::ideal();
+
+  core::print_banner(std::cout, "Extension -- Chandra-Toueg vs Mostefaoui-Raynal (scale: " +
+                                    scale.name() + ")");
+
+  core::TablePrinter table{std::cout,
+                           {{"n", 3},
+                            {"scenario", 18},
+                            {"CT[ms]", 14},
+                            {"MR[ms]", 14},
+                            {"MR/CT", 6},
+                            {"winner", 7}}};
+  table.print_header();
+
+  const struct {
+    const char* name;
+    int crashed;
+  } scenarios[] = {{"no crash", -1}, {"coordinator crash", 0}};
+
+  for (const std::size_t n : scale.ns) {
+    for (const auto& sc : scenarios) {
+      const auto ct = core::measure_latency_with(core::Algorithm::kChandraToueg, n, network,
+                                                 timers, sc.crashed, scale.class1_executions,
+                                                 core::kDefaultSeed + 3 * n);
+      const auto mr = core::measure_latency_with(core::Algorithm::kMostefaouiRaynal, n, network,
+                                                 timers, sc.crashed, scale.class1_executions,
+                                                 core::kDefaultSeed + 3 * n);
+      const double ct_mean = ct.summary().mean();
+      const double mr_mean = mr.summary().mean();
+      table.print_row({std::to_string(n), sc.name, core::fmt_ci(ct.summary().mean_ci()),
+                       core::fmt_ci(mr.summary().mean_ci()), core::fmt(mr_mean / ct_mean, 2),
+                       mr_mean < ct_mean ? "MR" : "CT"});
+    }
+    table.print_rule();
+  }
+
+  std::cout << "Shape: failure-free, MR's two communication steps beat CT's three at\n"
+               "every n (its Theta(n^2) aux messages overlap in the pipeline). Under\n"
+               "a coordinator crash the picture inverts and widens with n: MR burns a\n"
+               "full all-to-all round on bottoms before recovering, while CT's\n"
+               "entry nacks to the dead coordinator are nearly free. Neither\n"
+               "algorithm dominates -- the workload decides, which is precisely the\n"
+               "kind of statement the paper's methodology is built to support.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig 8: failure-detector quality-of-service metrics vs the timeout T
+// (heartbeat period Th = 0.7 T), measured during class-3 campaigns:
+//   (a) mistake recurrence time T_MR -- increasing in T, then rising very
+//       fast beyond T ~ 30 ms (paper: > 190 ms at T = 40, > 5000 ms at 100);
+//   (b) mistake duration T_M -- irregular but bounded (< 12 ms).
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace sanperf;
+  const auto scale = core::Scale::from_env();
+  const auto ctx = core::make_context(scale);
+
+  core::print_banner(std::cout, "Fig 8 -- FD QoS vs timeout T (scale: " + scale.name() + ")");
+  const auto points = core::run_class3_measurements(ctx, ctx.scale.ns);
+
+  core::TablePrinter table{std::cout,
+                           {{"n", 3},
+                            {"T[ms]", 7},
+                            {"T_MR[ms]", 18},
+                            {"T_M[ms]", 16},
+                            {"undecided", 9}}};
+  table.print_header();
+  std::size_t last_n = 0;
+  for (const auto& pt : points) {
+    if (pt.n != last_n && last_n != 0) table.print_rule();
+    last_n = pt.n;
+    const bool quiet = pt.meas.pooled_qos.pairs_used == 0;
+    table.print_row({std::to_string(pt.n), core::fmt(pt.timeout_ms, 0),
+                     quiet ? "no mistakes" : core::fmt_ci(pt.meas.t_mr_ms, 2),
+                     quiet ? "-" : core::fmt_ci(pt.meas.t_m_ms, 2),
+                     std::to_string(pt.meas.undecided)});
+  }
+
+  std::cout << "\nShape checks (paper Fig 8):\n";
+  for (const std::size_t n : ctx.scale.ns) {
+    double tmr_low = 0, tmr_high = 0, tm_max = 0;
+    bool blowup = true;
+    for (const auto& pt : points) {
+      if (pt.n != n) continue;
+      if (pt.meas.pooled_qos.pairs_used == 0) continue;
+      if (pt.timeout_ms <= 2.01) tmr_low = pt.meas.t_mr_ms.mean;
+      if (pt.timeout_ms >= 19.9 && pt.timeout_ms <= 30.01) tmr_high = pt.meas.t_mr_ms.mean;
+      if (pt.timeout_ms <= 30.01 && pt.meas.t_m_ms.mean > tm_max) tm_max = pt.meas.t_m_ms.mean;
+      if (pt.timeout_ms >= 39.9 && pt.meas.t_mr_ms.mean < 190.0) blowup = false;
+    }
+    std::cout << "  n=" << n << ": T_MR increasing (" << core::fmt(tmr_low, 1) << " -> "
+              << core::fmt(tmr_high, 1) << "): " << (tmr_high > tmr_low ? "yes" : "NO")
+              << "; T_MR > 190 ms for T >= 40: " << (blowup ? "yes" : "NO")
+              << "; max T_M (T<=30) = " << core::fmt(tm_max, 1) << " ms (paper: < 12)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig 9: consensus latency vs the failure-detection timeout T, class 3
+// (no crashes, wrong suspicions).
+//   (a) measurements for n = 3..11: decreasing in T, starting very high,
+//       with a peak near T = 10 ms (Linux scheduler interference);
+//   (b) measurements vs SAN simulation (deterministic and exponential FD
+//       sojourns) for n = 3, 5: the model matches at large T (good QoS) and
+//       diverges when wrong suspicions are frequent, because the model
+//       assumes independent failure detectors.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace sanperf;
+  const auto scale = core::Scale::from_env();
+  const auto ctx = core::make_context(scale);
+
+  core::print_banner(std::cout,
+                     "Fig 9a -- latency vs timeout, measurements (scale: " + scale.name() + ")");
+  const auto points = core::run_class3_measurements(ctx, ctx.scale.ns);
+
+  core::TablePrinter table{std::cout,
+                           {{"n", 3}, {"T[ms]", 7}, {"latency[ms]", 18}, {"undecided", 9}}};
+  table.print_header();
+  std::size_t last_n = 0;
+  for (const auto& pt : points) {
+    if (pt.n != last_n && last_n != 0) table.print_rule();
+    last_n = pt.n;
+    table.print_row({std::to_string(pt.n), core::fmt(pt.timeout_ms, 0),
+                     core::fmt_ci(pt.meas.latency_ms, 2), std::to_string(pt.meas.undecided)});
+  }
+
+  std::cout << "\nShape checks (paper Fig 9a):\n";
+  for (const std::size_t n : ctx.scale.ns) {
+    double lat_first = -1, lat_last = -1;
+    for (const auto& pt : points) {
+      if (pt.n != n) continue;
+      if (lat_first < 0) lat_first = pt.meas.latency_ms.mean;
+      lat_last = pt.meas.latency_ms.mean;
+    }
+    std::cout << "  n=" << n << ": latency decreases from " << core::fmt(lat_first, 1) << " to "
+              << core::fmt(lat_last, 2) << " ms: " << (lat_first > lat_last * 2 ? "yes" : "NO")
+              << "\n";
+  }
+
+  core::print_banner(std::cout, "Fig 9b -- measurements vs SAN simulation, n = 3, 5");
+  std::vector<core::Class3Point> small_n;
+  for (const auto& pt : points) {
+    if (ctx.broadcast_fits.contains(pt.n)) small_n.push_back(pt);
+  }
+  const auto fig9b = core::run_fig9b(ctx, small_n);
+
+  core::TablePrinter table_b{std::cout,
+                             {{"n", 3},
+                              {"T[ms]", 7},
+                              {"meas[ms]", 10},
+                              {"sim det[ms]", 12},
+                              {"sim exp[ms]", 12},
+                              {"T_MR[ms]", 10},
+                              {"T_M[ms]", 9}}};
+  table_b.print_header();
+  last_n = 0;
+  for (const auto& row : fig9b) {
+    if (row.n != last_n && last_n != 0) table_b.print_rule();
+    last_n = row.n;
+    table_b.print_row({std::to_string(row.n), core::fmt(row.timeout_ms, 0),
+                       core::fmt(row.meas_ms, 2), core::fmt(row.sim_det_ms, 2),
+                       core::fmt(row.sim_exp_ms, 2), core::fmt(row.qos_t_mr_ms, 1),
+                       core::fmt(row.qos_t_m_ms, 1)});
+  }
+
+  std::cout << "\nShape checks (paper Fig 9b): the SAN model matches at large T and\n"
+               "diverges at small T (independent-FD assumption).\n";
+  for (const std::size_t n : ctx.scale.sim_ns) {
+    double small_t_ratio = -1, large_t_ratio = -1;
+    for (const auto& row : fig9b) {
+      if (row.n != n || row.meas_ms <= 0) continue;
+      const double ratio = row.sim_det_ms / row.meas_ms;
+      if (small_t_ratio < 0) small_t_ratio = ratio;  // first (smallest) T
+      large_t_ratio = ratio;                         // last (largest) T
+    }
+    std::cout << "  n=" << n << ": sim/meas at smallest T = " << core::fmt(small_t_ratio, 2)
+              << ", at largest T = " << core::fmt(large_t_ratio, 2)
+              << " (expect the large-T ratio closer to 1)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 1: latency (ms) for the crash scenarios of Section 5.3 --
+// no crash, coordinator initially crashed, participant initially crashed --
+// measurements for n = 3..11 and SAN simulation for n = 3, 5.
+//
+// Qualitative checks reproduced from the paper:
+//   * a coordinator crash always increases latency (two rounds);
+//   * a participant crash decreases latency for n >= 5 (less contention);
+//   * for n = 3 the MEASUREMENTS show an increase (unicast ordering: the
+//     proposal goes to the dead process first) while the SIMULATION shows a
+//     decrease (broadcast modelled as one message) -- a model limitation.
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace sanperf;
+  const auto scale = core::Scale::from_env();
+  const auto ctx = core::make_context(scale);
+
+  core::print_banner(std::cout, "Table 1 -- crash scenarios (scale: " + scale.name() + ")");
+  const auto rows = core::run_table1(ctx);
+
+  core::TablePrinter table{std::cout,
+                           {{"n", 3},
+                            {"scenario", 18},
+                            {"paper meas", 11},
+                            {"ours meas", 16},
+                            {"paper sim", 10},
+                            {"ours sim", 9}}};
+  table.print_header();
+  for (const auto& row : rows) {
+    const core::PaperTable1Row* paper = nullptr;
+    for (const auto& p : core::paper_table1()) {
+      if (p.n == row.n) paper = &p;
+    }
+    auto cell = [](const std::optional<double>& v) {
+      return v ? core::fmt(*v) : std::string{"-"};
+    };
+    table.print_row({std::to_string(row.n), "no crash",
+                     paper ? core::fmt(paper->meas_no_crash) : "-", core::fmt_ci(row.meas_no_crash),
+                     paper ? core::fmt(paper->sim_no_crash) : "-", cell(row.sim_no_crash)});
+    table.print_row({"", "coordinator crash", paper ? core::fmt(paper->meas_coord) : "-",
+                     core::fmt_ci(row.meas_coord_crash), paper ? core::fmt(paper->sim_coord) : "-",
+                     cell(row.sim_coord_crash)});
+    table.print_row({"", "participant crash", paper ? core::fmt(paper->meas_part) : "-",
+                     core::fmt_ci(row.meas_part_crash), paper ? core::fmt(paper->sim_part) : "-",
+                     cell(row.sim_part_crash)});
+    table.print_rule();
+  }
+
+  // Shape checks.
+  std::cout << "Shape checks (paper Section 5.3):\n";
+  for (const auto& row : rows) {
+    const bool coord_slower = row.meas_coord_crash.mean > row.meas_no_crash.mean;
+    std::cout << "  n=" << row.n << ": coordinator crash slower in measurements: "
+              << (coord_slower ? "yes" : "NO") << "\n";
+    if (row.n == 3) {
+      const bool meas_anomaly = row.meas_part_crash.mean > row.meas_no_crash.mean;
+      std::cout << "  n=3: participant-crash anomaly in measurements (increase): "
+                << (meas_anomaly ? "yes" : "NO") << "\n";
+      if (row.sim_part_crash && row.sim_no_crash) {
+        const bool sim_decrease = *row.sim_part_crash < *row.sim_no_crash;
+        std::cout << "  n=3: simulation misses the anomaly (decrease): "
+                  << (sim_decrease ? "yes" : "NO") << "\n";
+      }
+    } else if (row.n >= 5) {
+      const bool part_faster = row.meas_part_crash.mean < row.meas_no_crash.mean;
+      std::cout << "  n=" << row.n << ": participant crash faster in measurements: "
+                << (part_faster ? "yes" : "NO (see note)") << "\n";
+    }
+  }
+  std::cout << "\nNote: the paper measures a clear decrease for n >= 5. Our emulator\n"
+               "reproduces it only partially (parity at n = 5, a small increase for\n"
+               "larger n): the coordinator's unicast to the dead process first -- the\n"
+               "very mechanism the paper uses to explain the n = 3 increase -- costs\n"
+               "one frame slot on the critical path, and on this testbed that offsets\n"
+               "the contention saved by the crashed process's absent traffic.\n"
+               "Crashing the LAST participant in the broadcast order instead yields\n"
+               "the paper's -5..-9%. The SAN simulation, whose broadcast is a single\n"
+               "message (no per-destination order), shows the paper's decrease.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: choosing a solver, the decision the paper faced (Section 3.1:
+// non-exponential distributions "restrict the choice of the solvers to
+// simulative ones").
+//
+// A small repair-station model is solved both ways while it is Markovian
+// (all-exponential) -- the answers must agree, with the analytical one
+// exact. Then the service time is switched to the paper's bimodal-uniform
+// network delay, the analytical solver refuses, and simulation carries on.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "san/analytic.hpp"
+#include "san/study.hpp"
+
+namespace {
+
+sanperf::san::SanModel make_station(const sanperf::san::Distribution& service,
+                                    sanperf::san::PlaceId* done_out) {
+  using namespace sanperf::san;
+  SanModel m;
+  const auto arrivals = m.place("arrivals", 4);   // four jobs to process
+  const auto queue = m.place("queue", 0);
+  const auto server = m.place("server", 1);
+  const auto busy = m.place("busy", 0);
+  const auto done = m.place("done", 0);
+  m.timed_activity("arrive", Distribution::exponential_ms(1.0)).in(arrivals).out(queue);
+  m.instant_activity("grab").in(queue).in(server).out(busy);
+  SanModel& ref = m;
+  ref.timed_activity("serve", service).in(busy).out(done).out(server);
+  *done_out = done;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sanperf;
+  core::print_banner(std::cout, "Analytical vs simulative solving of one SAN");
+
+  // --- Markovian version: both solvers apply -------------------------------
+  san::PlaceId done;
+  const auto markovian = make_station(san::Distribution::exponential_ms(0.8), &done);
+  const auto stop = [done](const san::Marking& m) { return m.get(done) >= 4; };
+
+  san::CtmcTransientSolver solver{markovian, stop};
+  std::cout << "state space: " << solver.state_count() << " tangible states\n";
+  std::cout << "analytic  mean time to drain: " << core::fmt(solver.mean_time_to_stop_ms())
+            << " ms (exact)\n";
+
+  san::TransientStudy study{markovian, stop};
+  const auto sim = study.run(20000, 7);
+  std::cout << "simulated mean time to drain: " << core::fmt_ci(sim.ci)
+            << " ms (20000 replications)\n";
+  std::cout << "P(drained by 6 ms): analytic " << core::fmt(solver.probability_stopped_by(6.0))
+            << " vs simulated " << core::fmt(sim.ecdf().eval(6.0)) << "\n";
+
+  // --- The paper's situation: a bimodal service time -----------------------
+  core::print_banner(std::cout, "Now with the paper's bimodal network delay as service time");
+  san::PlaceId done2;
+  const auto bimodal = make_station(
+      san::Distribution::bimodal_uniform_ms(0.8, 0.10, 0.13, 0.145, 0.35), &done2);
+  const auto stop2 = [done2](const san::Marking& m) { return m.get(done2) >= 4; };
+  try {
+    san::CtmcTransientSolver refused{bimodal, stop2};
+    std::cout << "unexpected: the analytical solver accepted a non-Markovian model\n";
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    std::cout << "analytic solver: REJECTED -- " << e.what() << "\n";
+  }
+  san::TransientStudy fallback{bimodal, stop2};
+  const auto sim2 = fallback.run(20000, 8);
+  std::cout << "simulation still works: " << core::fmt_ci(sim2.ci) << " ms\n";
+  std::cout << "\nThis is exactly why the paper solved its consensus model by\n"
+               "simulation: the measured network delays are bimodal-uniform, not\n"
+               "exponential (Section 3.1 / 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Scenario: sizing a replicated service (Section 2.3's active-replication
+// motivation). A client request is answered after the first replica decides
+// in consensus, so consensus latency bounds the service's response-time
+// overhead. This example measures that latency for growing replica groups,
+// in failure-free runs and with a crashed replica.
+#include <iostream>
+
+#include "core/measurement.hpp"
+#include "core/report.hpp"
+#include "stats/ecdf.hpp"
+
+int main() {
+  using namespace sanperf;
+  const auto network = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::ideal();
+  constexpr std::size_t kExecutions = 400;
+
+  core::print_banner(std::cout, "Replica-group sizing: consensus latency per group size");
+  core::TablePrinter table{std::cout,
+                           {{"replicas", 9},
+                            {"tolerates", 10},
+                            {"no crash[ms]", 14},
+                            {"p99[ms]", 8},
+                            {"coord crash[ms]", 16},
+                            {"worst crash vs ok", 17}}};
+  table.print_header();
+
+  for (const std::size_t n : {3u, 5u, 7u, 9u, 11u}) {
+    const auto ok = core::measure_latency(n, network, timers, -1, kExecutions, 7 * n);
+    const auto coord = core::measure_latency(n, network, timers, 0, kExecutions, 9 * n);
+    const stats::Ecdf ecdf{ok.latencies_ms};
+    const double ratio = coord.summary().mean() / ok.summary().mean();
+    table.print_row({std::to_string(n), std::to_string((n - 1) / 2),
+                     core::fmt(ok.summary().mean()), core::fmt(ecdf.quantile(0.99)),
+                     core::fmt(coord.summary().mean()), core::fmt(ratio, 2) + "x"});
+  }
+
+  std::cout << "\nReading: each +2 replicas buys one more tolerated crash and costs\n"
+               "roughly half a millisecond of decision latency on this network; a\n"
+               "crashed coordinator costs about one extra round.\n";
+  return 0;
+}

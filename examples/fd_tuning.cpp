@@ -1,0 +1,46 @@
+// Scenario: tuning the failure-detection timeout T (the operator's
+// dilemma of Section 2.4). Small T detects crashes fast but wrongly
+// suspects correct processes, inflating consensus latency; large T is
+// accurate but slow to detect real crashes. This example sweeps T on the
+// emulated cluster, reports the FD QoS and the latency, and prints the
+// latency a crash would cost at each setting.
+#include <iostream>
+
+#include "core/measurement.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace sanperf;
+  constexpr std::size_t kN = 3;
+  const auto network = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::defaults();  // 10 ms ticks + stalls
+
+  core::print_banner(std::cout, "Failure-detector tuning: QoS and latency vs timeout T");
+  core::TablePrinter table{std::cout,
+                           {{"T[ms]", 6},
+                            {"Th[ms]", 7},
+                            {"T_MR[ms]", 10},
+                            {"T_M[ms]", 8},
+                            {"latency[ms]", 12},
+                            {"detection[ms]", 13}}};
+  table.print_header();
+
+  for (const double timeout : {2.0, 5.0, 10.0, 20.0, 40.0, 100.0}) {
+    const auto agg = core::measure_class3(kN, network, timers, timeout, /*runs=*/3,
+                                          /*executions=*/120, 1000 + static_cast<int>(timeout));
+    const bool quiet = agg.pooled_qos.pairs_used == 0;
+    // Worst-case detection time of a real crash ~ Th + T (last heartbeat
+    // just before the crash, then a full timeout).
+    const double detection = 0.7 * timeout + timeout;
+    table.print_row({core::fmt(timeout, 0), core::fmt(0.7 * timeout, 1),
+                     quiet ? "no mistakes" : core::fmt(agg.pooled_qos.t_mr_ms, 1),
+                     quiet ? "-" : core::fmt(agg.pooled_qos.t_m_ms, 1),
+                     core::fmt_ci(agg.latency_ms, 2), core::fmt(detection, 1)});
+  }
+
+  std::cout << "\nReading: below ~10 ms the timeout sits inside the OS timer quantum,\n"
+               "wrong suspicions are frequent and consensus latency explodes; beyond\n"
+               "~40 ms mistakes disappear and latency settles at the class-1 level,\n"
+               "at the price of slower crash detection (right column).\n";
+  return 0;
+}

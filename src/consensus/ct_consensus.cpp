@@ -1,0 +1,258 @@
+#include "consensus/ct_consensus.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::consensus {
+
+CtConsensus::CtConsensus(FailureDetector& fd) : fd_{&fd} {}
+
+void CtConsensus::on_start() {
+  fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
+}
+
+HostId CtConsensus::coordinator_of(std::int32_t round) const {
+  // Rounds are 1-based; p_i coordinates rounds kn + i (Section 2.1).
+  return static_cast<HostId>((round - 1) % static_cast<std::int32_t>(process().n()));
+}
+
+std::int32_t CtConsensus::majority() const {
+  return static_cast<std::int32_t>(process().n() / 2 + 1);
+}
+
+void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
+  Instance& inst = instance(cid);
+  if (inst.started) throw std::logic_error{"CtConsensus: instance already proposed"};
+  inst.started = true;
+  if (inst.decided) {
+    // A decision arrived before we proposed (possible with very skewed
+    // starts): report it now.
+    if (on_decide_) {
+      on_decide_({cid, inst.decision, inst.decision_round, process().now(), process().id()});
+    }
+    return;
+  }
+  inst.estimate = value;
+  inst.ts = 0;
+  advance_round(cid, inst);
+}
+
+void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
+  ++inst.round;
+  ++stats_.rounds_entered;
+  const std::int32_t r = inst.round;
+  const HostId coord = coordinator_of(r);
+
+  if (coord == process().id()) {
+    // Phase 2: collect a majority of estimates (including our own).
+    record_estimate(cid, inst, r, inst.estimate, inst.ts);
+    inst.phase = Phase::kCoordWaitEst;
+    maybe_propose(cid, inst);
+    return;
+  }
+
+  // Phase 1: send the estimate to the coordinator -- unconditionally, even
+  // to a suspected one. This is load-bearing for liveness: because every
+  // process always contributes its estimate, every round reaches a majority
+  // of estimates and produces a proposal, so no process can wait forever in
+  // phase 3 on a proposal that never comes.
+  Message est;
+  est.kind = MsgKind::kEstimate;
+  est.cid = cid;
+  est.round = r;
+  est.value = inst.estimate;
+  est.ts = inst.ts;
+  process().send(est, coord);
+  ++stats_.estimates_sent;
+
+  if (fd_->is_suspected(coord)) {
+    send_nack(cid, inst);  // phase 3, negative branch, taken immediately
+    return;
+  }
+
+  // Phase 3: wait for the proposal -- unless it is already here (we were
+  // slower than the coordinator).
+  inst.phase = Phase::kWaitProp;
+  const auto buffered = inst.buffered_props.find(r);
+  if (buffered != inst.buffered_props.end()) {
+    const Message prop = buffered->second;
+    inst.buffered_props.erase(buffered);
+    handle_proposal(cid, inst, prop);
+  }
+}
+
+void CtConsensus::record_estimate(std::int32_t cid, Instance& inst, std::int32_t round,
+                                  std::int64_t value, std::int32_t ts) {
+  inst.ests[round].add(value, ts);
+  maybe_propose(cid, inst);
+}
+
+void CtConsensus::maybe_propose(std::int32_t cid, Instance& inst) {
+  if (inst.phase != Phase::kCoordWaitEst) return;
+  const std::int32_t r = inst.round;
+  const auto it = inst.ests.find(r);
+  if (it == inst.ests.end() || it->second.count < majority()) return;
+
+  // Phase 2: adopt the estimate with the largest timestamp and propose it.
+  inst.estimate = it->second.best_value;
+  inst.ts = r;
+  inst.phase = Phase::kCoordWaitReply;
+  inst.acks[r] += 1;  // the coordinator's own (local) positive reply
+
+  ++stats_.proposals_sent;
+  Message prop;
+  prop.kind = MsgKind::kPropose;
+  prop.cid = cid;
+  prop.round = r;
+  prop.value = inst.estimate;
+  process().broadcast(prop);
+
+  maybe_conclude_round(cid, inst);  // n = 1-majority corner and stray nacks
+}
+
+void CtConsensus::handle_proposal(std::int32_t cid, Instance& inst, const Message& m) {
+  // Phase 3, positive branch: adopt and ack, then move on immediately
+  // (the decision, if any, arrives via the DECIDE broadcast).
+  inst.estimate = m.value;
+  inst.ts = m.round;
+  Message ack;
+  ack.kind = MsgKind::kAck;
+  ack.cid = cid;
+  ack.round = m.round;
+  process().send(ack, coordinator_of(m.round));
+  ++stats_.acks_sent;
+  advance_round(cid, inst);
+}
+
+void CtConsensus::send_nack(std::int32_t cid, Instance& inst) {
+  // Phase 3, negative branch: the coordinator is suspected.
+  Message nack;
+  nack.kind = MsgKind::kNack;
+  nack.cid = cid;
+  nack.round = inst.round;
+  process().send(nack, coordinator_of(inst.round));
+  ++stats_.nacks_sent;
+  advance_round(cid, inst);
+}
+
+void CtConsensus::maybe_conclude_round(std::int32_t cid, Instance& inst) {
+  // Only phase 4 reacts here. The coordinator deliberately ignores nacks
+  // while still collecting estimates: aborting before proposing would leave
+  // the participants that did send estimates waiting for a proposal that
+  // never comes (see advance_round on liveness).
+  if (inst.phase != Phase::kCoordWaitReply) return;
+  const std::int32_t r = inst.round;
+  const auto nack_it = inst.nacks.find(r);
+  if (nack_it != inst.nacks.end() && nack_it->second > 0) {
+    // Phase 4, negative outcome: at least one nack -> next round.
+    ++stats_.rounds_aborted;
+    advance_round(cid, inst);
+    return;
+  }
+  const auto ack_it = inst.acks.find(r);
+  if (ack_it != inst.acks.end() && ack_it->second >= majority()) {
+    decide(cid, inst, inst.estimate, r);
+  }
+}
+
+void CtConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
+                         std::int32_t round) {
+  if (inst.decided) return;
+  inst.decided = true;
+  inst.decision = value;
+  inst.decision_round = round;
+  inst.phase = Phase::kDone;
+  if (on_decide_ && inst.started) {
+    on_decide_({cid, value, round, process().now(), process().id()});
+  }
+  if (!inst.decide_broadcast) {
+    inst.decide_broadcast = true;
+    Message dec;
+    dec.kind = MsgKind::kDecide;
+    dec.cid = cid;
+    dec.round = round;
+    dec.value = value;
+    process().broadcast(dec);
+  }
+}
+
+void CtConsensus::on_message(const Message& m) {
+  switch (m.kind) {
+    case MsgKind::kEstimate:
+    case MsgKind::kPropose:
+    case MsgKind::kAck:
+    case MsgKind::kNack:
+    case MsgKind::kDecide:
+      break;
+    default:
+      return;  // not a consensus message
+  }
+
+  Instance& inst = instance(m.cid);
+  if (inst.decided) return;
+
+  switch (m.kind) {
+    case MsgKind::kEstimate:
+      record_estimate(m.cid, inst, m.round, m.value, m.ts);
+      break;
+
+    case MsgKind::kPropose:
+      if (inst.phase == Phase::kWaitProp && m.round == inst.round) {
+        handle_proposal(m.cid, inst, m);
+      } else if (m.round > inst.round) {
+        inst.buffered_props.emplace(m.round, m);
+      }
+      // proposals for past rounds are stale: we already acked or nacked
+      break;
+
+    case MsgKind::kAck:
+      inst.acks[m.round] += 1;
+      if (m.round == inst.round) maybe_conclude_round(m.cid, inst);
+      break;
+
+    case MsgKind::kNack:
+      inst.nacks[m.round] += 1;
+      if (m.round == inst.round) maybe_conclude_round(m.cid, inst);
+      break;
+
+    case MsgKind::kDecide:
+      inst.decide_broadcast = !relay_decide_;  // suppress re-broadcast unless relaying
+      decide(m.cid, inst, m.value, m.round);
+      break;
+
+    default:
+      break;
+  }
+}
+
+void CtConsensus::on_suspicion(HostId peer, bool suspected) {
+  if (!suspected) return;
+  // A fresh suspicion matters to every instance currently waiting for a
+  // proposal from `peer`.
+  for (auto& [cid, inst] : instances_) {
+    if (inst.started && !inst.decided && inst.phase == Phase::kWaitProp &&
+        coordinator_of(inst.round) == peer) {
+      send_nack(cid, inst);
+    }
+  }
+}
+
+bool CtConsensus::has_decided(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  return it != instances_.end() && it->second.decided;
+}
+
+std::int64_t CtConsensus::decision(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  if (it == instances_.end() || !it->second.decided) {
+    throw std::logic_error{"CtConsensus: no decision yet"};
+  }
+  return it->second.decision;
+}
+
+std::int32_t CtConsensus::rounds_used(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  if (it == instances_.end()) return 0;
+  return it->second.decided ? it->second.decision_round : it->second.round;
+}
+
+}  // namespace sanperf::consensus

@@ -1,0 +1,139 @@
+// The Chandra-Toueg consensus algorithm for the <>S failure detector
+// (Chandra & Toueg, JACM 1996), as analysed by the paper.
+//
+// Rotating coordinator, asynchronous rounds, four phases per round:
+//   1. every process sends its (estimate, ts) to the round's coordinator;
+//   2. the coordinator waits for a majority of estimates, picks the one
+//      with the largest timestamp and broadcasts it as the proposal;
+//   3. every process waits for the proposal -- on reception it adopts the
+//      value (ts := round) and acks; if instead its failure detector
+//      suspects the coordinator it nacks -- and then moves to the next
+//      round immediately;
+//   4. the coordinator waits for replies: a single nack sends it to the
+//      next round (the paper's formulation); a majority of acks lets it
+//      decide and broadcast the decision.
+//
+// The coordinator handles its own estimate/proposal/ack locally (no
+// network traffic). Requires a majority of correct processes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "fd/failure_detector.hpp"
+#include "runtime/process.hpp"
+
+namespace sanperf::consensus {
+
+using fd::FailureDetector;
+using runtime::HostId;
+using runtime::Message;
+using runtime::MsgKind;
+
+struct DecisionEvent {
+  std::int32_t cid = 0;
+  std::int64_t value = 0;
+  std::int32_t round = 0;       ///< round in which the decision was reached
+  des::TimePoint at;
+  HostId by = 0;
+};
+
+class CtConsensus : public runtime::Layer {
+ public:
+  /// `fd` must outlive the layer; its suspicions drive phase-3 nacks.
+  explicit CtConsensus(FailureDetector& fd);
+
+  void on_start() override;
+  void on_message(const Message& m) override;
+
+  /// Starts instance `cid` with this process's initial value.
+  void propose(std::int32_t cid, std::int64_t value);
+
+  /// Aggregate protocol counters across all instances (diagnostics).
+  struct Stats {
+    std::uint64_t rounds_entered = 0;
+    std::uint64_t estimates_sent = 0;
+    std::uint64_t proposals_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t rounds_aborted = 0;  ///< as coordinator, on a nack
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  [[nodiscard]] bool has_decided(std::int32_t cid) const;
+  [[nodiscard]] std::int64_t decision(std::int32_t cid) const;
+  [[nodiscard]] std::int32_t rounds_used(std::int32_t cid) const;
+
+  /// Called on every local decision (first delivery per instance).
+  void set_decide_callback(std::function<void(const DecisionEvent&)> cb) {
+    on_decide_ = std::move(cb);
+  }
+
+  /// When true, a process that learns a decision re-broadcasts it once
+  /// (full reliable-broadcast behaviour). Off by default: the coordinator's
+  /// own broadcast suffices in crash-free tails and the paper's latency
+  /// metric stops at the first decision anyway.
+  void set_relay_decide(bool relay) { relay_decide_ = relay; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,            ///< not started
+    kCoordWaitEst,    ///< phase 2 (self is coordinator)
+    kWaitProp,        ///< phase 3 (participant waiting for the proposal)
+    kCoordWaitReply,  ///< phase 4 (self is coordinator)
+    kDone,
+  };
+
+  struct EstimateSet {
+    std::int32_t count = 0;   ///< estimates received (including the local one)
+    std::int64_t best_value = 0;
+    std::int32_t best_ts = -1;
+
+    void add(std::int64_t value, std::int32_t ts) {
+      ++count;
+      if (ts > best_ts) {
+        best_ts = ts;
+        best_value = value;
+      }
+    }
+  };
+
+  struct Instance {
+    bool started = false;
+    bool decided = false;
+    bool decide_broadcast = false;
+    std::int64_t decision = 0;
+    std::int32_t decision_round = 0;
+    std::int32_t round = 0;  ///< current round, 1-based; 0 before start
+    Phase phase = Phase::kIdle;
+    std::int64_t estimate = 0;
+    std::int32_t ts = 0;
+    std::map<std::int32_t, EstimateSet> ests;       // per round
+    std::map<std::int32_t, std::int32_t> acks;      // per round (incl. own)
+    std::map<std::int32_t, std::int32_t> nacks;     // per round
+    std::map<std::int32_t, Message> buffered_props; // proposals for future rounds
+  };
+
+  [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
+  [[nodiscard]] std::int32_t majority() const;
+
+  Instance& instance(std::int32_t cid) { return instances_[cid]; }
+  void advance_round(std::int32_t cid, Instance& inst);
+  void record_estimate(std::int32_t cid, Instance& inst, std::int32_t round, std::int64_t value,
+                       std::int32_t ts);
+  void maybe_propose(std::int32_t cid, Instance& inst);
+  void handle_proposal(std::int32_t cid, Instance& inst, const Message& m);
+  void maybe_conclude_round(std::int32_t cid, Instance& inst);
+  void decide(std::int32_t cid, Instance& inst, std::int64_t value, std::int32_t round);
+  void send_nack(std::int32_t cid, Instance& inst);
+  void on_suspicion(HostId peer, bool suspected);
+
+  FailureDetector* fd_;
+  std::map<std::int32_t, Instance> instances_;
+  std::function<void(const DecisionEvent&)> on_decide_;
+  Stats stats_;
+  bool relay_decide_ = false;
+};
+
+}  // namespace sanperf::consensus

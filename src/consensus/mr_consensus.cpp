@@ -1,0 +1,195 @@
+#include "consensus/mr_consensus.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::consensus {
+
+MrConsensus::MrConsensus(FailureDetector& fd) : fd_{&fd} {}
+
+void MrConsensus::on_start() {
+  fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
+}
+
+HostId MrConsensus::coordinator_of(std::int32_t round) const {
+  return static_cast<HostId>((round - 1) % static_cast<std::int32_t>(process().n()));
+}
+
+std::int32_t MrConsensus::majority() const {
+  return static_cast<std::int32_t>(process().n() / 2 + 1);
+}
+
+void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
+  Instance& inst = instance(cid);
+  if (inst.started) throw std::logic_error{"MrConsensus: instance already proposed"};
+  inst.started = true;
+  if (inst.decided) {
+    if (on_decide_) {
+      on_decide_({cid, inst.decision, inst.decision_round, process().now(), process().id()});
+    }
+    return;
+  }
+  inst.estimate = value;
+  advance_round(cid, inst);
+}
+
+void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
+  ++inst.round;
+  ++stats_.rounds_entered;
+  const std::int32_t r = inst.round;
+  const HostId coord = coordinator_of(r);
+
+  if (coord == process().id()) {
+    // Phase 1: broadcast the coordinator's estimate; it reaches ourselves
+    // instantly (we ARE the coordinator).
+    Message est;
+    est.kind = MsgKind::kCoordEst;
+    est.cid = cid;
+    est.round = r;
+    est.value = inst.estimate;
+    process().broadcast(est);
+    ++stats_.coord_broadcasts;
+    send_aux(cid, inst, /*bottom=*/false, inst.estimate);
+    return;
+  }
+
+  // Phase 2: wait for the coordinator's value -- unless it already arrived
+  // (we lag behind) or the coordinator is suspected right away.
+  const auto buffered = inst.coord_ests.find(r);
+  if (buffered != inst.coord_ests.end()) {
+    send_aux(cid, inst, /*bottom=*/false, buffered->second);
+    return;
+  }
+  if (fd_->is_suspected(coord)) {
+    send_aux(cid, inst, /*bottom=*/true, 0);
+    return;
+  }
+  inst.phase = Phase::kWaitCoord;
+}
+
+void MrConsensus::send_aux(std::int32_t cid, Instance& inst, bool bottom, std::int64_t value) {
+  const std::int32_t r = inst.round;
+  Message aux;
+  aux.kind = MsgKind::kAux;
+  aux.cid = cid;
+  aux.round = r;
+  aux.value = value;
+  aux.ts = bottom ? 1 : 0;  // ts doubles as the bottom flag
+  process().broadcast(aux);
+  ++stats_.aux_broadcasts;
+  if (bottom) ++stats_.bottom_aux;
+
+  // Record our own AUX locally (a process counts itself).
+  AuxSet& set = inst.aux[r];
+  if (bottom) {
+    ++set.bottom_count;
+  } else {
+    ++set.value_count;
+    set.value = value;
+  }
+  inst.phase = Phase::kWaitAux;
+  maybe_conclude(cid, inst);
+}
+
+void MrConsensus::maybe_conclude(std::int32_t cid, Instance& inst) {
+  if (inst.phase != Phase::kWaitAux) return;
+  const std::int32_t r = inst.round;
+  AuxSet& set = inst.aux[r];
+  if (set.value_count + set.bottom_count < majority()) return;
+
+  // Phase 3 on the first majority of AUX values.
+  if (set.bottom_count == 0) {
+    decide(cid, inst, set.value, r);
+    return;
+  }
+  if (set.value_count > 0) inst.estimate = set.value;
+  advance_round(cid, inst);
+}
+
+void MrConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
+                         std::int32_t round) {
+  if (inst.decided) return;
+  inst.decided = true;
+  inst.decision = value;
+  inst.decision_round = round;
+  inst.phase = Phase::kDone;
+  if (on_decide_ && inst.started) {
+    on_decide_({cid, value, round, process().now(), process().id()});
+  }
+  if (!inst.decide_broadcast) {
+    inst.decide_broadcast = true;
+    Message dec;
+    dec.kind = MsgKind::kDecide;
+    dec.cid = cid;
+    dec.round = round;
+    dec.value = value;
+    process().broadcast(dec);
+  }
+}
+
+void MrConsensus::on_message(const Message& m) {
+  if (m.kind != MsgKind::kCoordEst && m.kind != MsgKind::kAux && m.kind != MsgKind::kDecide) {
+    return;
+  }
+  Instance& inst = instance(m.cid);
+  if (inst.decided) return;
+
+  switch (m.kind) {
+    case MsgKind::kCoordEst:
+      inst.coord_ests.emplace(m.round, m.value);
+      if (inst.phase == Phase::kWaitCoord && m.round == inst.round) {
+        send_aux(m.cid, inst, /*bottom=*/false, m.value);
+      }
+      break;
+
+    case MsgKind::kAux: {
+      AuxSet& set = inst.aux[m.round];
+      if (m.ts != 0) {
+        ++set.bottom_count;
+      } else {
+        ++set.value_count;
+        set.value = m.value;
+      }
+      if (m.round == inst.round) maybe_conclude(m.cid, inst);
+      break;
+    }
+
+    case MsgKind::kDecide:
+      inst.decide_broadcast = !relay_decide_;
+      decide(m.cid, inst, m.value, m.round);
+      break;
+
+    default:
+      break;
+  }
+}
+
+void MrConsensus::on_suspicion(HostId peer, bool suspected) {
+  if (!suspected) return;
+  for (auto& [cid, inst] : instances_) {
+    if (inst.started && !inst.decided && inst.phase == Phase::kWaitCoord &&
+        coordinator_of(inst.round) == peer) {
+      send_aux(cid, inst, /*bottom=*/true, 0);
+    }
+  }
+}
+
+bool MrConsensus::has_decided(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  return it != instances_.end() && it->second.decided;
+}
+
+std::int64_t MrConsensus::decision(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  if (it == instances_.end() || !it->second.decided) {
+    throw std::logic_error{"MrConsensus: no decision yet"};
+  }
+  return it->second.decision;
+}
+
+std::int32_t MrConsensus::rounds_used(std::int32_t cid) const {
+  const auto it = instances_.find(cid);
+  if (it == instances_.end()) return 0;
+  return it->second.decided ? it->second.decision_round : it->second.round;
+}
+
+}  // namespace sanperf::consensus

@@ -1,0 +1,103 @@
+// The Mostefaoui-Raynal consensus algorithm for the <>S failure detector
+// (Mostefaoui & Raynal, DISC 1999) -- the "alternative protocol" the
+// paper's Section 6 plans to compare against.
+//
+// Rotating coordinator, two communication steps per round:
+//   1. the round's coordinator broadcasts its estimate;
+//   2. every process waits for that estimate OR a suspicion of the
+//      coordinator, then broadcasts AUX = the estimate or bottom to all;
+//   3. on a majority of AUX values for the round:
+//        all equal to v (no bottom)  -> decide v,
+//        some v present              -> adopt v, next round,
+//        all bottom                  -> next round.
+//
+// Compared with Chandra-Toueg: one fewer communication step on the decision
+// path (coordinator bcast + all-to-all vs estimate + proposal + ack), but
+// Theta(n^2) messages per round instead of Theta(n). Failure-free, the
+// shorter path wins. Under a coordinator crash MR pays a full all-to-all
+// round of bottoms before rotating, whereas CT processes that already
+// suspect the coordinator advance after cheap nacks -- so CT recovers
+// faster, increasingly so with n. The ext_algorithms bench quantifies both
+// regimes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "consensus/ct_consensus.hpp"  // DecisionEvent, FailureDetector
+#include "runtime/process.hpp"
+
+namespace sanperf::consensus {
+
+class MrConsensus : public runtime::Layer {
+ public:
+  explicit MrConsensus(FailureDetector& fd);
+
+  void on_start() override;
+  void on_message(const Message& m) override;
+
+  void propose(std::int32_t cid, std::int64_t value);
+
+  [[nodiscard]] bool has_decided(std::int32_t cid) const;
+  [[nodiscard]] std::int64_t decision(std::int32_t cid) const;
+  [[nodiscard]] std::int32_t rounds_used(std::int32_t cid) const;
+
+  void set_decide_callback(std::function<void(const DecisionEvent&)> cb) {
+    on_decide_ = std::move(cb);
+  }
+  void set_relay_decide(bool relay) { relay_decide_ = relay; }
+
+  struct Stats {
+    std::uint64_t rounds_entered = 0;
+    std::uint64_t coord_broadcasts = 0;
+    std::uint64_t aux_broadcasts = 0;
+    std::uint64_t bottom_aux = 0;  ///< AUX messages carrying bottom
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kWaitCoord,  ///< waiting for the coordinator's estimate (or suspicion)
+    kWaitAux,    ///< AUX sent, collecting a majority of AUX values
+    kDone,
+  };
+
+  struct AuxSet {
+    std::int32_t value_count = 0;   ///< AUX carrying the coordinator value
+    std::int32_t bottom_count = 0;  ///< AUX carrying bottom
+    std::int64_t value = 0;         ///< the (unique) non-bottom value seen
+  };
+
+  struct Instance {
+    bool started = false;
+    bool decided = false;
+    bool decide_broadcast = false;
+    std::int64_t decision = 0;
+    std::int32_t decision_round = 0;
+    std::int32_t round = 0;
+    Phase phase = Phase::kIdle;
+    std::int64_t estimate = 0;
+    std::map<std::int32_t, std::int64_t> coord_ests;  ///< buffered per round
+    std::map<std::int32_t, AuxSet> aux;               ///< per round
+  };
+
+  [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
+  [[nodiscard]] std::int32_t majority() const;
+
+  Instance& instance(std::int32_t cid) { return instances_[cid]; }
+  void advance_round(std::int32_t cid, Instance& inst);
+  void send_aux(std::int32_t cid, Instance& inst, bool bottom, std::int64_t value);
+  void maybe_conclude(std::int32_t cid, Instance& inst);
+  void decide(std::int32_t cid, Instance& inst, std::int64_t value, std::int32_t round);
+  void on_suspicion(HostId peer, bool suspected);
+
+  FailureDetector* fd_;
+  std::map<std::int32_t, Instance> instances_;
+  std::function<void(const DecisionEvent&)> on_decide_;
+  Stats stats_;
+  bool relay_decide_ = false;
+};
+
+}  // namespace sanperf::consensus

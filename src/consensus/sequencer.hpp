@@ -1,0 +1,59 @@
+// Drives a sequence of consensus executions on a cluster and measures
+// per-execution latency (Section 2.3 / Section 4).
+//
+// All alive processes propose at the same instant t0 (up to an emulated NTP
+// synchronisation skew of +-50 us); latency is t1 - t0 where t1 is the time
+// the *first* process decides. Consecutive executions are separated by
+// 10 ms between beginnings; with extremely bad failure detection the start
+// is pushed back so executions stay isolated (the paper's footnote 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "consensus/ct_consensus.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sanperf::consensus {
+
+struct SequencerConfig {
+  std::size_t executions = 100;
+  des::Duration separation = des::Duration::from_ms(10.0);
+  /// Half-width of the NTP start-time window (paper: +-50 us).
+  des::Duration ntp_skew = des::Duration::from_ms(0.05);
+  /// Give up on an execution after this long (counts as undecided).
+  des::Duration instance_timeout = des::Duration::from_ms(5000.0);
+  /// Extra quiet time required after a decision before the next start.
+  des::Duration settle_gap = des::Duration::from_ms(2.0);
+};
+
+struct ExecutionResult {
+  std::int32_t cid = 0;
+  des::TimePoint t0;                        ///< nominal common start
+  std::optional<des::TimePoint> t_decide;   ///< first decision, if any
+  std::int32_t rounds = 0;                  ///< rounds used by the first decider
+
+  [[nodiscard]] bool decided() const { return t_decide.has_value(); }
+  [[nodiscard]] double latency_ms() const { return (*t_decide - t0).to_ms(); }
+};
+
+class ConsensusSequencer {
+ public:
+  /// Every process in `cluster` must already carry a CtConsensus layer.
+  ConsensusSequencer(runtime::Cluster& cluster, SequencerConfig cfg);
+
+  /// Runs all executions; returns one result per execution, in order.
+  [[nodiscard]] std::vector<ExecutionResult> run();
+
+  /// End of the measurement period (set after run()); this is T_exp for
+  /// the failure-detector QoS estimation.
+  [[nodiscard]] des::TimePoint experiment_end() const { return experiment_end_; }
+
+ private:
+  runtime::Cluster* cluster_;
+  SequencerConfig cfg_;
+  des::TimePoint experiment_end_;
+};
+
+}  // namespace sanperf::consensus

@@ -1,0 +1,46 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+
+namespace sanperf::core {
+
+Scale Scale::quick() {
+  Scale s;
+  s.delay_probes = 400;
+  s.class1_executions = 150;
+  s.sim_replications = 150;
+  s.class3_runs = 2;
+  s.class3_executions = 50;
+  s.ns = {3, 5, 7};
+  s.timeouts_ms = {1, 5, 10, 20, 40, 100};
+  s.name_ = "quick";
+  return s;
+}
+
+Scale Scale::defaults() {
+  Scale s;
+  s.name_ = "default";
+  return s;
+}
+
+Scale Scale::full() {
+  Scale s;
+  s.delay_probes = 10000;
+  s.class1_executions = 5000;
+  s.sim_replications = 5000;
+  s.class3_runs = 20;
+  s.class3_executions = 1000;
+  s.name_ = "full";
+  return s;
+}
+
+Scale Scale::from_env() {
+  const char* env = std::getenv("SANPERF_SCALE");
+  if (env == nullptr) return defaults();
+  const std::string v{env};
+  if (v == "quick") return quick();
+  if (v == "full") return full();
+  return defaults();
+}
+
+}  // namespace sanperf::core

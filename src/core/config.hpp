@@ -1,0 +1,40 @@
+// Experiment configuration: the paper's parameter space plus sample-size
+// presets so every bench can run quickly by default and at paper scale
+// on demand (environment variable SANPERF_SCALE=quick|default|full).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sanperf::core {
+
+struct Scale {
+  std::size_t delay_probes = 2000;        ///< Fig 6 end-to-end delay samples
+  std::size_t class1_executions = 1000;   ///< Fig 7a / Table 1 (paper: 5000)
+  std::size_t sim_replications = 1000;    ///< SAN transient replications
+  std::size_t class3_runs = 5;            ///< QoS runs per setting (paper: 20)
+  std::size_t class3_executions = 200;    ///< consensus per run (paper: 1000)
+  std::vector<std::size_t> ns = {3, 5, 7, 9, 11};
+  std::vector<std::size_t> sim_ns = {3, 5};  ///< the paper simulates n = 3, 5
+  std::vector<double> timeouts_ms = {1, 2, 3, 5, 7, 10, 15, 20, 30, 40, 70, 100};
+
+  [[nodiscard]] static Scale quick();
+  [[nodiscard]] static Scale defaults();
+  [[nodiscard]] static Scale full();  ///< the paper's sample sizes
+
+  /// Reads SANPERF_SCALE (defaults to `defaults()` when unset/unknown).
+  [[nodiscard]] static Scale from_env();
+  [[nodiscard]] std::string name() const { return name_; }
+
+ private:
+  std::string name_ = "default";
+};
+
+/// Paper constants.
+inline constexpr double kTsendMs = 0.025;                    // Section 5.2
+inline constexpr double kHeartbeatFactor = 0.7;              // Th = 0.7 T
+inline constexpr std::uint64_t kDefaultSeed = 20020612;      // DSN 2002
+
+}  // namespace sanperf::core

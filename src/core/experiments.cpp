@@ -1,0 +1,177 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/simulation.hpp"
+
+namespace sanperf::core {
+
+sanmodels::TransportParams PaperContext::transport(std::size_t n) const {
+  const auto it = broadcast_fits.find(n);
+  if (it == broadcast_fits.end()) {
+    throw std::out_of_range{"PaperContext::transport: no broadcast fit for this n"};
+  }
+  return make_transport(unicast_fit, it->second, t_send_ms);
+}
+
+PaperContext make_context(const Scale& scale, std::uint64_t seed) {
+  PaperContext ctx;
+  ctx.scale = scale;
+  ctx.seed = seed;
+
+  const auto unicast = measure_unicast_delays(ctx.network, scale.delay_probes, seed + 1);
+  ctx.unicast_fit = stats::fit_bimodal_uniform(unicast);
+  for (const std::size_t n : scale.sim_ns) {
+    const auto bcast = measure_broadcast_delays(ctx.network, n, scale.delay_probes, seed + 2 + n);
+    ctx.broadcast_fits[n] = stats::fit_bimodal_uniform(bcast);
+  }
+  return ctx;
+}
+
+Fig6Result run_fig6(const PaperContext& ctx) {
+  Fig6Result out;
+  out.unicast_ms = measure_unicast_delays(ctx.network, ctx.scale.delay_probes, ctx.seed + 1);
+  out.unicast_fit = stats::fit_bimodal_uniform(out.unicast_ms);
+  for (const std::size_t n : ctx.scale.sim_ns) {
+    out.broadcast_ms[n] =
+        measure_broadcast_delays(ctx.network, n, ctx.scale.delay_probes, ctx.seed + 2 + n);
+    out.broadcast_fits[n] = stats::fit_bimodal_uniform(out.broadcast_ms[n]);
+  }
+  return out;
+}
+
+std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
+  std::vector<Fig7aRow> rows;
+  for (const std::size_t n : ctx.scale.ns) {
+    const auto meas = measure_latency(n, ctx.network, ctx.timers, /*initially_crashed=*/-1,
+                                      ctx.scale.class1_executions, ctx.seed + 100 + n);
+    Fig7aRow row;
+    row.n = n;
+    row.latencies_ms = meas.latencies_ms;
+    row.mean = meas.summary().mean_ci(0.90);
+    row.undecided = meas.undecided;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Fig7bResult run_fig7b(const PaperContext& ctx) {
+  Fig7bResult out;
+  const auto meas = measure_latency(5, ctx.network, ctx.timers, -1, ctx.scale.class1_executions,
+                                    ctx.seed + 105);
+  out.measured_ms = meas.latencies_ms;
+
+  const std::vector<double> candidates = {0.005, 0.010, 0.015, 0.020, 0.025, 0.035};
+  const stats::Ecdf measured_ecdf{out.measured_ms};
+  out.sweep = sweep_tsend(measured_ecdf, ctx.unicast_fit, ctx.broadcast_fits.at(5), candidates,
+                          ctx.scale.sim_replications, ctx.seed + 7);
+
+  for (const double t_send : candidates) {
+    const auto transport = make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5), t_send);
+    const auto study = simulate_class1(5, transport, ctx.scale.sim_replications, ctx.seed + 7);
+    out.sim_ms[t_send] = study.rewards;
+  }
+  return out;
+}
+
+std::vector<Table1Row> run_table1(const PaperContext& ctx) {
+  std::vector<Table1Row> rows;
+  for (const std::size_t n : ctx.scale.ns) {
+    Table1Row row;
+    row.n = n;
+    const auto no_crash = measure_latency(n, ctx.network, ctx.timers, -1,
+                                          ctx.scale.class1_executions, ctx.seed + 200 + n);
+    const auto coord = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/0,
+                                       ctx.scale.class1_executions, ctx.seed + 300 + n);
+    const auto part = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/1,
+                                      ctx.scale.class1_executions, ctx.seed + 400 + n);
+    row.meas_no_crash = no_crash.summary().mean_ci(0.90);
+    row.meas_coord_crash = coord.summary().mean_ci(0.90);
+    row.meas_part_crash = part.summary().mean_ci(0.90);
+
+    if (ctx.broadcast_fits.contains(n)) {
+      const auto transport = ctx.transport(n);
+      row.sim_no_crash =
+          simulate_class1(n, transport, ctx.scale.sim_replications, ctx.seed + 500 + n)
+              .summary.mean();
+      row.sim_coord_crash =
+          simulate_class2(n, transport, 0, ctx.scale.sim_replications, ctx.seed + 600 + n)
+              .summary.mean();
+      row.sim_part_crash =
+          simulate_class2(n, transport, 1, ctx.scale.sim_replications, ctx.seed + 700 + n)
+              .summary.mean();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
+                                                 const std::vector<std::size_t>& ns) {
+  std::vector<Class3Point> points;
+  for (const std::size_t n : ns) {
+    for (const double timeout : ctx.scale.timeouts_ms) {
+      Class3Point pt;
+      pt.n = n;
+      pt.timeout_ms = timeout;
+      pt.meas = measure_class3(n, ctx.network, ctx.timers, timeout, ctx.scale.class3_runs,
+                               ctx.scale.class3_executions,
+                               ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout));
+      points.push_back(std::move(pt));
+    }
+  }
+  return points;
+}
+
+std::vector<Fig9bPoint> run_fig9b(const PaperContext& ctx,
+                                  const std::vector<Class3Point>& measurements) {
+  std::vector<Fig9bPoint> out;
+  for (const auto& pt : measurements) {
+    if (!ctx.broadcast_fits.contains(pt.n)) continue;  // sim only where calibrated (n = 3, 5)
+    Fig9bPoint row;
+    row.n = pt.n;
+    row.timeout_ms = pt.timeout_ms;
+    row.meas_ms = pt.meas.latency_ms.mean;
+    row.qos_t_mr_ms = pt.meas.pooled_qos.t_mr_ms;
+    row.qos_t_m_ms = pt.meas.pooled_qos.t_m_ms;
+
+    const auto transport = ctx.transport(pt.n);
+    const auto& qos = pt.meas.pooled_qos;
+    if (!(qos.t_mr_ms > 0) || !(qos.t_m_ms > 0) || qos.t_m_ms >= qos.t_mr_ms) {
+      // The detector made essentially no mistakes at this timeout: the
+      // class-3 model degenerates to class 1.
+      const auto study =
+          simulate_class1(pt.n, transport, ctx.scale.sim_replications, ctx.seed + 9000);
+      row.sim_det_ms = study.summary.mean();
+      row.sim_exp_ms = row.sim_det_ms;
+    } else {
+      const auto det = fd::AbstractFdParams::from_qos(
+          qos, fd::AbstractFdParams::Sojourn::kDeterministic);
+      const auto exp = fd::AbstractFdParams::from_qos(
+          qos, fd::AbstractFdParams::Sojourn::kExponential);
+      row.sim_det_ms = simulate_class3(pt.n, transport, det, ctx.scale.sim_replications,
+                                       ctx.seed + 9100)
+                           .summary.mean();
+      row.sim_exp_ms = simulate_class3(pt.n, transport, exp, ctx.scale.sim_replications,
+                                       ctx.seed + 9200)
+                           .summary.mean();
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+const std::vector<PaperTable1Row>& paper_table1() {
+  static const double nan = std::nan("");
+  static const std::vector<PaperTable1Row> rows = {
+      {3, 1.06, 1.568, 1.115, 1.030, 1.336, 0.786},
+      {5, 1.43, 2.245, 1.340, 1.442, 2.295, 1.336},
+      {7, 2.00, 2.739, 1.811, nan, nan, nan},
+      {9, 2.62, 3.101, 2.400, nan, nan, nan},
+      {11, 3.27, 3.469, 3.049, nan, nan, nan},
+  };
+  return rows;
+}
+
+}  // namespace sanperf::core

@@ -1,0 +1,185 @@
+#include "core/extensions.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "consensus/ct_consensus.hpp"
+#include "consensus/mr_consensus.hpp"
+#include "consensus/sequencer.hpp"
+#include "fd/failure_detector.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sanperf::core {
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kChandraToueg: return "Chandra-Toueg";
+    case Algorithm::kMostefaouiRaynal: return "Mostefaoui-Raynal";
+  }
+  return "?";
+}
+
+MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
+                                     const net::NetworkParams& params,
+                                     const net::TimerModel& timers, int initially_crashed,
+                                     std::size_t executions, std::uint64_t seed) {
+  if (algorithm == Algorithm::kChandraToueg) {
+    return measure_latency(n, params, timers, initially_crashed, executions, seed);
+  }
+  const des::RandomEngine master{seed};
+  MeasuredLatency out;
+  out.latencies_ms.reserve(executions);
+
+  for (std::size_t k = 0; k < executions; ++k) {
+    runtime::ClusterConfig cfg;
+    cfg.n = n;
+    cfg.network = params;
+    cfg.timers = timers;
+    cfg.seed = master.substream("exec", k).seed();
+    runtime::Cluster cluster{cfg};
+
+    std::set<runtime::HostId> suspected;
+    if (initially_crashed >= 0) suspected.insert(static_cast<runtime::HostId>(initially_crashed));
+
+    std::optional<des::TimePoint> first_decide;
+    std::int32_t first_rounds = 0;
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      auto& proc = cluster.process(pid);
+      auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
+      auto& cons = proc.add_layer<consensus::MrConsensus>(fd_layer);
+      cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
+        if (!first_decide || ev.at < *first_decide) {
+          first_decide = ev.at;
+          first_rounds = ev.round;
+        }
+      });
+    }
+    if (initially_crashed >= 0) {
+      cluster.crash_initially(static_cast<runtime::HostId>(initially_crashed));
+    }
+
+    const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
+    auto skew_rng = cluster.rng_stream("ntp-skew");
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      auto& proc = cluster.process(pid);
+      if (proc.crashed()) continue;
+      const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
+      cluster.sim().schedule_at(start, [&proc, k] {
+        proc.layer<consensus::MrConsensus>().propose(static_cast<std::int32_t>(k),
+                                                     1 + proc.id());
+      });
+    }
+    const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
+    cluster.run_until([&] { return first_decide.has_value(); }, deadline);
+    if (first_decide) {
+      out.latencies_ms.push_back((*first_decide - t0).to_ms());
+      out.rounds.push_back(first_rounds);
+    } else {
+      ++out.undecided;
+    }
+  }
+  return out;
+}
+
+ThroughputResult measure_throughput(std::size_t n, const net::NetworkParams& params,
+                                    const net::TimerModel& timers, std::size_t executions,
+                                    std::uint64_t seed) {
+  runtime::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.seed = seed;
+  runtime::Cluster cluster{cfg};
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    auto& proc = cluster.process(pid);
+    auto& fd_layer = proc.add_layer<fd::StaticFd>();
+    proc.add_layer<consensus::CtConsensus>(fd_layer);
+  }
+
+  // Back-to-back: no fixed separation; the next execution starts as soon as
+  // the previous one has decided (plus a minimal scheduling step).
+  consensus::SequencerConfig seq_cfg;
+  seq_cfg.executions = executions;
+  seq_cfg.separation = des::Duration::micros(1);
+  seq_cfg.settle_gap = des::Duration::micros(1);
+  consensus::ConsensusSequencer seq{cluster, seq_cfg};
+  const auto results = seq.run();
+
+  ThroughputResult out;
+  stats::BatchMeans batches{std::max<std::size_t>(1, executions / 20)};
+  std::optional<des::TimePoint> first_start;
+  des::TimePoint last_decide;
+  for (const auto& r : results) {
+    if (!first_start) first_start = r.t0;
+    if (!r.decided()) {
+      ++out.undecided;
+      continue;
+    }
+    ++out.executions;
+    out.latencies_ms.push_back(r.latency_ms());
+    batches.add(r.latency_ms());
+    last_decide = std::max(last_decide, *r.t_decide);
+  }
+  if (first_start && out.executions > 0) {
+    out.duration_ms = (last_decide - *first_start).to_ms();
+    if (out.duration_ms > 0) {
+      out.per_second = static_cast<double>(out.executions) / (out.duration_ms / 1000.0);
+    }
+  }
+  out.latency_ci = batches.mean_ci(0.90);
+  return out;
+}
+
+DetectionTimeResult measure_detection_time(std::size_t n, const net::NetworkParams& params,
+                                           const net::TimerModel& timers, double timeout_ms,
+                                           std::size_t trials, std::uint64_t seed) {
+  const des::RandomEngine master{seed};
+  DetectionTimeResult out;
+  out.samples_ms.reserve(trials * (n - 1));
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    runtime::ClusterConfig cfg;
+    cfg.n = n;
+    cfg.network = params;
+    cfg.timers = timers;
+    cfg.seed = master.substream("trial", trial).seed();
+    runtime::Cluster cluster{cfg};
+    const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      cluster.process(pid).add_layer<fd::HeartbeatFd>(fd_params);
+    }
+
+    // Let the detectors settle, then crash a process at a phase-random time
+    // (uniform within one heartbeat period, so the crash is not aligned to
+    // the tick grid).
+    auto crash_rng = cluster.rng_stream("crash");
+    const runtime::HostId victim =
+        static_cast<runtime::HostId>(crash_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const double crash_ms = 60.0 + crash_rng.uniform(0.0, 0.7 * timeout_ms + 10.0);
+    const auto crash_at = des::TimePoint::origin() + des::Duration::from_ms(crash_ms);
+    cluster.crash_at(victim, crash_at);
+
+    // Run long enough for every correct process to suspect the victim.
+    const auto deadline =
+        crash_at + des::Duration::from_ms(3.0 * timeout_ms + 100.0);
+    cluster.run_until(deadline);
+
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      if (pid == victim) continue;
+      const auto& hb = cluster.process(pid).layer<fd::HeartbeatFd>();
+      const auto& history = hb.histories()[victim];
+      // Find the transition that starts the permanent suspicion: the last
+      // trust->suspect with no later suspect->trust.
+      if (!hb.is_suspected(victim) || history.transitions().empty()) continue;
+      const auto& final_tr = history.transitions().back();
+      if (!final_tr.to_suspect) continue;
+      const double detection = (final_tr.at - crash_at).to_ms();
+      out.samples_ms.push_back(detection);
+      out.summary.add(detection);
+    }
+  }
+  return out;
+}
+
+}  // namespace sanperf::core

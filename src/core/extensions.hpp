@@ -1,0 +1,66 @@
+// Extensions beyond the paper's evaluation, implementing its declared
+// future work (Section 6 / Section 2.3):
+//   * throughput of a sequence of consensus executions, where execution
+//     k+1 starts as soon as execution k has decided (so executions are NOT
+//     isolated and contention couples them);
+//   * the failure-detector detection time T_D (the third Chen et al. QoS
+//     metric, defined in Section 3.4 but not measured by the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "net/params.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/summary.hpp"
+
+namespace sanperf::core {
+
+/// Consensus algorithms available for comparative studies (the paper's
+/// Section 6: "we will analyze alternative protocols and compare").
+enum class Algorithm {
+  kChandraToueg,      ///< the paper's algorithm
+  kMostefaouiRaynal,  ///< the natural <>S comparator
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm);
+
+/// Like measure_latency, but with a selectable consensus algorithm.
+[[nodiscard]] MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
+                                                   const net::NetworkParams& params,
+                                                   const net::TimerModel& timers,
+                                                   int initially_crashed, std::size_t executions,
+                                                   std::uint64_t seed);
+
+struct ThroughputResult {
+  double per_second = 0;        ///< decided executions per second
+  std::size_t executions = 0;   ///< decided executions
+  std::size_t undecided = 0;
+  double duration_ms = 0;       ///< first start to last decision
+  std::vector<double> latencies_ms;  ///< per-execution latency (back-to-back)
+  stats::MeanCI latency_ci;     ///< batch-means CI (executions correlate)
+};
+
+/// Runs `executions` back-to-back consensus executions (start k+1 at
+/// decision k) with static accurate detectors and reports throughput.
+[[nodiscard]] ThroughputResult measure_throughput(std::size_t n,
+                                                  const net::NetworkParams& params,
+                                                  const net::TimerModel& timers,
+                                                  std::size_t executions, std::uint64_t seed);
+
+struct DetectionTimeResult {
+  std::vector<double> samples_ms;  ///< one per (trial, monitoring process)
+  stats::SummaryStats summary;
+};
+
+/// Chen et al. detection time T_D: crash one process mid-run and measure,
+/// at every correct process, the time from the crash to the permanent
+/// suspicion. Uses live heartbeat detectors (timeout T, Th = 0.7 T).
+[[nodiscard]] DetectionTimeResult measure_detection_time(std::size_t n,
+                                                         const net::NetworkParams& params,
+                                                         const net::TimerModel& timers,
+                                                         double timeout_ms, std::size_t trials,
+                                                         std::uint64_t seed);
+
+}  // namespace sanperf::core

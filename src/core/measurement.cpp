@@ -1,0 +1,223 @@
+#include "core/measurement.hpp"
+
+#include <any>
+#include <set>
+#include <stdexcept>
+
+#include "consensus/ct_consensus.hpp"
+#include "consensus/sequencer.hpp"
+#include "core/config.hpp"
+#include "des/simulator.hpp"
+#include "fd/failure_detector.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "net/network.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sanperf::core {
+
+std::vector<double> measure_unicast_delays(const net::NetworkParams& params, std::size_t probes,
+                                           std::uint64_t seed) {
+  des::Simulator sim;
+  des::RandomEngine rng{seed};
+  net::ContentionNetwork netw{sim, rng.substream("net"), params, 2};
+
+  std::vector<double> delays;
+  delays.reserve(probes);
+  netw.set_deliver([&](const net::Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
+
+  // Isolated probes: each send waits for the previous delivery plus a gap,
+  // so probes never contend with each other (an idle network, as in the
+  // paper's delay measurements).
+  const des::Duration gap = des::Duration::from_ms(1.0);
+  std::function<void(std::size_t)> fire = [&](std::size_t k) {
+    if (k >= probes) return;
+    netw.send(0, 1, std::any{});
+    sim.schedule(gap, [&fire, k] { fire(k + 1); });
+  };
+  fire(0);
+  sim.run();
+  return delays;
+}
+
+std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, std::size_t n,
+                                             std::size_t probes, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument{"measure_broadcast_delays: n < 2"};
+  des::Simulator sim;
+  des::RandomEngine rng{seed};
+  net::ContentionNetwork netw{sim, rng.substream("net"), params, n};
+
+  std::vector<double> delays;  // one entry per broadcast: mean over destinations
+  delays.reserve(probes);
+  double acc = 0;
+  std::size_t received = 0;
+  netw.set_deliver([&](const net::Packet& pkt) {
+    acc += (sim.now() - pkt.sent_at).to_ms();
+    if (++received == n - 1) {
+      delays.push_back(acc / static_cast<double>(n - 1));
+      acc = 0;
+      received = 0;
+    }
+  });
+
+  const des::Duration gap = des::Duration::from_ms(3.0);
+  std::function<void(std::size_t)> fire = [&](std::size_t k) {
+    if (k >= probes) return;
+    // The implementation broadcasts as n-1 unicasts in ascending id order.
+    for (net::HostId dst = 1; dst < static_cast<net::HostId>(n); ++dst) {
+      netw.send(0, dst, std::any{});
+    }
+    sim.schedule(gap, [&fire, k] { fire(k + 1); });
+  };
+  fire(0);
+  sim.run();
+  return delays;
+}
+
+stats::SummaryStats MeasuredLatency::summary() const {
+  stats::SummaryStats s;
+  for (const double x : latencies_ms) s.add(x);
+  return s;
+}
+
+MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
+                                const net::TimerModel& timers, int initially_crashed,
+                                std::size_t executions, std::uint64_t seed) {
+  if (initially_crashed >= static_cast<int>(n)) {
+    throw std::invalid_argument{"measure_latency: crashed id out of range"};
+  }
+  const des::RandomEngine master{seed};
+  MeasuredLatency out;
+  out.latencies_ms.reserve(executions);
+
+  for (std::size_t k = 0; k < executions; ++k) {
+    // Independent executions: a fresh cluster per run keeps them perfectly
+    // isolated (the cluster equivalent of the paper's 10 ms separation).
+    runtime::ClusterConfig cfg;
+    cfg.n = n;
+    cfg.network = params;
+    cfg.timers = timers;
+    cfg.seed = master.substream("exec", k).seed();
+    runtime::Cluster cluster{cfg};
+
+    std::set<runtime::HostId> suspected;
+    if (initially_crashed >= 0) suspected.insert(static_cast<runtime::HostId>(initially_crashed));
+
+    std::optional<des::TimePoint> first_decide;
+    std::int32_t first_rounds = 0;
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      auto& proc = cluster.process(pid);
+      auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
+      auto& cons = proc.add_layer<consensus::CtConsensus>(fd_layer);
+      cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
+        if (!first_decide || ev.at < *first_decide) {
+          first_decide = ev.at;
+          first_rounds = ev.round;
+        }
+      });
+    }
+    if (initially_crashed >= 0) {
+      cluster.crash_initially(static_cast<runtime::HostId>(initially_crashed));
+    }
+
+    // All correct processes propose at t0 (up to the emulated NTP skew).
+    const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
+    auto skew_rng = cluster.rng_stream("ntp-skew");
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+      auto& proc = cluster.process(pid);
+      if (proc.crashed()) continue;
+      const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
+      cluster.sim().schedule_at(start, [&proc, k] {
+        proc.layer<consensus::CtConsensus>().propose(static_cast<std::int32_t>(k), 1 + proc.id());
+      });
+    }
+
+    const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
+    cluster.run_until([&] { return first_decide.has_value(); }, deadline);
+
+    if (first_decide) {
+      out.latencies_ms.push_back((*first_decide - t0).to_ms());
+      out.rounds.push_back(first_rounds);
+    } else {
+      ++out.undecided;
+    }
+  }
+  return out;
+}
+
+Class3Run measure_class3_run(std::size_t n, const net::NetworkParams& params,
+                             const net::TimerModel& timers, double timeout_ms,
+                             std::size_t executions, std::uint64_t seed) {
+  runtime::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.seed = seed;
+  runtime::Cluster cluster{cfg};
+
+  const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    auto& proc = cluster.process(pid);
+    auto& hb = proc.add_layer<fd::HeartbeatFd>(fd_params);
+    proc.add_layer<consensus::CtConsensus>(hb);
+  }
+
+  consensus::SequencerConfig seq_cfg;
+  seq_cfg.executions = executions;
+  consensus::ConsensusSequencer seq{cluster, seq_cfg};
+  const auto results = seq.run();
+
+  Class3Run run;
+  for (const auto& res : results) {
+    if (res.decided()) {
+      run.latency.latencies_ms.push_back(res.latency_ms());
+      run.latency.rounds.push_back(res.rounds);
+    } else {
+      ++run.latency.undecided;
+    }
+  }
+
+  // QoS over the full experiment duration, all ordered pairs.
+  std::vector<const fd::PairHistory*> histories;
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    const auto& hb = cluster.process(pid).layer<fd::HeartbeatFd>();
+    for (runtime::HostId peer = 0; peer < static_cast<runtime::HostId>(n); ++peer) {
+      if (peer == pid) continue;
+      histories.push_back(&hb.histories()[peer]);
+    }
+  }
+  run.qos = fd::average_qos(histories, seq.experiment_end());
+  run.experiment_ms = seq.experiment_end().to_ms();
+  return run;
+}
+
+Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
+                               const net::TimerModel& timers, double timeout_ms, std::size_t runs,
+                               std::size_t executions, std::uint64_t seed) {
+  const des::RandomEngine master{seed};
+  stats::SummaryStats lat_means, tmr_means, tm_means;
+  Class3Aggregate agg;
+
+  for (std::size_t r = 0; r < runs; ++r) {
+    const Class3Run run = measure_class3_run(n, params, timers, timeout_ms, executions,
+                                             master.substream("run", r).seed());
+    const auto lat = run.latency.summary();
+    if (lat.count() > 0) lat_means.add(lat.mean());
+    if (run.qos.pairs_used > 0) {
+      tmr_means.add(run.qos.t_mr_ms);
+      tm_means.add(run.qos.t_m_ms);
+    }
+    agg.all_latencies_ms.insert(agg.all_latencies_ms.end(), run.latency.latencies_ms.begin(),
+                                run.latency.latencies_ms.end());
+    agg.undecided += run.latency.undecided;
+  }
+
+  agg.latency_ms = lat_means.mean_ci(0.90);
+  agg.t_mr_ms = tmr_means.mean_ci(0.90);
+  agg.t_m_ms = tm_means.mean_ci(0.90);
+  agg.pooled_qos.t_mr_ms = tmr_means.mean();
+  agg.pooled_qos.t_m_ms = tm_means.mean();
+  agg.pooled_qos.pairs_used = tmr_means.count();
+  return agg;
+}
+
+}  // namespace sanperf::core

@@ -1,0 +1,71 @@
+// Measurement campaigns on the emulated cluster -- the "experiments on a
+// cluster of PCs" half of the paper's combined methodology.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fd/qos.hpp"
+#include "net/params.hpp"
+#include "stats/summary.hpp"
+
+namespace sanperf::core {
+
+/// End-to-end delay of isolated unicast messages (Fig 6, "unicast"), in ms.
+[[nodiscard]] std::vector<double> measure_unicast_delays(const net::NetworkParams& params,
+                                                         std::size_t probes, std::uint64_t seed);
+
+/// End-to-end delay of isolated broadcasts to n-1 destinations, averaged
+/// over the destinations (Fig 6, "broadcast to n"), in ms.
+[[nodiscard]] std::vector<double> measure_broadcast_delays(const net::NetworkParams& params,
+                                                           std::size_t n, std::size_t probes,
+                                                           std::uint64_t seed);
+
+struct MeasuredLatency {
+  std::vector<double> latencies_ms;  ///< decided executions only
+  std::vector<std::int32_t> rounds;  ///< rounds used by the first decider
+  std::size_t undecided = 0;
+
+  [[nodiscard]] stats::SummaryStats summary() const;
+};
+
+/// Consensus latency for run classes 1 and 2: isolated executions, static
+/// complete-and-accurate failure detectors, optional initial crash.
+/// `initially_crashed` is a host id or -1.
+[[nodiscard]] MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
+                                              const net::TimerModel& timers,
+                                              int initially_crashed, std::size_t executions,
+                                              std::uint64_t seed);
+
+/// One class-3 run: a single long experiment with live heartbeat failure
+/// detection (timeout T, Th = 0.7 T) and `executions` consensus executions
+/// separated by 10 ms. QoS metrics are estimated over the full duration, as
+/// in Section 4.
+struct Class3Run {
+  MeasuredLatency latency;
+  fd::QosEstimate qos;
+  double experiment_ms = 0;  ///< T_exp
+};
+
+[[nodiscard]] Class3Run measure_class3_run(std::size_t n, const net::NetworkParams& params,
+                                           const net::TimerModel& timers, double timeout_ms,
+                                           std::size_t executions, std::uint64_t seed);
+
+/// Aggregates several independent class-3 runs: means and 90% confidence
+/// intervals computed over the per-run means (the paper's procedure).
+struct Class3Aggregate {
+  stats::MeanCI latency_ms;
+  stats::MeanCI t_mr_ms;
+  stats::MeanCI t_m_ms;
+  std::vector<double> all_latencies_ms;  ///< pooled across runs
+  std::size_t undecided = 0;
+  fd::QosEstimate pooled_qos;            ///< run-mean QoS (feeds the SAN model)
+};
+
+[[nodiscard]] Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
+                                             const net::TimerModel& timers, double timeout_ms,
+                                             std::size_t runs, std::size_t executions,
+                                             std::uint64_t seed);
+
+}  // namespace sanperf::core

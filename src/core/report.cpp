@@ -1,0 +1,90 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace sanperf::core {
+
+TablePrinter::TablePrinter(std::ostream& os, std::vector<std::pair<std::string, int>> columns)
+    : os_{&os}, columns_{std::move(columns)} {}
+
+void TablePrinter::print_header() {
+  for (const auto& [name, width] : columns_) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%-*s ", width, name.c_str());
+    *os_ << buf;
+  }
+  *os_ << '\n';
+  print_rule();
+}
+
+void TablePrinter::print_rule() {
+  for (const auto& [name, width] : columns_) {
+    (void)name;
+    *os_ << std::string(static_cast<std::size_t>(width), '-') << ' ';
+  }
+  *os_ << '\n';
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const int width = columns_[i].second;
+    const std::string cell = i < cells.size() ? cells[i] : "";
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%-*s ", width, cell.c_str());
+    *os_ << buf;
+  }
+  *os_ << '\n';
+}
+
+std::string fmt(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_ci(const stats::MeanCI& ci, int precision) {
+  if (ci.count == 0) return "-";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f +-%.*f", precision, ci.mean, precision, ci.half_width);
+  return buf;
+}
+
+void print_cdfs(std::ostream& os, const std::vector<std::pair<std::string, stats::Ecdf>>& curves,
+                std::size_t points, const std::string& x_label) {
+  if (curves.empty()) return;
+  double lo = curves.front().second.min();
+  double hi = curves.front().second.max();
+  for (const auto& [label, ecdf] : curves) {
+    (void)label;
+    lo = std::min(lo, ecdf.min());
+    hi = std::max(hi, ecdf.max());
+  }
+
+  std::vector<std::pair<std::string, int>> cols;
+  cols.emplace_back(x_label, 10);
+  for (const auto& [label, ecdf] : curves) {
+    (void)ecdf;
+    cols.emplace_back(label, std::max<int>(8, static_cast<int>(label.size())));
+  }
+  TablePrinter table{os, cols};
+  table.print_header();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::vector<std::string> cells{fmt(x, 3)};
+    for (const auto& [label, ecdf] : curves) {
+      (void)label;
+      cells.push_back(fmt(ecdf.eval(x), 3));
+    }
+    table.print_row(cells);
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n' << title << '\n' << std::string(72, '=') << '\n';
+}
+
+}  // namespace sanperf::core

@@ -1,0 +1,42 @@
+// Plain-text rendering helpers for the bench harnesses: aligned tables,
+// CDF curves as rows, confidence-interval formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "stats/summary.hpp"
+
+namespace sanperf::core {
+
+/// Fixed-width text table; header widths define column widths.
+class TablePrinter {
+ public:
+  TablePrinter(std::ostream& os, std::vector<std::pair<std::string, int>> columns);
+
+  void print_header();
+  void print_row(const std::vector<std::string>& cells);
+  void print_rule();
+
+ private:
+  std::ostream* os_;
+  std::vector<std::pair<std::string, int>> columns_;
+};
+
+/// "%.*f" with a fixed precision; "-" for NaN.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+/// "mean +- hw" at the CI's confidence level.
+[[nodiscard]] std::string fmt_ci(const stats::MeanCI& ci, int precision = 3);
+
+/// Prints CDF curves side by side: one row per x sample, one column per
+/// labelled curve, spanning the pooled [min, max] range.
+void print_cdfs(std::ostream& os, const std::vector<std::pair<std::string, stats::Ecdf>>& curves,
+                std::size_t points = 20, const std::string& x_label = "x");
+
+/// Section banner.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace sanperf::core

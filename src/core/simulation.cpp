@@ -1,0 +1,44 @@
+#include "core/simulation.hpp"
+
+namespace sanperf::core {
+
+san::StudyResult simulate_latency(const sanmodels::ConsensusSanModel& model,
+                                  std::size_t replications, std::uint64_t seed) {
+  san::TransientStudy study{model.model, model.stop_predicate()};
+  // Pathological class-3 settings can spin through rounds for a long time;
+  // 10 simulated seconds comfortably bounds every paper scenario.
+  study.set_time_limit(des::Duration::seconds(10));
+  return study.run(replications, seed);
+}
+
+san::StudyResult simulate_class1(std::size_t n, const sanmodels::TransportParams& transport,
+                                 std::size_t replications, std::uint64_t seed) {
+  sanmodels::ConsensusSanConfig cfg;
+  cfg.n = n;
+  cfg.transport = transport;
+  const auto model = sanmodels::build_consensus_san(cfg);
+  return simulate_latency(model, replications, seed);
+}
+
+san::StudyResult simulate_class2(std::size_t n, const sanmodels::TransportParams& transport,
+                                 int crashed, std::size_t replications, std::uint64_t seed) {
+  sanmodels::ConsensusSanConfig cfg;
+  cfg.n = n;
+  cfg.transport = transport;
+  cfg.initially_crashed = crashed;
+  const auto model = sanmodels::build_consensus_san(cfg);
+  return simulate_latency(model, replications, seed);
+}
+
+san::StudyResult simulate_class3(std::size_t n, const sanmodels::TransportParams& transport,
+                                 const fd::AbstractFdParams& fd_params, std::size_t replications,
+                                 std::uint64_t seed) {
+  sanmodels::ConsensusSanConfig cfg;
+  cfg.n = n;
+  cfg.transport = transport;
+  cfg.qos_fd = fd_params;
+  const auto model = sanmodels::build_consensus_san(cfg);
+  return simulate_latency(model, replications, seed);
+}
+
+}  // namespace sanperf::core

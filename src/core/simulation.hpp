@@ -1,0 +1,35 @@
+// SAN simulation campaigns -- the "simulation using Stochastic Activity
+// Networks" half of the paper's combined methodology.
+#pragma once
+
+#include <cstdint>
+
+#include "fd/qos.hpp"
+#include "san/study.hpp"
+#include "sanmodels/consensus_model.hpp"
+
+namespace sanperf::core {
+
+/// Runs a latency study on a built consensus SAN: replications of the time
+/// from all-propose (t = 0) to the first decision.
+[[nodiscard]] san::StudyResult simulate_latency(const sanmodels::ConsensusSanModel& model,
+                                                std::size_t replications, std::uint64_t seed);
+
+/// Class 1: no crashes, accurate detectors.
+[[nodiscard]] san::StudyResult simulate_class1(std::size_t n,
+                                               const sanmodels::TransportParams& transport,
+                                               std::size_t replications, std::uint64_t seed);
+
+/// Class 2: `crashed` is initially down; detectors complete and accurate.
+[[nodiscard]] san::StudyResult simulate_class2(std::size_t n,
+                                               const sanmodels::TransportParams& transport,
+                                               int crashed, std::size_t replications,
+                                               std::uint64_t seed);
+
+/// Class 3: no crashes, QoS-parameterised independent two-state detectors.
+[[nodiscard]] san::StudyResult simulate_class3(std::size_t n,
+                                               const sanmodels::TransportParams& transport,
+                                               const fd::AbstractFdParams& fd_params,
+                                               std::size_t replications, std::uint64_t seed);
+
+}  // namespace sanperf::core

@@ -1,0 +1,45 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sanperf::des {
+
+EventId EventQueue::push(TimePoint at, Action action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Cancellation is lazy: the heap entry stays until it reaches the top.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_dead_prefix() const {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_dead_prefix();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_prefix();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
+  const Entry& top = heap_.top();
+  Popped out{top.at, top.id, std::move(top.action)};
+  heap_.pop();
+  pending_.erase(out.id);
+  return out;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  pending_.clear();
+}
+
+}  // namespace sanperf::des

@@ -1,0 +1,80 @@
+// A cancellable pending-event set ordered by (time, insertion sequence).
+//
+// The insertion-sequence tie-break makes simulations deterministic: two
+// events scheduled for the same instant always fire in scheduling order,
+// independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace sanperf::des {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Sentinel returned when no event exists.
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Adds an event firing at `at`. Returns a handle for cancellation.
+  EventId push(TimePoint at, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed. Amortised O(1).
+  bool cancel(EventId id);
+
+  /// True iff the event is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool pending(EventId id) const { return pending_.contains(id); }
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Firing time of the earliest live event. Requires !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Popped {
+    TimePoint at;
+    EventId id;
+    Action action;
+  };
+  Popped pop();
+
+  /// Removes every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    EventId id = kInvalidEventId;
+    // Heap payloads are moved out on pop; mutable so the action can be
+    // extracted from the priority_queue's const top().
+    mutable Action action;
+
+    // priority_queue is a max-heap; invert so earliest (time, id) wins.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops heap entries whose id is no longer pending (cancelled).
+  void drop_dead_prefix() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace sanperf::des

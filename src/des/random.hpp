@@ -1,0 +1,55 @@
+// Seeded random engine with named substreams.
+//
+// Every stochastic component takes a RandomEngine (or derives a substream
+// from one); a run is fully determined by its master seed. Substreams are
+// derived by hashing the parent seed with a label, so adding a new consumer
+// does not perturb the draws seen by existing ones.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace sanperf::des {
+
+class RandomEngine {
+ public:
+  explicit RandomEngine(std::uint64_t seed);
+
+  /// Derives an independent child engine. Deterministic in (seed, label, index).
+  [[nodiscard]] RandomEngine substream(std::string_view label, std::uint64_t index = 0) const;
+
+  /// Uniform real in [a, b).
+  [[nodiscard]] double uniform(double a, double b);
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01();
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given mean (not rate). Requires mean > 0.
+  [[nodiscard]] double exponential_mean(double mean);
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Weibull with shape k and scale lambda.
+  [[nodiscard]] double weibull(double shape, double scale);
+  /// Bernoulli trial.
+  [[nodiscard]] bool bernoulli(double p);
+  /// Index in [0, weights.size()) drawn proportionally to weights.
+  [[nodiscard]] std::size_t categorical(const std::vector<double>& weights);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Raw 64-bit draw (for hashing/shuffling utilities).
+  [[nodiscard]] std::uint64_t next_u64() { return gen_(); }
+
+  using result_type = std::mt19937_64::result_type;
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 gen_;
+};
+
+/// SplitMix64 finalizer; used for seed derivation and stable hashing.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace sanperf::des

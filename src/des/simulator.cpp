@@ -1,0 +1,48 @@
+#include "des/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sanperf::des {
+
+EventId Simulator::schedule(Duration delay, Action action) {
+  if (delay < Duration::zero()) throw std::invalid_argument{"Simulator::schedule: negative delay"};
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(TimePoint at, Action action) {
+  if (at < now_) throw std::invalid_argument{"Simulator::schedule_at: time in the past"};
+  return queue_.push(at, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  now_ = ev.at;
+  ++processed_;
+  ev.action();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = TimePoint::origin();
+  processed_ = 0;
+  stopped_ = false;
+}
+
+}  // namespace sanperf::des

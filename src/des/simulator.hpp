@@ -1,0 +1,57 @@
+// The discrete-event simulator: a virtual clock plus an event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/event_queue.hpp"
+#include "des/time.hpp"
+
+namespace sanperf::des {
+
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now. Negative delays are an error.
+  EventId schedule(Duration delay, Action action);
+
+  /// Schedules `action` at an absolute time not earlier than now.
+  EventId schedule_at(TimePoint at, Action action);
+
+  /// Cancels a previously scheduled event; false if it already ran.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  [[nodiscard]] bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// Runs one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or stop() is called.
+  void run();
+
+  /// Runs until the queue drains, the clock passes `deadline`, or stop().
+  /// Events at exactly `deadline` are executed.
+  void run_until(TimePoint deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool queue_empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Clears all pending events and resets the clock to the origin.
+  void reset();
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sanperf::des

@@ -1,0 +1,38 @@
+#include "des/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sanperf::des {
+
+Duration Duration::from_ms(double ms) {
+  return Duration{static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+Duration Duration::from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+namespace {
+
+std::string render_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = static_cast<double>(ns);
+  if (std::llabs(ns) < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (std::llabs(ns) < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", a / 1e3);
+  } else if (std::llabs(ns) < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", a / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", a / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return render_ns(ns_); }
+std::string TimePoint::to_string() const { return render_ns(ns_); }
+
+}  // namespace sanperf::des

@@ -1,0 +1,70 @@
+#include "fd/heartbeat_fd.hpp"
+
+namespace sanperf::fd {
+
+void HeartbeatFd::on_start() {
+  const std::size_t n = process().n();
+  suspected_.assign(n, 0);
+  last_msg_.assign(n, process().now());
+  history_.assign(n, PairHistory{});
+  for (HostId peer = 0; peer < static_cast<HostId>(n); ++peer) {
+    if (peer == process().id()) continue;
+    arm_check(peer, process().now() + params_.timeout);
+  }
+  send_heartbeat_round();
+}
+
+void HeartbeatFd::send_heartbeat_round() {
+  if (stopped_) return;
+  runtime::Message hb;
+  hb.kind = runtime::MsgKind::kHeartbeat;
+  process().broadcast(hb);
+  ++heartbeats_sent_;
+  // Thread-style sleep: subject to tick quantisation and stalls.
+  process().set_os_timer(params_.heartbeat_period, [this] { send_heartbeat_round(); });
+}
+
+void HeartbeatFd::arm_check(HostId peer, des::TimePoint nominal) {
+  const des::Duration delay =
+      nominal > process().now() ? nominal - process().now() : des::Duration::zero();
+  process().set_os_timer(delay, [this, peer] { check_timeout(peer); });
+}
+
+void HeartbeatFd::check_timeout(HostId peer) {
+  if (stopped_) return;
+  const des::TimePoint now = process().now();
+  if (!suspected_[peer] && now - last_msg_[peer] >= params_.timeout) {
+    suspected_[peer] = 1;
+    history_[peer].record(now, /*to_suspect=*/true);
+    notify(peer, true);
+  }
+  // One outstanding wake-up per peer: while trusting, sleep until the
+  // current timeout deadline; while suspecting, poll every T (the suspicion
+  // itself only clears on a reception, which is event-driven).
+  arm_check(peer, suspected_[peer] ? now + params_.timeout : last_msg_[peer] + params_.timeout);
+}
+
+void HeartbeatFd::on_message(const runtime::Message& m) {
+  if (stopped_) return;
+  const HostId peer = m.from;
+  if (peer == process().id()) return;
+  // Any message from `peer` counts (heartbeat or application message).
+  last_msg_[peer] = process().now();
+  if (suspected_[peer]) {
+    suspected_[peer] = 0;
+    history_[peer].record(process().now(), /*to_suspect=*/false);
+    notify(peer, false);
+  }
+}
+
+void HeartbeatFd::on_crash() { stopped_ = true; }
+
+bool HeartbeatFd::is_suspected(HostId peer) const {
+  return peer < suspected_.size() && suspected_[peer] != 0;
+}
+
+void HeartbeatFd::notify(HostId peer, bool suspected) {
+  for (const auto& l : listeners_) l(peer, suspected);
+}
+
+}  // namespace sanperf::fd

@@ -1,0 +1,53 @@
+#include "fd/history.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::fd {
+
+void PairHistory::record(des::TimePoint at, bool to_suspect) {
+  if (!transitions_.empty()) {
+    if (transitions_.back().at > at) {
+      throw std::logic_error{"PairHistory: transitions out of order"};
+    }
+    if (transitions_.back().to_suspect == to_suspect) {
+      throw std::logic_error{"PairHistory: repeated transition direction"};
+    }
+  } else if (!to_suspect) {
+    throw std::logic_error{"PairHistory: first transition must be trust->suspect"};
+  }
+  transitions_.push_back({at, to_suspect});
+  if (to_suspect) {
+    ++n_ts_;
+  } else {
+    ++n_st_;
+  }
+}
+
+des::Duration PairHistory::suspected_time(des::TimePoint end) const {
+  des::Duration total = des::Duration::zero();
+  des::TimePoint suspect_since;
+  bool suspected = false;
+  for (const Transition& tr : transitions_) {
+    if (tr.at > end) break;
+    if (tr.to_suspect) {
+      suspected = true;
+      suspect_since = tr.at;
+    } else if (suspected) {
+      total += tr.at - suspect_since;
+      suspected = false;
+    }
+  }
+  if (suspected && end > suspect_since) total += end - suspect_since;
+  return total;
+}
+
+bool PairHistory::suspected_at(des::TimePoint t) const {
+  bool suspected = false;
+  for (const Transition& tr : transitions_) {
+    if (tr.at > t) break;
+    suspected = tr.to_suspect;
+  }
+  return suspected;
+}
+
+}  // namespace sanperf::fd

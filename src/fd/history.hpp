@@ -1,0 +1,46 @@
+// Failure-detector output histories (trust/suspect transitions over time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "des/time.hpp"
+#include "runtime/message.hpp"
+
+namespace sanperf::fd {
+
+using runtime::HostId;
+
+struct Transition {
+  des::TimePoint at;
+  bool to_suspect = false;  ///< true: trust->suspect; false: suspect->trust
+};
+
+/// The history of one monitored pair (q monitors p).
+class PairHistory {
+ public:
+  /// Appends a transition; must alternate and be time-ordered.
+  void record(des::TimePoint at, bool to_suspect);
+
+  [[nodiscard]] const std::vector<Transition>& transitions() const { return transitions_; }
+  [[nodiscard]] std::uint64_t trust_to_suspect_count() const { return n_ts_; }
+  [[nodiscard]] std::uint64_t suspect_to_trust_count() const { return n_st_; }
+
+  /// Total time spent in the suspect state over [origin, end].
+  [[nodiscard]] des::Duration suspected_time(des::TimePoint end) const;
+
+  /// True when the pair is suspected at time `t` (assumes initial trust).
+  [[nodiscard]] bool suspected_at(des::TimePoint t) const;
+
+ private:
+  std::vector<Transition> transitions_;
+  std::uint64_t n_ts_ = 0;
+  std::uint64_t n_st_ = 0;
+};
+
+/// Histories for all ordered pairs (monitor, monitored).
+using FdHistoryMap = std::map<std::pair<HostId, HostId>, PairHistory>;
+
+}  // namespace sanperf::fd

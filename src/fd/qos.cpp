@@ -1,0 +1,57 @@
+#include "fd/qos.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::fd {
+
+std::optional<QosEstimate> estimate_pair_qos(const PairHistory& history,
+                                             des::TimePoint experiment_end) {
+  const std::uint64_t n_ts = history.trust_to_suspect_count();
+  const std::uint64_t n_st = history.suspect_to_trust_count();
+  if (n_ts + n_st == 0) return std::nullopt;
+
+  const double t_exp_ms = experiment_end.to_ms();
+  const double t_s_ms = history.suspected_time(experiment_end).to_ms();
+  const double transitions = static_cast<double>(n_ts + n_st);
+
+  QosEstimate q;
+  q.t_mr_ms = 2.0 * t_exp_ms / transitions;
+  q.t_m_ms = 2.0 * t_s_ms / transitions;
+  q.pairs_used = 1;
+  return q;
+}
+
+QosEstimate average_qos(const std::vector<const PairHistory*>& histories,
+                        des::TimePoint experiment_end) {
+  QosEstimate avg;
+  for (const PairHistory* h : histories) {
+    if (h == nullptr) throw std::invalid_argument{"average_qos: null history"};
+    const auto pair = estimate_pair_qos(*h, experiment_end);
+    if (!pair) {
+      ++avg.pairs_quiet;
+      continue;
+    }
+    avg.t_mr_ms += pair->t_mr_ms;
+    avg.t_m_ms += pair->t_m_ms;
+    ++avg.pairs_used;
+  }
+  if (avg.pairs_used > 0) {
+    avg.t_mr_ms /= static_cast<double>(avg.pairs_used);
+    avg.t_m_ms /= static_cast<double>(avg.pairs_used);
+  }
+  return avg;
+}
+
+AbstractFdParams AbstractFdParams::from_qos(const QosEstimate& qos, Sojourn sojourn) {
+  if (!(qos.t_mr_ms > 0) || qos.t_m_ms < 0 || qos.t_m_ms >= qos.t_mr_ms) {
+    throw std::invalid_argument{"AbstractFdParams: need 0 <= T_M < T_MR"};
+  }
+  AbstractFdParams p;
+  p.trust_mean_ms = qos.t_mr_ms - qos.t_m_ms;
+  p.suspect_mean_ms = qos.t_m_ms;
+  p.p_initial_suspect = qos.t_m_ms / qos.t_mr_ms;
+  p.sojourn = sojourn;
+  return p;
+}
+
+}  // namespace sanperf::fd

@@ -1,0 +1,57 @@
+// Failure-detector quality-of-service estimation (Chen/Toueg/Aguilera
+// metrics, estimated exactly as in Section 4 of the paper).
+//
+// For a pair (p monitors q) over an experiment of duration T_exp, with
+// T_S the total suspected time and n_TS / n_ST the transition counts:
+//
+//     T_M / T_MR = T_S / T_exp        T_exp = (n_TS + n_ST)/2 * T_MR
+//
+// giving  T_MR = 2 T_exp / (n_TS + n_ST)  and  T_M = 2 T_S / (n_TS + n_ST).
+// The detector-wide metrics average the per-pair values over all pairs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fd/history.hpp"
+
+namespace sanperf::fd {
+
+struct QosEstimate {
+  double t_mr_ms = 0;  ///< mean mistake recurrence time
+  double t_m_ms = 0;   ///< mean mistake duration
+  std::uint64_t pairs_used = 0;     ///< pairs with at least one transition
+  std::uint64_t pairs_quiet = 0;    ///< pairs that never made a mistake
+
+  /// Stationary probability of being in the suspect state, T_M / T_MR.
+  [[nodiscard]] double suspicion_probability() const {
+    return t_mr_ms > 0 ? t_m_ms / t_mr_ms : 0.0;
+  }
+};
+
+/// Per-pair estimate; empty when the pair recorded no transitions (the
+/// metrics are undefined; the paper notes T_MR need not be determined
+/// precisely when it is large).
+[[nodiscard]] std::optional<QosEstimate> estimate_pair_qos(const PairHistory& history,
+                                                           des::TimePoint experiment_end);
+
+/// Averages the per-pair metrics over all pairs with defined values.
+[[nodiscard]] QosEstimate average_qos(const std::vector<const PairHistory*>& histories,
+                                      des::TimePoint experiment_end);
+
+/// Parameters of the abstract two-state SAN failure-detector model
+/// (Section 3.4): alternating Trust / Suspect sojourns whose means match
+/// the measured QoS, with deterministic (variance 0) or exponential
+/// (high variance) sojourn distributions.
+struct AbstractFdParams {
+  enum class Sojourn { kDeterministic, kExponential };
+
+  double trust_mean_ms = 0;    ///< T_MR - T_M
+  double suspect_mean_ms = 0;  ///< T_M
+  double p_initial_suspect = 0;
+  Sojourn sojourn = Sojourn::kDeterministic;
+
+  [[nodiscard]] static AbstractFdParams from_qos(const QosEstimate& qos, Sojourn sojourn);
+};
+
+}  // namespace sanperf::fd

@@ -1,0 +1,33 @@
+#include "net/jitter.hpp"
+
+namespace sanperf::net {
+
+des::Duration sample_stall(const TimerModel& tm, des::RandomEngine& rng) {
+  const double u = rng.uniform01();
+  double stall_ms = 0;
+  if (u < tm.p_huge_stall) {
+    stall_ms = rng.uniform(12.0, 45.0);
+  } else if (u < tm.p_huge_stall + tm.p_major_stall) {
+    stall_ms = rng.uniform(1.0, 12.0);
+  } else if (u < tm.p_huge_stall + tm.p_major_stall + tm.p_minor_stall) {
+    stall_ms = rng.uniform(0.2, 3.0);
+  }
+  return des::Duration::from_ms(stall_ms);
+}
+
+des::TimePoint quantize_timer(const TimerModel& tm, des::TimePoint nominal,
+                              des::RandomEngine& rng) {
+  des::TimePoint t = nominal;
+  if (tm.tick_ms > 0) {
+    const std::int64_t tick_ns = des::Duration::from_ms(tm.tick_ms).ns();
+    const std::int64_t n = nominal.ns();
+    const std::int64_t rounded = ((n + tick_ns - 1) / tick_ns) * tick_ns;
+    t = des::TimePoint::origin() + des::Duration::nanos(rounded);
+  }
+  if (tm.wake_noise_ms > 0) {
+    t = t + des::Duration::from_ms(rng.uniform(0.0, tm.wake_noise_ms));
+  }
+  return t + sample_stall(tm, rng);
+}
+
+}  // namespace sanperf::net

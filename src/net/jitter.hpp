@@ -1,0 +1,21 @@
+// Timer quantisation and stall sampling (the OS-scheduler model).
+#pragma once
+
+#include "des/random.hpp"
+#include "des/time.hpp"
+#include "net/params.hpp"
+
+namespace sanperf::net {
+
+/// Returns the actual expiry time of a timer requested for `nominal`,
+/// according to the TimerModel: rounded up to the next scheduler tick,
+/// plus wake-up noise, plus a possible stall. Monotone: never earlier than
+/// `nominal`.
+[[nodiscard]] des::TimePoint quantize_timer(const TimerModel& tm, des::TimePoint nominal,
+                                            des::RandomEngine& rng);
+
+/// Samples only the stall component (used by tests and by components that
+/// model load-induced delays without tick rounding).
+[[nodiscard]] des::Duration sample_stall(const TimerModel& tm, des::RandomEngine& rng);
+
+}  // namespace sanperf::net

@@ -1,0 +1,155 @@
+#include "net/network.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace sanperf::net {
+
+void FifoServer::submit(des::Duration service, std::function<void()> on_done) {
+  Job job{service, std::move(on_done)};
+  if (busy_) {
+    waiting_.push_back(std::move(job));
+  } else {
+    start(std::move(job));
+  }
+}
+
+void FifoServer::start(Job job) {
+  busy_ = true;
+  drop_current_ = false;
+  current_done_ = std::move(job.on_done);
+  service_start_ = sim_->now();
+  sim_->schedule(job.service, [this] { complete(); });
+}
+
+void FifoServer::complete() {
+  busy_time_ += sim_->now() - service_start_;
+  ++served_;
+  auto done = std::move(current_done_);
+  const bool dropped = drop_current_;
+  busy_ = false;
+  drop_current_ = false;
+  if (!waiting_.empty()) {
+    Job next = std::move(waiting_.front());
+    waiting_.pop_front();
+    start(std::move(next));
+  }
+  if (!dropped && done) done();
+}
+
+void FifoServer::drain(bool drop_in_service) {
+  waiting_.clear();
+  if (drop_in_service && busy_) drop_current_ = true;
+}
+
+HubMedium::HubMedium(des::Simulator& sim, des::RandomEngine rng, std::size_t hosts)
+    : sim_{&sim}, rng_{rng}, queues_(hosts) {}
+
+void HubMedium::submit(HostId src, des::Duration service, std::function<void()> on_done) {
+  queues_.at(src).push_back({service, std::move(on_done)});
+  ++backlog_;
+  if (!busy_) start_next();
+}
+
+void HubMedium::start_next() {
+  if (backlog_ == 0) return;
+  // Uniform choice among backlogged hosts; each host transmits in FIFO.
+  std::vector<HostId> ready;
+  for (HostId h = 0; h < static_cast<HostId>(queues_.size()); ++h) {
+    if (!queues_[h].empty()) ready.push_back(h);
+  }
+  const HostId winner =
+      ready[static_cast<std::size_t>(rng_.uniform_int(0, static_cast<std::int64_t>(ready.size()) - 1))];
+  Frame frame = std::move(queues_[winner].front());
+  queues_[winner].pop_front();
+  --backlog_;
+  busy_ = true;
+  service_start_ = sim_->now();
+  sim_->schedule(frame.service, [this, done = std::move(frame.on_done)] {
+    busy_time_ += sim_->now() - service_start_;
+    ++served_;
+    busy_ = false;
+    if (done) done();
+    if (!busy_) start_next();  // `done` may have submitted and restarted
+  });
+}
+
+ContentionNetwork::ContentionNetwork(des::Simulator& sim, des::RandomEngine rng,
+                                     NetworkParams params, std::size_t hosts)
+    : sim_{&sim}, rng_{rng}, params_{params}, medium_{sim, rng.substream("hub"), hosts} {
+  if (hosts < 2) throw std::invalid_argument{"ContentionNetwork: need at least 2 hosts"};
+  cpus_.reserve(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) cpus_.emplace_back(sim);
+  down_.assign(hosts, 0);
+}
+
+des::Duration ContentionNetwork::sample(const stats::BimodalUniform& dist) {
+  const double ms = rng_.bernoulli(dist.p1) ? rng_.uniform(dist.a1, dist.b1)
+                                            : rng_.uniform(dist.a2, dist.b2);
+  return des::Duration::from_ms(ms);
+}
+
+void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass cls) {
+  if (src >= cpus_.size() || dst >= cpus_.size()) {
+    throw std::invalid_argument{"ContentionNetwork::send: bad host id"};
+  }
+  if (src == dst) throw std::invalid_argument{"ContentionNetwork::send: src == dst"};
+  if (down_[src]) return;  // a crashed host emits nothing
+
+  auto pkt = std::make_shared<Packet>();
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->body = std::move(body);
+  pkt->sent_at = sim_->now();
+  ++frames_sent_;
+
+  // TCP towards a dead peer: only the pair's first frame reaches the wire;
+  // later sends cost the sender CPU but are absorbed by the socket buffer.
+  // Small datagrams (heartbeats) are UDP: connectionless, always emitted.
+  bool wire = true;
+  if (params_.dead_peer_absorption && cls == FrameClass::kProtocol && down_[dst]) {
+    const std::size_t pair = static_cast<std::size_t>(src) * cpus_.size() + dst;
+    if (dead_pair_sent_.empty()) dead_pair_sent_.assign(cpus_.size() * cpus_.size(), 0);
+    wire = dead_pair_sent_[pair] == 0;
+    dead_pair_sent_[pair] = 1;
+  }
+
+  // Step 2: sender CPU.
+  cpus_[src].submit(des::Duration::from_ms(params_.send_cpu_ms), [this, pkt, wire, cls] {
+    if (!wire) {
+      ++frames_dropped_;
+      return;
+    }
+    // Step 4: the shared medium (exclusive wire occupancy).
+    const auto& wire_dist =
+        cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
+    medium_.submit(pkt->src, sample(wire_dist), [this, pkt] {
+      // Non-exclusive pipeline latency: stack traversal overlaps freely.
+      sim_->schedule(sample(params_.pipeline_latency), [this, pkt] {
+        if (down_[pkt->dst]) {
+          ++frames_dropped_;
+          return;
+        }
+        // Step 6: receiver CPU.
+        cpus_[pkt->dst].submit(des::Duration::from_ms(params_.recv_cpu_ms), [this, pkt] {
+          if (down_[pkt->dst]) {
+            ++frames_dropped_;
+            return;
+          }
+          if (deliver_) deliver_(*pkt);  // step 7
+        });
+      });
+    });
+  });
+}
+
+void ContentionNetwork::host_down(HostId h) {
+  if (h >= cpus_.size()) throw std::invalid_argument{"ContentionNetwork::host_down: bad host"};
+  down_[h] = 1;
+  // The CPU abandons queued work; the job in service finishes occupying the
+  // resource but its completion is suppressed.
+  cpus_[h].drain(/*drop_in_service=*/true);
+}
+
+}  // namespace sanperf::net

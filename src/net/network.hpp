@@ -1,0 +1,159 @@
+// The contention network: per-host CPU resources plus one shared medium.
+//
+// A unicast transmission walks the seven steps of the paper's Fig 3:
+//   1. enqueue at the sender's CPU          4. occupy the medium (t_net)
+//   2. occupy the sender's CPU (t_send)     5. enqueue at the receiver's CPU
+//   3. enqueue on the medium                6. occupy it (t_receive)
+//                                           7. deliver to the process
+// Each resource is an exclusive FIFO server. Between steps 4 and 5 a frame
+// additionally experiences a non-exclusive pipeline latency (protocol-stack
+// traversal) during which it occupies nothing -- this is where most of the
+// end-to-end delay lives on the emulated testbed. Frames addressed to a
+// crashed host still occupy the medium (the wire does not know) but are
+// dropped before consuming the destination CPU.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "net/params.hpp"
+
+namespace sanperf::net {
+
+using HostId = std::uint32_t;
+
+/// An exclusive FIFO server over the discrete-event simulator: jobs queue,
+/// one runs at a time for its service duration, then its completion action
+/// fires.
+class FifoServer {
+ public:
+  explicit FifoServer(des::Simulator& sim) : sim_{&sim} {}
+
+  /// Enqueues a job with the given service time and completion action.
+  void submit(des::Duration service, std::function<void()> on_done);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const { return waiting_.size(); }
+  /// Cumulative time the server has spent serving jobs.
+  [[nodiscard]] des::Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t jobs_served() const { return served_; }
+
+  /// Discards queued jobs (used when a host crashes). The in-service job,
+  /// if any, still completes unless `drop_in_service`.
+  void drain(bool drop_in_service);
+
+ private:
+  struct Job {
+    des::Duration service;
+    std::function<void()> on_done;
+  };
+
+  void start(Job job);
+  void complete();
+
+  des::Simulator* sim_;
+  std::deque<Job> waiting_;
+  bool busy_ = false;
+  bool drop_current_ = false;
+  std::function<void()> current_done_;
+  des::Duration busy_time_ = des::Duration::zero();
+  des::TimePoint service_start_;
+  std::uint64_t served_ = 0;
+};
+
+/// A message in flight: opaque body plus addressing. The runtime layer above
+/// defines the body type.
+struct Packet {
+  HostId src = 0;
+  HostId dst = 0;
+  std::any body;
+  des::TimePoint sent_at;  ///< stamped when submitted to the sender CPU
+};
+
+/// The shared half-duplex hub. Each host's NIC queues its frames in FIFO
+/// order, but when the medium frees up the next transmitting host is chosen
+/// uniformly among the backlogged ones -- the fairness CSMA/CD arbitration
+/// provides, and deliberately NOT a global arrival-order FIFO.
+class HubMedium {
+ public:
+  HubMedium(des::Simulator& sim, des::RandomEngine rng, std::size_t hosts);
+
+  /// Enqueues a frame from `src`; `on_done` fires when its transmission
+  /// (with the given occupancy) completes.
+  void submit(HostId src, des::Duration service, std::function<void()> on_done);
+
+  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] std::size_t backlog() const { return backlog_; }
+  [[nodiscard]] des::Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] std::uint64_t frames_served() const { return served_; }
+
+ private:
+  struct Frame {
+    des::Duration service;
+    std::function<void()> on_done;
+  };
+
+  void start_next();
+
+  des::Simulator* sim_;
+  des::RandomEngine rng_;
+  std::vector<std::deque<Frame>> queues_;  // per source host
+  std::size_t backlog_ = 0;
+  bool busy_ = false;
+  des::Duration busy_time_ = des::Duration::zero();
+  des::TimePoint service_start_;
+  std::uint64_t served_ = 0;
+};
+
+class ContentionNetwork {
+ public:
+  /// Both `sim` and the callback outlive the network.
+  ContentionNetwork(des::Simulator& sim, des::RandomEngine rng, NetworkParams params,
+                    std::size_t hosts);
+
+  /// Called at step 7 with the destination and the packet.
+  void set_deliver(std::function<void(const Packet&)> deliver) { deliver_ = std::move(deliver); }
+
+  /// Frame cost classes: protocol messages pay the calibrated bimodal
+  /// occupancy; small datagrams (heartbeats) pay raw wire time only.
+  enum class FrameClass { kProtocol, kSmall };
+
+  /// Starts a unicast transmission (step 1). `body` is delivered unchanged.
+  void send(HostId src, HostId dst, std::any body, FrameClass cls = FrameClass::kProtocol);
+
+  /// Marks a host as crashed: queued CPU work is discarded and future frames
+  /// addressed to it vanish after their medium occupancy.
+  void host_down(HostId h);
+  [[nodiscard]] bool host_up(HostId h) const { return !down_.at(h); }
+
+  [[nodiscard]] std::size_t hosts() const { return cpus_.size(); }
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+  // Introspection for tests / ablation benches.
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+  [[nodiscard]] des::Duration medium_busy_time() const { return medium_.busy_time(); }
+  [[nodiscard]] const FifoServer& cpu(HostId h) const { return cpus_.at(h); }
+  [[nodiscard]] const HubMedium& medium() const { return medium_; }
+
+ private:
+  [[nodiscard]] des::Duration sample(const stats::BimodalUniform& dist);
+
+  des::Simulator* sim_;
+  des::RandomEngine rng_;
+  NetworkParams params_;
+  std::vector<FifoServer> cpus_;
+  HubMedium medium_;
+  std::vector<char> down_;
+  std::vector<char> dead_pair_sent_;  // lazily sized n*n; see dead_peer_absorption
+  std::function<void(const Packet&)> deliver_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace sanperf::net

@@ -1,0 +1,6 @@
+#include "net/params.hpp"
+
+// NetworkParams and TimerModel are aggregates; this translation unit exists
+// so the module has a home for future non-inline logic and keeps one object
+// file per header pair.
+namespace sanperf::net {}

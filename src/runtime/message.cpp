@@ -1,0 +1,31 @@
+#include "runtime/message.hpp"
+
+#include <cstdio>
+
+namespace sanperf::runtime {
+
+const char* to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kHeartbeat: return "HEARTBEAT";
+    case MsgKind::kEstimate: return "ESTIMATE";
+    case MsgKind::kPropose: return "PROPOSE";
+    case MsgKind::kAck: return "ACK";
+    case MsgKind::kNack: return "NACK";
+    case MsgKind::kDecide: return "DECIDE";
+    case MsgKind::kCoordEst: return "COORDEST";
+    case MsgKind::kAux: return "AUX";
+    case MsgKind::kPing: return "PING";
+    case MsgKind::kPong: return "PONG";
+    case MsgKind::kApp: return "APP";
+  }
+  return "?";
+}
+
+std::string Message::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s %u->%u cid=%d r=%d v=%lld ts=%d", sanperf::runtime::to_string(kind),
+                from, to, cid, round, static_cast<long long>(value), ts);
+  return buf;
+}
+
+}  // namespace sanperf::runtime

@@ -1,0 +1,66 @@
+#include "runtime/process.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sanperf::runtime {
+
+Process::Process(HostId id, std::size_t n, des::Simulator& sim, net::ContentionNetwork& net,
+                 des::RandomEngine rng, net::TimerModel timers)
+    : id_{id}, n_{n}, sim_{&sim}, net_{&net}, rng_{rng}, timers_{timers} {}
+
+void Process::send(Message m, HostId dst) {
+  if (crashed_) return;
+  if (dst == id_) throw std::invalid_argument{"Process::send: self-send goes through the layer"};
+  m.from = id_;
+  m.to = dst;
+  m.sent_at = sim_->now();
+  ++sent_;
+  const auto cls = m.kind == MsgKind::kHeartbeat ? net::ContentionNetwork::FrameClass::kSmall
+                                                 : net::ContentionNetwork::FrameClass::kProtocol;
+  net_->send(id_, dst, m, cls);
+}
+
+void Process::broadcast(Message m) {
+  for (HostId dst = 0; dst < static_cast<HostId>(n_); ++dst) {
+    if (dst == id_) continue;
+    send(m, dst);
+  }
+}
+
+TimerId Process::set_timer(des::Duration delay, std::function<void()> fn) {
+  return sim_->schedule(delay, [this, fn = std::move(fn)] {
+    if (!crashed_) fn();
+  });
+}
+
+TimerId Process::set_os_timer(des::Duration delay, std::function<void()> fn) {
+  const des::TimePoint actual = net::quantize_timer(timers_, sim_->now() + delay, rng_);
+  return sim_->schedule_at(actual, [this, fn = std::move(fn)] {
+    if (!crashed_) fn();
+  });
+}
+
+void Process::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  net_->host_down(id_);
+  for (auto& l : layers_) l->on_crash();
+}
+
+void Process::deliver(const Message& m) {
+  if (crashed_) return;
+  ++received_;
+  for (auto& l : layers_) {
+    l->on_message(m);
+    if (crashed_) return;  // a layer may crash the process mid-delivery
+  }
+}
+
+void Process::start() {
+  for (auto& l : layers_) {
+    if (!crashed_) l->on_start();
+  }
+}
+
+}  // namespace sanperf::runtime

@@ -1,0 +1,114 @@
+// A process with a stack of protocol layers (Neko-style).
+//
+// Layers receive every incoming message bottom-up and may send messages,
+// set timers and crash the process. The failure-detector layer sits below
+// the consensus layer so that it observes all traffic ("the reception of
+// any message from q resets the timer", Section 2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "net/jitter.hpp"
+#include "runtime/message.hpp"
+
+namespace sanperf::runtime {
+
+class Process;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Called once when the cluster starts (before any event runs).
+  virtual void on_start() {}
+  /// Called for every message delivered to the process, bottom-up.
+  virtual void on_message(const Message& m) = 0;
+  /// Called when the hosting process crashes.
+  virtual void on_crash() {}
+
+  [[nodiscard]] Process& process() const { return *process_; }
+
+ private:
+  friend class Process;
+  Process* process_ = nullptr;
+};
+
+using TimerId = des::EventId;
+
+class Process {
+ public:
+  Process(HostId id, std::size_t n, des::Simulator& sim, net::ContentionNetwork& net,
+          des::RandomEngine rng, net::TimerModel timers);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Appends a layer; returns a reference owned by the process.
+  template <typename L, typename... Args>
+  L& add_layer(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layer->process_ = this;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  /// First layer of dynamic type L; throws if absent.
+  template <typename L>
+  [[nodiscard]] L& layer() const {
+    for (const auto& l : layers_) {
+      if (auto* p = dynamic_cast<L*>(l.get())) return *p;
+    }
+    throw std::logic_error{"Process: no such layer"};
+  }
+
+  [[nodiscard]] HostId id() const { return id_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] des::TimePoint now() const { return sim_->now(); }
+  [[nodiscard]] des::RandomEngine& rng() { return rng_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Sends a unicast; `from` and `sent_at` are stamped here.
+  void send(Message m, HostId dst);
+  /// Sends to every other process, in ascending host-id order (the paper's
+  /// implementation sends n-1 unicasts; the fixed order is what produces
+  /// the n=3 participant-crash anomaly of Section 5.3).
+  void broadcast(Message m);
+
+  /// Event-driven timer with exact expiry (message-handler work).
+  TimerId set_timer(des::Duration delay, std::function<void()> fn);
+  /// Thread-style timer subject to the OS timer model (tick quantisation +
+  /// stalls); used by the heartbeat sender.
+  TimerId set_os_timer(des::Duration delay, std::function<void()> fn);
+  bool cancel_timer(TimerId id) { return sim_->cancel(id); }
+
+  /// Crash-stop: the process stops sending, receiving and firing timers.
+  void crash();
+
+  /// Entry point used by the cluster when a packet reaches this host.
+  void deliver(const Message& m);
+  /// Runs every layer's on_start.
+  void start();
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+
+ private:
+  HostId id_;
+  std::size_t n_;
+  des::Simulator* sim_;
+  net::ContentionNetwork* net_;
+  des::RandomEngine rng_;
+  net::TimerModel timers_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  bool crashed_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace sanperf::runtime

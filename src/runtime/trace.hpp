@@ -1,0 +1,54 @@
+// Message tracing: a layer that records every delivery at its process,
+// with optional kind filtering. Useful for debugging protocols, asserting
+// traffic patterns in tests, and counting per-kind message volumes in
+// ablation studies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "runtime/process.hpp"
+
+namespace sanperf::runtime {
+
+class TraceLayer : public Layer {
+ public:
+  struct Entry {
+    des::TimePoint at;
+    Message message;
+  };
+
+  TraceLayer() = default;
+  /// Records only the given kind.
+  explicit TraceLayer(MsgKind only) : filter_{only} {}
+
+  void on_message(const Message& m) override {
+    ++counts_[m.kind];
+    if (filter_ && m.kind != *filter_) return;
+    entries_.push_back({process().now(), m});
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] std::uint64_t count(MsgKind kind) const {
+    const auto it = counts_.find(kind);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [kind, c] : counts_) sum += c;
+    return sum;
+  }
+  void clear() {
+    entries_.clear();
+    counts_.clear();
+  }
+
+ private:
+  std::optional<MsgKind> filter_;
+  std::vector<Entry> entries_;
+  std::map<MsgKind, std::uint64_t> counts_;
+};
+
+}  // namespace sanperf::runtime

@@ -1,0 +1,19 @@
+#include "san/compose.hpp"
+
+namespace sanperf::san {
+
+void rep(SanModel& model, const std::string& base, std::size_t count,
+         const std::function<void(const Scope&, std::size_t)>& builder) {
+  for (std::size_t i = 0; i < count; ++i) {
+    builder(Scope{model, base + "[" + std::to_string(i) + "]"}, i);
+  }
+}
+
+void join(SanModel& model,
+          const std::vector<std::pair<std::string, std::function<void(const Scope&)>>>& parts) {
+  for (const auto& [name, builder] : parts) {
+    builder(Scope{model, name});
+  }
+}
+
+}  // namespace sanperf::san

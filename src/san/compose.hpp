@@ -1,0 +1,76 @@
+// Build-time composition helpers in the spirit of UltraSAN's REP and JOIN.
+//
+// UltraSAN composes separately-specified submodels by replicating them (REP)
+// and fusing selected places (JOIN). Gate predicates in this library are C++
+// closures over concrete PlaceIds, so composition happens while building:
+// a Scope gives each submodel instance a unique name prefix, and sharing a
+// PlaceId between builders is the JOIN operation. `rep` runs one builder N
+// times with indexed scopes and a common set of shared places.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "san/model.hpp"
+
+namespace sanperf::san {
+
+/// A named namespace inside a SanModel. Place/activity names created through
+/// a Scope are prefixed with "<scope>.", which keeps replicated submodels
+/// disjoint while letting them share explicitly passed PlaceIds.
+class Scope {
+ public:
+  Scope(SanModel& model, std::string prefix) : model_{&model}, prefix_{std::move(prefix)} {}
+
+  /// Child scope "<this>.<name>".
+  [[nodiscard]] Scope sub(const std::string& name) const {
+    return Scope{*model_, prefix_ + "." + name};
+  }
+
+  [[nodiscard]] SanModel& model() const { return *model_; }
+  [[nodiscard]] const std::string& prefix() const { return prefix_; }
+  [[nodiscard]] std::string qualify(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+  PlaceId place(const std::string& name, std::int32_t initial = 0) const {
+    return model_->place(qualify(name), initial);
+  }
+  [[nodiscard]] PlaceId find_place(const std::string& name) const {
+    return model_->find_place(qualify(name));
+  }
+  InputGateId input_gate(const std::string& name, std::vector<PlaceId> reads,
+                         std::function<bool(const Marking&)> enabled,
+                         std::function<void(Marking&)> fire = nullptr) const {
+    return model_->input_gate(qualify(name), std::move(reads), std::move(enabled),
+                              std::move(fire));
+  }
+  OutputGateId output_gate(const std::string& name, std::function<void(Marking&)> fire) const {
+    return model_->output_gate(qualify(name), std::move(fire));
+  }
+  ActivityRef timed_activity(const std::string& name, Distribution delay) const {
+    return model_->timed_activity(qualify(name), std::move(delay));
+  }
+  ActivityRef instant_activity(const std::string& name, double weight = 1.0) const {
+    return model_->instant_activity(qualify(name), weight);
+  }
+
+ private:
+  SanModel* model_;
+  std::string prefix_;
+};
+
+/// REP: instantiates `builder` once per replica under scopes
+/// "<base>[0]" ... "<base>[count-1]". Places the builders obtain from
+/// outside (captured PlaceIds) act as JOIN-shared state.
+void rep(SanModel& model, const std::string& base, std::size_t count,
+         const std::function<void(const Scope&, std::size_t index)>& builder);
+
+/// JOIN: runs several independently written builders against one model,
+/// each under its own scope name. Shared places are whatever the callers
+/// capture in common.
+void join(SanModel& model,
+          const std::vector<std::pair<std::string, std::function<void(const Scope&)>>>& parts);
+
+}  // namespace sanperf::san

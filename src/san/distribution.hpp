@@ -1,0 +1,70 @@
+// Firing-time distributions for timed SAN activities.
+//
+// UltraSAN supports exponential, deterministic, uniform, Weibull and other
+// activity time distributions; non-exponential choices restrict solving to
+// simulation, which is exactly what the paper did. A Distribution here is a
+// finite mixture of primitive components, which directly covers the paper's
+// bi-modal uniform network delays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "des/random.hpp"
+#include "des/time.hpp"
+#include "stats/bimodal_fit.hpp"
+
+namespace sanperf::san {
+
+class Distribution {
+ public:
+  /// Always fires after exactly `ms` milliseconds.
+  [[nodiscard]] static Distribution deterministic_ms(double ms);
+  /// Exponential with mean `mean_ms` milliseconds.
+  [[nodiscard]] static Distribution exponential_ms(double mean_ms);
+  /// Uniform on [a_ms, b_ms] milliseconds.
+  [[nodiscard]] static Distribution uniform_ms(double a_ms, double b_ms);
+  /// Weibull with the given shape; scale in milliseconds.
+  [[nodiscard]] static Distribution weibull_ms(double shape, double scale_ms);
+  /// Two uniform components: U[a1,b1] w.p. p1, else U[a2,b2] (milliseconds).
+  [[nodiscard]] static Distribution bimodal_uniform_ms(double p1, double a1, double b1, double a2,
+                                                       double b2);
+  /// Converts a fitted stats::BimodalUniform (values in ms).
+  [[nodiscard]] static Distribution from_fit(const stats::BimodalUniform& fit);
+  /// Weighted mixture of arbitrary distributions (weights need not sum to 1;
+  /// they are normalised).
+  [[nodiscard]] static Distribution mixture(std::vector<std::pair<double, Distribution>> parts);
+
+  /// Draws one firing delay.
+  [[nodiscard]] des::Duration sample(des::RandomEngine& rng) const;
+
+  /// Exact mean of the distribution in milliseconds.
+  [[nodiscard]] double mean_ms() const;
+
+  /// True when every draw equals the mean (deterministic).
+  [[nodiscard]] bool is_deterministic() const;
+
+  /// True when the distribution is a single exponential component --
+  /// the prerequisite for analytical (CTMC) solvers.
+  [[nodiscard]] bool is_exponential() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  enum class Kind { kDeterministic, kExponential, kUniform, kWeibull };
+
+  struct Component {
+    double weight = 1.0;
+    Kind kind = Kind::kDeterministic;
+    double p0 = 0.0;  ///< det: value; exp: mean; uniform: a; weibull: shape
+    double p1 = 0.0;  ///< uniform: b; weibull: scale
+  };
+
+  [[nodiscard]] static double sample_component(const Component& c, des::RandomEngine& rng);
+  [[nodiscard]] static double component_mean(const Component& c);
+
+  std::vector<Component> components_;
+  std::vector<double> weights_;  // cached for categorical draws
+};
+
+}  // namespace sanperf::san

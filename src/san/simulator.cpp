@@ -1,0 +1,193 @@
+#include "san/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sanperf::san {
+
+SanSimulator::SanSimulator(const SanModel& model, des::RandomEngine rng)
+    : model_{&model}, rng_{rng} {
+  model_->validate();
+  reset(rng);
+}
+
+void SanSimulator::reset(des::RandomEngine rng) {
+  rng_ = rng;
+  marking_ = model_->initial_marking();
+  now_ = des::TimePoint::origin();
+  queue_.clear();
+  enabled_.assign(model_->activity_count(), 0);
+  scheduled_.assign(model_->activity_count(), des::kInvalidEventId);
+  fire_counts_.assign(model_->activity_count(), 0);
+  total_firings_ = 0;
+  for (auto& r : rate_rewards_) r.integral_ms = 0;
+  last_accrual_ = des::TimePoint::origin();
+  refresh_all();
+}
+
+std::size_t SanSimulator::add_rate_reward(RateFn rate) {
+  if (!rate) throw std::invalid_argument{"add_rate_reward: null function"};
+  rate_rewards_.push_back({std::move(rate), 0});
+  return rate_rewards_.size() - 1;
+}
+
+double SanSimulator::rate_reward(std::size_t index) const {
+  return rate_rewards_.at(index).integral_ms;
+}
+
+double SanSimulator::rate_reward_average(std::size_t index) const {
+  const double elapsed = now_.to_ms();
+  return elapsed > 0 ? rate_rewards_.at(index).integral_ms / elapsed : 0.0;
+}
+
+void SanSimulator::accrue_rewards(des::TimePoint to) {
+  if (rate_rewards_.empty() || to <= last_accrual_) {
+    last_accrual_ = to;
+    return;
+  }
+  const double dt = (to - last_accrual_).to_ms();
+  for (auto& r : rate_rewards_) r.integral_ms += r.rate(marking_) * dt;
+  last_accrual_ = to;
+}
+
+bool SanSimulator::is_enabled(ActivityId a) const {
+  const Activity& act = model_->activity(a);
+  // Input arcs: the marking must cover each place's multiplicity.
+  for (std::size_t i = 0; i < act.input_places.size(); ++i) {
+    const PlaceId p = act.input_places[i];
+    std::int32_t needed = 0;
+    for (const PlaceId q : act.input_places) {
+      if (q == p) ++needed;
+    }
+    if (marking_.get(p) < needed) return false;
+    (void)i;
+  }
+  for (const InputGateId g : act.input_gates) {
+    if (!model_->in_gate(g).enabled(marking_)) return false;
+  }
+  return true;
+}
+
+void SanSimulator::refresh_activity(ActivityId a) {
+  const bool en = is_enabled(a);
+  if (en == static_cast<bool>(enabled_[a])) return;  // race policy: keep existing activation
+  enabled_[a] = en ? 1 : 0;
+  const Activity& act = model_->activity(a);
+  if (!act.timed) return;  // instantaneous set is derived from enabled_ flags
+  if (en) {
+    const des::Duration delay = act.delay.sample(rng_);
+    scheduled_[a] = queue_.push(now_ + delay, [this, a] { fire(a); });
+  } else if (scheduled_[a] != des::kInvalidEventId) {
+    queue_.cancel(scheduled_[a]);
+    scheduled_[a] = des::kInvalidEventId;
+  }
+}
+
+void SanSimulator::refresh_all() {
+  for (ActivityId a = 0; a < model_->activity_count(); ++a) refresh_activity(a);
+}
+
+void SanSimulator::fire(ActivityId a) {
+  accrue_rewards(now_);  // integrate over the marking that held until now
+  const Activity& act = model_->activity(a);
+  before_ = marking_.raw();
+
+  // Consume input arcs.
+  for (const PlaceId p : act.input_places) {
+    if (marking_.get(p) <= 0) {
+      throw std::logic_error{"SanSimulator: firing disabled activity " + act.name};
+    }
+    marking_.add(p, -1);
+  }
+  // Input gate functions.
+  for (const InputGateId g : act.input_gates) {
+    if (model_->in_gate(g).fire) model_->in_gate(g).fire(marking_);
+  }
+  // Case selection.
+  const Case* chosen = &act.cases.front();
+  if (act.cases.size() > 1) {
+    std::vector<double> probs;
+    probs.reserve(act.cases.size());
+    for (const Case& c : act.cases) probs.push_back(c.probability);
+    chosen = &act.cases[rng_.categorical(probs)];
+  }
+  for (const PlaceId p : chosen->output_places) marking_.add(p, 1);
+  for (const OutputGateId g : chosen->output_gates) model_->out_gate(g).fire(marking_);
+
+  ++fire_counts_[a];
+  ++total_firings_;
+  if (fire_hook_) fire_hook_(a, now_);
+
+  // The fired activity's activation is spent: force re-evaluation.
+  enabled_[a] = 0;
+  if (act.timed) scheduled_[a] = des::kInvalidEventId;
+
+  // Re-evaluate only activities sensitive to changed places (plus `a`).
+  affected_.clear();
+  affected_.push_back(a);
+  const auto& after = marking_.raw();
+  for (std::size_t p = 0; p < after.size(); ++p) {
+    if (before_[p] == after[p]) continue;
+    const auto& deps = model_->dependents(static_cast<PlaceId>(p));
+    affected_.insert(affected_.end(), deps.begin(), deps.end());
+  }
+  std::sort(affected_.begin(), affected_.end());
+  affected_.erase(std::unique(affected_.begin(), affected_.end()), affected_.end());
+  for (const ActivityId x : affected_) refresh_activity(x);
+}
+
+std::optional<ActivityId> SanSimulator::pick_instantaneous() {
+  // Scan the (static) set of instantaneous activities for enabled ones.
+  ActivityId only = 0;
+  std::size_t found = 0;
+  std::vector<ActivityId> ids;
+  std::vector<double> weights;
+  for (ActivityId a = 0; a < model_->activity_count(); ++a) {
+    if (!enabled_[a] || model_->activity(a).timed) continue;
+    ++found;
+    only = a;
+    ids.push_back(a);
+    weights.push_back(model_->activity(a).weight);
+  }
+  if (found == 0) return std::nullopt;
+  if (found == 1) return only;
+  return ids[rng_.categorical(weights)];
+}
+
+void SanSimulator::settle_instantaneous() {
+  std::uint64_t burst = 0;
+  while (true) {
+    if (stop_pred_ && stop_pred_(marking_)) return;
+    const auto a = pick_instantaneous();
+    if (!a) return;
+    if (++burst > kMaxInstantaneousBurst) {
+      throw std::runtime_error{"SanSimulator: instantaneous livelock at activity " +
+                               model_->activity(*a).name};
+    }
+    fire(*a);
+  }
+}
+
+RunResult SanSimulator::run(des::Duration time_limit) {
+  const des::TimePoint deadline =
+      time_limit == des::Duration::max() ? des::TimePoint::max()
+                                         : des::TimePoint::origin() + time_limit;
+  settle_instantaneous();
+  while (true) {
+    if (stop_pred_ && stop_pred_(marking_)) {
+      return {StopReason::kPredicate, now_, total_firings_};
+    }
+    if (queue_.empty()) return {StopReason::kDeadlock, now_, total_firings_};
+    if (queue_.next_time() > deadline) {
+      now_ = deadline;
+      accrue_rewards(now_);
+      return {StopReason::kTimeLimit, now_, total_firings_};
+    }
+    auto ev = queue_.pop();
+    now_ = ev.at;
+    ev.action();  // fires the timed activity
+    settle_instantaneous();
+  }
+}
+
+}  // namespace sanperf::san

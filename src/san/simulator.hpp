@@ -1,0 +1,118 @@
+// Discrete-event execution of a SAN model.
+//
+// Semantics:
+//   * instantaneous activities fire before any timed one, chosen among the
+//     enabled set by weight;
+//   * a timed activity samples its firing delay when it becomes enabled
+//     ("race" execution policy); if it is disabled before firing, the
+//     activation is aborted; when re-enabled it samples afresh, and an
+//     activity that fires and stays enabled also samples afresh;
+//   * after each firing only the activities whose inputs touch a changed
+//     place are re-evaluated (sensitivity lists from SanModel::dependents).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/random.hpp"
+#include "san/model.hpp"
+
+namespace sanperf::san {
+
+enum class StopReason {
+  kPredicate,  ///< the stop predicate became true
+  kDeadlock,   ///< no activity enabled
+  kTimeLimit,  ///< simulated time exceeded the limit
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kDeadlock;
+  des::TimePoint end_time;
+  std::uint64_t firings = 0;
+};
+
+class SanSimulator {
+ public:
+  /// The model must outlive the simulator and must already validate().
+  SanSimulator(const SanModel& model, des::RandomEngine rng);
+
+  /// Optional predicate: the run stops as soon as it holds (checked after
+  /// every firing and before the first one).
+  void set_stop_predicate(std::function<bool(const Marking&)> pred) {
+    stop_pred_ = std::move(pred);
+  }
+
+  /// Optional per-firing hook (tracing, reward collection).
+  void set_fire_hook(std::function<void(ActivityId, des::TimePoint)> hook) {
+    fire_hook_ = std::move(hook);
+  }
+
+  /// Registers a rate reward: the time integral of `rate(marking)` over the
+  /// run, accumulated across marking changes (UltraSAN's rate rewards).
+  /// Returns an index for rate_reward(). Must be called before run().
+  using RateFn = std::function<double(const Marking&)>;
+  std::size_t add_rate_reward(RateFn rate);
+
+  /// Accumulated integral of reward `index` up to now().
+  [[nodiscard]] double rate_reward(std::size_t index) const;
+  /// Time-average of reward `index` (integral / elapsed time); 0 at t = 0.
+  [[nodiscard]] double rate_reward_average(std::size_t index) const;
+
+  /// Runs from the initial marking until the stop predicate, deadlock or
+  /// the time limit.
+  RunResult run(des::Duration time_limit = des::Duration::max());
+
+  /// Resets state so run() can be called again; `rng` reseeds the run.
+  void reset(des::RandomEngine rng);
+
+  [[nodiscard]] const Marking& marking() const { return marking_; }
+  [[nodiscard]] des::TimePoint now() const { return now_; }
+  [[nodiscard]] std::uint64_t fire_count(ActivityId a) const { return fire_counts_[a]; }
+  [[nodiscard]] std::uint64_t total_firings() const { return total_firings_; }
+
+  /// Safety valve: maximum consecutive zero-time firings before the run is
+  /// declared livelocked (throws std::runtime_error).
+  static constexpr std::uint64_t kMaxInstantaneousBurst = 1'000'000;
+
+ private:
+  [[nodiscard]] bool is_enabled(ActivityId a) const;
+  void refresh_activity(ActivityId a);
+  void refresh_all();
+  /// Integrates rate rewards from the last accrual point to `to`.
+  void accrue_rewards(des::TimePoint to);
+  void fire(ActivityId a);
+  /// Fires enabled instantaneous activities until none remains.
+  void settle_instantaneous();
+  [[nodiscard]] std::optional<ActivityId> pick_instantaneous();
+
+  const SanModel* model_;
+  des::RandomEngine rng_;
+  Marking marking_;
+  des::TimePoint now_;
+  des::EventQueue queue_;
+
+  std::vector<char> enabled_;            // per activity
+  std::vector<des::EventId> scheduled_;  // per timed activity; 0 when none
+  std::vector<ActivityId> inst_enabled_; // currently enabled instantaneous set
+  std::vector<std::uint64_t> fire_counts_;
+  std::uint64_t total_firings_ = 0;
+
+  std::function<bool(const Marking&)> stop_pred_;
+  std::function<void(ActivityId, des::TimePoint)> fire_hook_;
+
+  struct RateReward {
+    RateFn rate;
+    double integral_ms = 0;  ///< integral of rate over simulated ms
+  };
+  std::vector<RateReward> rate_rewards_;
+  des::TimePoint last_accrual_;
+
+  // scratch buffers reused across firings
+  std::vector<std::int32_t> before_;
+  std::vector<ActivityId> affected_;
+};
+
+}  // namespace sanperf::san

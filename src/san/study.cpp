@@ -1,0 +1,41 @@
+#include "san/study.hpp"
+
+#include <utility>
+
+namespace sanperf::san {
+
+TransientStudy::Reward TransientStudy::time_to_stop_ms() {
+  return [](const SanSimulator& sim, const RunResult& r) {
+    (void)sim;
+    return r.end_time.to_ms();
+  };
+}
+
+TransientStudy::TransientStudy(const SanModel& model, std::function<bool(const Marking&)> stop,
+                               Reward reward)
+    : model_{&model}, stop_{std::move(stop)}, reward_{std::move(reward)} {}
+
+StudyResult TransientStudy::run(std::size_t replications, std::uint64_t seed,
+                                double confidence) const {
+  const des::RandomEngine master{seed};
+  StudyResult out;
+  out.rewards.reserve(replications);
+
+  SanSimulator sim{*model_, master.substream("rep", 0)};
+  sim.set_stop_predicate(stop_);
+  for (std::size_t r = 0; r < replications; ++r) {
+    sim.reset(master.substream("rep", r));
+    const RunResult res = sim.run(time_limit_);
+    if (res.reason != StopReason::kPredicate && !keep_incomplete_) {
+      ++out.dropped;
+      continue;
+    }
+    const double reward = reward_(sim, res);
+    out.rewards.push_back(reward);
+    out.summary.add(reward);
+  }
+  out.ci = out.summary.mean_ci(confidence);
+  return out;
+}
+
+}  // namespace sanperf::san

@@ -1,0 +1,240 @@
+#include "sanmodels/consensus_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sanmodels/fd_submodel.hpp"
+
+namespace sanperf::sanmodels {
+
+namespace {
+
+std::string idx(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+std::string idx2(const std::string& base, std::size_t i, std::size_t r) {
+  return base + "[" + std::to_string(i) + "][" + std::to_string(r) + "]";
+}
+
+/// Sums the marking over a place set (majority-counting gates).
+std::function<bool(const san::Marking&)> count_at_least(std::vector<san::PlaceId> places,
+                                                        std::int32_t threshold) {
+  return [places = std::move(places), threshold](const san::Marking& m) {
+    std::int32_t total = 0;
+    for (const san::PlaceId p : places) total += m.get(p);
+    return total >= threshold;
+  };
+}
+
+std::function<void(san::Marking&)> zero_all(std::vector<san::PlaceId> places) {
+  return [places = std::move(places)](san::Marking& m) {
+    for (const san::PlaceId p : places) m.set(p, 0);
+  };
+}
+
+}  // namespace
+
+ConsensusSanModel build_consensus_san(const ConsensusSanConfig& cfg) {
+  const std::size_t n = cfg.n;
+  if (n < 2) throw std::invalid_argument{"build_consensus_san: n < 2"};
+  if (cfg.initially_crashed >= static_cast<int>(n)) {
+    throw std::invalid_argument{"build_consensus_san: crashed id out of range"};
+  }
+  const auto crashed = cfg.initially_crashed;
+  const auto maj = static_cast<std::int32_t>(n / 2 + 1);
+
+  ConsensusSanModel built;
+  built.n = n;
+  san::SanModel& m = built.model;
+
+  const ChainResources res = make_resources(m, n);
+  built.decided = m.place("decided", 0);
+
+  // --- per-process state places -------------------------------------------
+  std::vector<san::PlaceId> rnd(n), entering(n), pwprop(n), cwest(n), cwack(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool alive = static_cast<int>(i) != crashed;
+    rnd[i] = m.place(idx("P", i) + ".rnd", 0);
+    entering[i] = m.place(idx("P", i) + ".entering", alive ? 1 : 0);
+    pwprop[i] = m.place(idx("P", i) + ".pwprop", 0);
+    cwest[i] = m.place(idx("P", i) + ".cwest", 0);
+    cwack[i] = m.place(idx("P", i) + ".cwack", 0);
+  }
+
+  // --- failure detectors ----------------------------------------------------
+  // fd[i][j]: process i's module monitoring process j.
+  std::vector<std::vector<FdPlaces>> fd_places(n, std::vector<FdPlaces>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::string name = idx2("fd", i, j);
+      if (crashed >= 0) {
+        // Class 2: complete and accurate -- only the crashed process is
+        // suspected, from the very beginning.
+        fd_places[i][j] = make_static_fd(m, name, static_cast<int>(j) == crashed);
+      } else if (cfg.qos_fd) {
+        fd_places[i][j] = make_qos_fd(m, name, *cfg.qos_fd);  // class 3
+      } else {
+        fd_places[i][j] = make_static_fd(m, name, false);  // class 1
+      }
+    }
+  }
+
+  // --- message places and transport chains ---------------------------------
+  // est/ack/nack: unicast from participant i to the slot-r coordinator r.
+  std::vector<std::vector<san::PlaceId>> est_trg(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> est_out(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> ack_trg(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> ack_out(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> nack_trg(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> nack_out(n, std::vector<san::PlaceId>(n));
+  std::vector<san::PlaceId> prop_trg(n);
+  std::vector<std::vector<san::PlaceId>> prop_out(n, std::vector<san::PlaceId>(n));
+
+  // Grab weights encode the implementation's program order at ties: a
+  // process hands its phase-3 reply (ack/nack) to the network before the
+  // next round's estimate. The proposal gets NO priority: on the real hub
+  // it queues behind the estimates still trickling in beyond the majority,
+  // which is precisely why a crashed participant (one estimate fewer)
+  // lowers the simulated latency (Table 1).
+  constexpr double kAckWeight = 64;
+  constexpr double kNackWeight = 32;
+  constexpr double kPropWeight = 1;
+  constexpr double kEstWeight = 1;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == r) continue;
+      est_trg[i][r] = m.place(idx2("m.est", i, r) + ".trg");
+      est_out[i][r] = m.place(idx2("m.est", i, r) + ".out");
+      make_unicast_chain(m, idx2("m.est", i, r), res, i, r, est_trg[i][r], est_out[i][r],
+                         cfg.transport, kEstWeight);
+      ack_trg[i][r] = m.place(idx2("m.ack", i, r) + ".trg");
+      ack_out[i][r] = m.place(idx2("m.ack", i, r) + ".out");
+      make_unicast_chain(m, idx2("m.ack", i, r), res, i, r, ack_trg[i][r], ack_out[i][r],
+                         cfg.transport, kAckWeight);
+      nack_trg[i][r] = m.place(idx2("m.nack", i, r) + ".trg");
+      nack_out[i][r] = m.place(idx2("m.nack", i, r) + ".out");
+      make_unicast_chain(m, idx2("m.nack", i, r), res, i, r, nack_trg[i][r], nack_out[i][r],
+                         cfg.transport, kNackWeight);
+    }
+    // Proposal broadcast: one message from r to every other process.
+    prop_trg[r] = m.place(idx("m.prop", r) + ".trg");
+    std::vector<std::pair<std::size_t, san::PlaceId>> dests;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == r) continue;
+      prop_out[j][r] = m.place(idx("m.prop", r) + ".out[" + std::to_string(j) + "]");
+      dests.emplace_back(j, prop_out[j][r]);
+    }
+    make_broadcast_chain(m, idx("m.prop", r), res, r, dests, prop_trg[r], cfg.transport,
+                         kPropWeight);
+  }
+
+  // --- the per-process round state machine ----------------------------------
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == crashed) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto slot = static_cast<std::int32_t>(r);
+      if (i == r) {
+        // Round entry as coordinator: own estimate is implicit.
+        const auto g_enter = m.input_gate(
+            idx2("g.enter", i, r), {rnd[i]},
+            [p = rnd[i], slot](const san::Marking& mk) { return mk.get(p) == slot; });
+        m.instant_activity(idx2("a.enter", i, r)).in(entering[i]).in_gate(g_enter).out(cwest[i]);
+        continue;  // the remaining coordinator activities are built below
+      }
+
+      // Shared round-advance output gate for every exit of (i, r).
+      const auto g_adv = m.output_gate(
+          idx2("g.adv", i, r), [pr = rnd[i], pe = entering[i], n, slot](san::Marking& mk) {
+            mk.set(pr, (slot + 1) % static_cast<std::int32_t>(n));
+            mk.add(pe, 1);
+          });
+
+      const FdPlaces& fdp = fd_places[i][r];
+      std::vector<san::PlaceId> enter_reads = fdp.reads();
+      enter_reads.push_back(rnd[i]);
+
+      // Round entry as participant (P1A1): send the estimate (phase 1,
+      // unconditional -- liveness depends on every round reaching a
+      // majority of estimates) and wait for the proposal (phase 3). If the
+      // coordinator is already suspected, a.pnack below fires immediately.
+      const auto g_enter = m.input_gate(
+          idx2("g.enter", i, r), {rnd[i]},
+          [p = rnd[i], slot](const san::Marking& mk) { return mk.get(p) == slot; });
+      m.instant_activity(idx2("a.enter", i, r))
+          .in(entering[i])
+          .in_gate(g_enter)
+          .out(est_trg[i][r])
+          .out(pwprop[i]);
+
+      // Phase 3, positive branch (P1A2a): proposal received in round r.
+      const auto g_ack =
+          m.input_gate(idx2("g.ack", i, r), {rnd[i]},
+                       [p = rnd[i], slot](const san::Marking& mk) { return mk.get(p) == slot; });
+      m.instant_activity(idx2("a.pack", i, r))
+          .in(pwprop[i])
+          .in(prop_out[i][r])
+          .in_gate(g_ack)
+          .out(ack_trg[i][r])
+          .out_gate(g_adv);
+
+      // Phase 3, negative branch (P1A2b): suspicion arose while waiting.
+      const auto g_nack = m.input_gate(
+          idx2("g.nack", i, r), enter_reads,
+          [p = rnd[i], slot, fdp](const san::Marking& mk) {
+            return mk.get(p) == slot && fdp.suspected(mk);
+          });
+      m.instant_activity(idx2("a.pnack", i, r))
+          .in(pwprop[i])
+          .in_gate(g_nack)
+          .out(nack_trg[i][r])
+          .out_gate(g_adv);
+    }
+  }
+
+  // --- coordinator activities (submodel P1C), one set per slot --------------
+  for (std::size_t r = 0; r < n; ++r) {
+    if (static_cast<int>(r) == crashed) continue;
+    std::vector<san::PlaceId> ests, acks, nacks;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == r) continue;
+      ests.push_back(est_out[i][r]);
+      acks.push_back(ack_out[i][r]);
+      nacks.push_back(nack_out[i][r]);
+    }
+
+    const auto g_adv = m.output_gate(
+        idx("g.cadv", r), [pr = rnd[r], pe = entering[r], n, r](san::Marking& mk) {
+          mk.set(pr, static_cast<std::int32_t>((r + 1) % n));
+          mk.add(pe, 1);
+        });
+    std::vector<san::PlaceId> stale = acks;
+    stale.insert(stale.end(), nacks.begin(), nacks.end());
+
+    // Phase 2: a majority of estimates (the coordinator's own is implicit,
+    // hence maj-1 from the network) -> propose and wait for replies. Nacks
+    // are deliberately ignored in this phase (see the consensus layer's
+    // liveness note): every round that starts also proposes.
+    const auto g_est = m.input_gate(idx("g.est", r), ests, count_at_least(ests, maj - 1),
+                                    zero_all(ests));
+    m.instant_activity(idx("a.cpropose", r))
+        .in(cwest[r])
+        .in_gate(g_est)
+        .out(prop_trg[r])
+        .out(cwack[r]);
+
+    // Phase 4, positive outcome: maj-1 network acks (plus the local one).
+    const auto g_ack = m.input_gate(idx("g.cack", r), acks, count_at_least(acks, maj - 1));
+    m.instant_activity(idx("a.cdecide", r)).in(cwack[r]).in_gate(g_ack).out(built.decided);
+
+    // Phase 4, negative outcome: a single nack aborts the round.
+    const auto g_nack =
+        m.input_gate(idx("g.cnack", r), nacks, count_at_least(nacks, 1), zero_all(stale));
+    m.instant_activity(idx("a.cabort", r)).in(cwack[r]).in_gate(g_nack).out_gate(g_adv);
+  }
+
+  m.validate();
+  return built;
+}
+
+}  // namespace sanperf::sanmodels

@@ -1,0 +1,62 @@
+// The SAN model of the Chandra-Toueg <>S consensus algorithm (Section 3).
+//
+// One submodel per process (the rotating coordinator breaks symmetry, so
+// processes cannot be a parametric replica -- Section 3.2), joined with the
+// transport chains and failure-detector submodels over shared places.
+//
+// Paper-faithful simplifications (all deliberate, see DESIGN.md §6):
+//   * the round number is kept modulo n: place P[i].rnd holds the current
+//     round slot, and message places are indexed by slot, so messages of
+//     rounds n or more apart alias (the paper argues this is improbable
+//     within a single consensus instance);
+//   * a broadcast is a single message occupying the medium once, with a
+//     longer t_network than a unicast (Section 5.1) -- which is exactly why
+//     the model misses the n=3 participant-crash anomaly;
+//   * failure detectors are mutually independent two-state processes;
+//   * heartbeat traffic does not appear on the medium.
+//
+// Place/activity naming (all 0-indexed; slot r's coordinator is process r):
+//   P[i].rnd .entering .pwprop .cwest .cwack      process state machine
+//   m.est[i][r].trg/.out, m.ack[...], m.nack[...] unicast message chains
+//   m.prop[r].trg, m.prop[r].out[j]               proposal broadcast chain
+//   fd[i][j].*                                    i's detector monitoring j
+//   decided                                       stop place
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "fd/qos.hpp"
+#include "san/model.hpp"
+#include "sanmodels/network_chains.hpp"
+
+namespace sanperf::sanmodels {
+
+struct ConsensusSanConfig {
+  std::size_t n = 3;
+  TransportParams transport = TransportParams::nominal(3);
+  /// Initially crashed process (class 2), or -1 for none. With a crash the
+  /// failure detectors are static, complete and accurate.
+  int initially_crashed = -1;
+  /// Abstract FD parameters (class 3). Ignored when a crash is configured.
+  std::optional<fd::AbstractFdParams> qos_fd;
+};
+
+struct ConsensusSanModel {
+  san::SanModel model;
+  san::PlaceId decided = 0;
+  std::size_t n = 0;
+
+  /// Stop predicate: the first process has decided (the latency metric's t1).
+  [[nodiscard]] std::function<bool(const san::Marking&)> stop_predicate() const {
+    const san::PlaceId d = decided;
+    return [d](const san::Marking& m) { return m.get(d) > 0; };
+  }
+};
+
+/// Builds and validates the full model. Throws on invalid configuration
+/// (n < 2, crashed id out of range, degenerate QoS parameters).
+[[nodiscard]] ConsensusSanModel build_consensus_san(const ConsensusSanConfig& cfg);
+
+}  // namespace sanperf::sanmodels

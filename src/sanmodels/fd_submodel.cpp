@@ -1,0 +1,80 @@
+#include "sanmodels/fd_submodel.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::sanmodels {
+
+using san::Distribution;
+
+FdPlaces make_static_fd(SanModel& model, const std::string& name, bool suspected) {
+  FdPlaces p;
+  p.trust0 = model.place(name + ".trust0", 0);
+  p.susp0 = model.place(name + ".susp0", 0);
+  p.trust = model.place(name + ".trust", suspected ? 0 : 1);
+  p.susp = model.place(name + ".susp", suspected ? 1 : 0);
+  p.dynamic = false;
+  return p;
+}
+
+namespace {
+
+Distribution full_sojourn(double mean_ms, AbstractFdParams::Sojourn kind) {
+  if (kind == AbstractFdParams::Sojourn::kDeterministic) {
+    return Distribution::deterministic_ms(mean_ms);
+  }
+  return Distribution::exponential_ms(mean_ms);
+}
+
+Distribution residual_sojourn(double mean_ms, AbstractFdParams::Sojourn kind) {
+  if (kind == AbstractFdParams::Sojourn::kDeterministic) {
+    // Stationary residual of a deterministic sojourn of length d: U[0, d].
+    return Distribution::uniform_ms(0.0, mean_ms);
+  }
+  return Distribution::exponential_ms(mean_ms);  // memoryless
+}
+
+}  // namespace
+
+FdPlaces make_qos_fd(SanModel& model, const std::string& name, const AbstractFdParams& params) {
+  if (!(params.trust_mean_ms > 0)) {
+    throw std::invalid_argument{"make_qos_fd: trust sojourn must be positive"};
+  }
+  if (params.suspect_mean_ms <= 0) {
+    // A detector that never makes mistakes degenerates to a static one.
+    return make_static_fd(model, name, false);
+  }
+
+  FdPlaces p;
+  p.trust0 = model.place(name + ".trust0", 0);
+  p.susp0 = model.place(name + ".susp0", 0);
+  p.trust = model.place(name + ".trust", 0);
+  p.susp = model.place(name + ".susp", 0);
+  p.dynamic = true;
+
+  const PlaceId seed = model.place(name + ".seed", 1);
+  model.instant_activity(name + ".init")
+      .in(seed)
+      .case_prob(params.p_initial_suspect)
+      .out(p.susp0)
+      .case_prob(1.0 - params.p_initial_suspect)
+      .out(p.trust0);
+
+  // Residual first sojourns, then the steady alternation.
+  model
+      .timed_activity(name + ".ts0", residual_sojourn(params.trust_mean_ms, params.sojourn))
+      .in(p.trust0)
+      .out(p.susp);
+  model
+      .timed_activity(name + ".st0", residual_sojourn(params.suspect_mean_ms, params.sojourn))
+      .in(p.susp0)
+      .out(p.trust);
+  model.timed_activity(name + ".ts", full_sojourn(params.trust_mean_ms, params.sojourn))
+      .in(p.trust)
+      .out(p.susp);
+  model.timed_activity(name + ".st", full_sojourn(params.suspect_mean_ms, params.sojourn))
+      .in(p.susp)
+      .out(p.trust);
+  return p;
+}
+
+}  // namespace sanperf::sanmodels

@@ -1,0 +1,50 @@
+// The abstract two-state failure-detector submodel of Section 3.4 (Fig 5).
+//
+// For each ordered pair (monitor i, monitored j) the detector alternates
+// between Trust and Suspect. Sojourn means come from the measured QoS
+// metrics (Trust: T_MR - T_M, Suspect: T_M) with either deterministic or
+// exponential distributions. An instantaneous initial activity picks the
+// starting state with the stationary probability T_M / T_MR, and the first
+// sojourn in the deterministic case draws a uniform residual so replicated
+// detectors do not flip in lockstep (stationary-correct initialisation).
+//
+// Every detector is independent of every other -- the simplification whose
+// consequences Section 5.4 demonstrates.
+#pragma once
+
+#include <string>
+
+#include "fd/qos.hpp"
+#include "san/model.hpp"
+
+namespace sanperf::sanmodels {
+
+using fd::AbstractFdParams;
+using san::PlaceId;
+using san::SanModel;
+
+/// Places representing one monitored pair. `suspected` is true when either
+/// susp place is marked (susp0 covers the initial residual sojourn).
+struct FdPlaces {
+  PlaceId trust0 = 0;
+  PlaceId susp0 = 0;
+  PlaceId trust = 0;
+  PlaceId susp = 0;
+  bool dynamic = false;  ///< false: the pair's output is fixed forever
+
+  /// Sensitivity list for gates that test the suspicion.
+  [[nodiscard]] std::vector<PlaceId> reads() const { return {susp0, susp}; }
+  [[nodiscard]] bool suspected(const san::Marking& m) const {
+    return m.get(susp0) + m.get(susp) > 0;
+  }
+};
+
+/// A detector that never changes its mind: suspected fixed at `suspected`.
+/// Used for run classes 1 and 2.
+[[nodiscard]] FdPlaces make_static_fd(SanModel& model, const std::string& name, bool suspected);
+
+/// The two-state QoS-parameterised detector (run class 3).
+[[nodiscard]] FdPlaces make_qos_fd(SanModel& model, const std::string& name,
+                                   const AbstractFdParams& params);
+
+}  // namespace sanperf::sanmodels

@@ -1,0 +1,192 @@
+#include "sanmodels/mr_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sanmodels/fd_submodel.hpp"
+
+namespace sanperf::sanmodels {
+
+namespace {
+
+std::string idx(const std::string& base, std::size_t i) {
+  return base + "[" + std::to_string(i) + "]";
+}
+std::string idx2(const std::string& base, std::size_t i, std::size_t r) {
+  return base + "[" + std::to_string(i) + "][" + std::to_string(r) + "]";
+}
+
+}  // namespace
+
+MrSanModel build_mr_san(const MrSanConfig& cfg) {
+  const std::size_t n = cfg.n;
+  if (n < 2) throw std::invalid_argument{"build_mr_san: n < 2"};
+  if (cfg.initially_crashed >= static_cast<int>(n)) {
+    throw std::invalid_argument{"build_mr_san: crashed id out of range"};
+  }
+  const auto crashed = cfg.initially_crashed;
+  const auto maj = static_cast<std::int32_t>(n / 2 + 1);
+
+  MrSanModel built;
+  built.n = n;
+  san::SanModel& m = built.model;
+
+  const ChainResources res = make_resources(m, n);
+  built.decided = m.place("decided", 0);
+
+  // Process state.
+  std::vector<san::PlaceId> rnd(n), entering(n), wcoord(n), waux(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool alive = static_cast<int>(i) != crashed;
+    rnd[i] = m.place(idx("P", i) + ".rnd", 0);
+    entering[i] = m.place(idx("P", i) + ".entering", alive ? 1 : 0);
+    wcoord[i] = m.place(idx("P", i) + ".wcoord", 0);
+    waux[i] = m.place(idx("P", i) + ".waux", 0);
+  }
+
+  // Failure detectors (same submodels as the CT model).
+  std::vector<std::vector<FdPlaces>> fd_places(n, std::vector<FdPlaces>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const std::string name = idx2("fd", i, j);
+      if (crashed >= 0) {
+        fd_places[i][j] = make_static_fd(m, name, static_cast<int>(j) == crashed);
+      } else if (cfg.qos_fd) {
+        fd_places[i][j] = make_qos_fd(m, name, *cfg.qos_fd);
+      } else {
+        fd_places[i][j] = make_static_fd(m, name, false);
+      }
+    }
+  }
+
+  // Message places. AUX counters are shared accumulators per (receiver,
+  // slot): every sender's broadcast chain deposits into them, which is what
+  // makes the all-to-all phase affordable to model.
+  std::vector<std::vector<san::PlaceId>> ce_out(n, std::vector<san::PlaceId>(n));  // [rcv][slot]
+  std::vector<std::vector<san::PlaceId>> av_cnt(n, std::vector<san::PlaceId>(n));
+  std::vector<std::vector<san::PlaceId>> ab_cnt(n, std::vector<san::PlaceId>(n));
+  std::vector<san::PlaceId> ce_trg(n);
+  std::vector<std::vector<san::PlaceId>> av_trg(n, std::vector<san::PlaceId>(n));  // [snd][slot]
+  std::vector<std::vector<san::PlaceId>> ab_trg(n, std::vector<san::PlaceId>(n));
+
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != r) ce_out[j][r] = m.place(idx("m.ce", r) + ".out[" + std::to_string(j) + "]");
+      av_cnt[j][r] = m.place(idx2("m.av", j, r) + ".cnt");
+      ab_cnt[j][r] = m.place(idx2("m.ab", j, r) + ".cnt");
+    }
+  }
+  constexpr double kAuxWeight = 8;  // replies precede the next round's traffic
+  for (std::size_t r = 0; r < n; ++r) {
+    // Coordinator estimate broadcast: single-message abstraction, as in the
+    // CT model (one coordinator broadcast per round is the pattern that
+    // abstraction was validated on).
+    ce_trg[r] = m.place(idx("m.ce", r) + ".trg");
+    std::vector<std::pair<std::size_t, san::PlaceId>> dests;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != r) dests.emplace_back(j, ce_out[j][r]);
+    }
+    make_broadcast_chain(m, idx("m.ce", r), res, r, dests, ce_trg[r], cfg.transport);
+
+    // AUX phase: explicit per-destination unicasts. Folding an all-to-all
+    // phase into single broadcast messages would forbid the pipelining that
+    // dominates it on the real network and overestimate MR's latency by
+    // ~60% -- the broadcast abstraction is only adequate for one-broadcast-
+    // per-round traffic, a model-adequacy finding in the paper's spirit.
+    for (std::size_t i = 0; i < n; ++i) {
+      av_trg[i][r] = m.place(idx2("m.av", i, r) + ".trg");
+      ab_trg[i][r] = m.place(idx2("m.ab", i, r) + ".trg");
+      auto split_av = m.instant_activity(idx2("a.avsplit", i, r)).in(av_trg[i][r]);
+      auto split_ab = m.instant_activity(idx2("a.absplit", i, r)).in(ab_trg[i][r]);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto av_leg = m.place(idx2("m.av", i, r) + ".leg[" + std::to_string(j) + "]");
+        const auto ab_leg = m.place(idx2("m.ab", i, r) + ".leg[" + std::to_string(j) + "]");
+        split_av.out(av_leg);
+        split_ab.out(ab_leg);
+        make_unicast_chain(m, idx2("m.av", i, r) + ".u" + std::to_string(j), res, i, j, av_leg,
+                           av_cnt[j][r], cfg.transport, kAuxWeight);
+        make_unicast_chain(m, idx2("m.ab", i, r) + ".u" + std::to_string(j), res, i, j, ab_leg,
+                           ab_cnt[j][r], cfg.transport, kAuxWeight);
+      }
+    }
+  }
+
+  // Protocol state machine.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == crashed) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto slot = static_cast<std::int32_t>(r);
+      const auto g_round =
+          m.input_gate(idx2("g.rnd", i, r), {rnd[i]},
+                       [p = rnd[i], slot](const san::Marking& mk) { return mk.get(p) == slot; });
+
+      // Round entry.
+      auto enter = m.instant_activity(idx2("a.enter", i, r));
+      enter.in(entering[i]).in_gate(g_round);
+      if (i == r) {
+        // Coordinator: broadcast the estimate and echo it as our own AUX.
+        enter.out(ce_trg[r]).out(av_trg[i][r]).out(av_cnt[i][r]).out(waux[i]);
+      } else {
+        enter.out(wcoord[i]);
+      }
+
+      if (i != r) {
+        // Phase 2, value branch: coordinator estimate received.
+        m.instant_activity(idx2("a.auxv", i, r))
+            .in(wcoord[i])
+            .in(ce_out[i][r])
+            .in_gate(g_round)
+            .out(av_trg[i][r])
+            .out(av_cnt[i][r])
+            .out(waux[i]);
+        // Phase 2, bottom branch: coordinator suspected.
+        const FdPlaces& fdp = fd_places[i][r];
+        std::vector<san::PlaceId> reads = fdp.reads();
+        reads.push_back(rnd[i]);
+        const auto g_susp = m.input_gate(
+            idx2("g.susp", i, r), std::move(reads),
+            [p = rnd[i], slot, fdp](const san::Marking& mk) {
+              return mk.get(p) == slot && fdp.suspected(mk);
+            });
+        m.instant_activity(idx2("a.auxb", i, r))
+            .in(wcoord[i])
+            .in_gate(g_susp)
+            .out(ab_trg[i][r])
+            .out(ab_cnt[i][r])
+            .out(waux[i]);
+      }
+
+      // Phase 3 on a majority of AUX (own included in the counters).
+      const auto g_decide = m.input_gate(
+          idx2("g.dec", i, r), {rnd[i], av_cnt[i][r], ab_cnt[i][r]},
+          [p = rnd[i], slot, av = av_cnt[i][r], ab = ab_cnt[i][r], maj](const san::Marking& mk) {
+            return mk.get(p) == slot && mk.get(ab) == 0 && mk.get(av) >= maj;
+          });
+      m.instant_activity(idx2("a.decide", i, r)).in(waux[i]).in_gate(g_decide).out(built.decided);
+
+      const auto g_next = m.input_gate(
+          idx2("g.next", i, r), {rnd[i], av_cnt[i][r], ab_cnt[i][r]},
+          [p = rnd[i], slot, av = av_cnt[i][r], ab = ab_cnt[i][r], maj](const san::Marking& mk) {
+            return mk.get(p) == slot && mk.get(ab) >= 1 && mk.get(av) + mk.get(ab) >= maj;
+          },
+          // Slot-reuse cleanup: drain this slot's counters on leaving.
+          [av = av_cnt[i][r], ab = ab_cnt[i][r]](san::Marking& mk) {
+            mk.set(av, 0);
+            mk.set(ab, 0);
+          });
+      const auto g_adv = m.output_gate(
+          idx2("g.adv", i, r), [pr = rnd[i], pe = entering[i], n, slot](san::Marking& mk) {
+            mk.set(pr, (slot + 1) % static_cast<std::int32_t>(n));
+            mk.add(pe, 1);
+          });
+      m.instant_activity(idx2("a.next", i, r)).in(waux[i]).in_gate(g_next).out_gate(g_adv);
+    }
+  }
+
+  m.validate();
+  return built;
+}
+
+}  // namespace sanperf::sanmodels

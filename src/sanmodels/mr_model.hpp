@@ -1,0 +1,47 @@
+// SAN model of the Mostefaoui-Raynal <>S consensus algorithm, built with
+// the same abstractions as the paper's Chandra-Toueg model (round numbers
+// modulo n, broadcasts as single messages, independent two-state failure
+// detectors, shared CPU/medium resources) so the two algorithms can be
+// compared inside one modelling framework -- the programme the paper's
+// Section 6 sketches.
+//
+// Per round slot r (coordinator = process r):
+//   * the coordinator broadcasts its estimate (one broadcast chain);
+//   * every process echoes AUX = value or bottom (one broadcast chain per
+//     (process, slot, flavour)); a process's own AUX is counted locally;
+//   * on a majority of AUX for the slot: all-value -> decided; any bottom
+//     -> next round.
+// Data content is ignored (control aspect only), exactly like the CT model:
+// "value" vs "bottom" is control state, the value itself is not modelled.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fd/qos.hpp"
+#include "san/model.hpp"
+#include "sanmodels/network_chains.hpp"
+
+namespace sanperf::sanmodels {
+
+struct MrSanConfig {
+  std::size_t n = 3;
+  TransportParams transport = TransportParams::nominal(3);
+  int initially_crashed = -1;             ///< class 2; -1 for none
+  std::optional<fd::AbstractFdParams> qos_fd;  ///< class 3
+};
+
+struct MrSanModel {
+  san::SanModel model;
+  san::PlaceId decided = 0;
+  std::size_t n = 0;
+
+  [[nodiscard]] std::function<bool(const san::Marking&)> stop_predicate() const {
+    const san::PlaceId d = decided;
+    return [d](const san::Marking& m) { return m.get(d) > 0; };
+  }
+};
+
+[[nodiscard]] MrSanModel build_mr_san(const MrSanConfig& cfg);
+
+}  // namespace sanperf::sanmodels

@@ -1,0 +1,89 @@
+#include "sanmodels/network_chains.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::sanmodels {
+
+ChainResources make_resources(SanModel& model, std::size_t n) {
+  ChainResources res;
+  res.cpu.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.cpu.push_back(model.place("cpu[" + std::to_string(i) + "]", 1));
+  }
+  res.medium = model.place("medium", 1);
+  return res;
+}
+
+TransportParams TransportParams::nominal(std::size_t n) {
+  TransportParams p;
+  if (n < 2) throw std::invalid_argument{"TransportParams::nominal: n < 2"};
+  // A broadcast stands for n-1 back-to-back frames on the hub; pipelining
+  // with the per-destination receive legs makes the effective occupancy a
+  // little less than (n-1) full frames.
+  const double k = 0.8 * static_cast<double>(n - 1);
+  p.frame_broadcast = Distribution::bimodal_uniform_ms(0.8, 0.050 * k, 0.080 * k, 0.095 * k,
+                                                       0.300 * k);
+  return p;
+}
+
+void make_unicast_chain(SanModel& model, const std::string& name, const ChainResources& res,
+                        std::size_t src, std::size_t dst, PlaceId trigger, PlaceId out,
+                        const TransportParams& params, double grab_weight) {
+  if (src >= res.cpu.size() || dst >= res.cpu.size() || src == dst) {
+    throw std::invalid_argument{"make_unicast_chain: bad endpoints for " + name};
+  }
+  const PlaceId sbusy = model.place(name + ".sbusy");
+  const PlaceId nq = model.place(name + ".nq");
+  const PlaceId nbusy = model.place(name + ".nbusy");
+  const PlaceId rq = model.place(name + ".rq");
+  const PlaceId rbusy = model.place(name + ".rbusy");
+
+  model.instant_activity(name + ".sgrab", grab_weight).in(trigger).in(res.cpu[src]).out(sbusy);
+  model.timed_activity(name + ".ssrv", params.send_cpu).in(sbusy).out(nq).out(res.cpu[src]);
+  model.instant_activity(name + ".ngrab", grab_weight).in(nq).in(res.medium).out(nbusy);
+  model.timed_activity(name + ".nsrv", params.frame_unicast).in(nbusy).out(rq).out(res.medium);
+  model.instant_activity(name + ".rgrab", grab_weight).in(rq).in(res.cpu[dst]).out(rbusy);
+  model.timed_activity(name + ".rsrv", params.recv_cpu).in(rbusy).out(out).out(res.cpu[dst]);
+}
+
+void make_broadcast_chain(SanModel& model, const std::string& name, const ChainResources& res,
+                          std::size_t src,
+                          const std::vector<std::pair<std::size_t, PlaceId>>& destinations,
+                          PlaceId trigger, const TransportParams& params, double grab_weight) {
+  if (src >= res.cpu.size()) throw std::invalid_argument{"make_broadcast_chain: bad src"};
+  if (destinations.empty()) throw std::invalid_argument{"make_broadcast_chain: no destinations"};
+
+  const PlaceId sbusy = model.place(name + ".sbusy");
+  const PlaceId nq = model.place(name + ".nq");
+  const PlaceId nbusy = model.place(name + ".nbusy");
+
+  model.instant_activity(name + ".sgrab", grab_weight).in(trigger).in(res.cpu[src]).out(sbusy);
+  model.timed_activity(name + ".ssrv", params.send_cpu).in(sbusy).out(nq).out(res.cpu[src]);
+  model.instant_activity(name + ".ngrab", grab_weight).in(nq).in(res.medium).out(nbusy);
+
+  // The single broadcast frame releases the medium and fans out one token
+  // per destination receive queue.
+  auto nsrv = model.timed_activity(name + ".nsrv", params.frame_broadcast);
+  nsrv.in(nbusy).out(res.medium);
+  std::vector<PlaceId> rqs;
+  rqs.reserve(destinations.size());
+  for (const auto& [dst, out_place] : destinations) {
+    (void)out_place;
+    if (dst >= res.cpu.size() || dst == src) {
+      throw std::invalid_argument{"make_broadcast_chain: bad dst in " + name};
+    }
+    rqs.push_back(model.place(name + ".rq[" + std::to_string(dst) + "]"));
+    nsrv.out(rqs.back());
+  }
+
+  for (std::size_t k = 0; k < destinations.size(); ++k) {
+    const auto [dst, out_place] = destinations[k];
+    const std::string leg = name + ".r[" + std::to_string(dst) + "]";
+    const PlaceId rbusy = model.place(leg + ".busy");
+    model.instant_activity(leg + ".grab", grab_weight).in(rqs[k]).in(res.cpu[dst]).out(rbusy);
+    model.timed_activity(leg + ".srv", params.recv_cpu).in(rbusy).out(out_place).out(
+        res.cpu[dst]);
+  }
+}
+
+}  // namespace sanperf::sanmodels

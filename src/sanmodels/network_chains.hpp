@@ -1,0 +1,69 @@
+// SAN submodels for message transport over contended resources (Fig 3).
+//
+// Resources are places holding one token: cpu[i] per host plus one shared
+// medium. A message is a token that walks a chain of grab/serve activity
+// pairs: an instantaneous grab seizes the resource (so it is genuinely held
+// for the service time) and a timed serve releases it. Competition for a
+// resource is resolved by the race between grab activities -- random order
+// rather than FIFO, a deliberate simplification recorded in DESIGN.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "san/model.hpp"
+
+namespace sanperf::sanmodels {
+
+using san::Distribution;
+using san::PlaceId;
+using san::SanModel;
+
+/// Resource places shared by every chain.
+struct ChainResources {
+  std::vector<PlaceId> cpu;  ///< one token each
+  PlaceId medium = 0;        ///< one token
+};
+
+/// Creates cpu[0..n) and the medium with one token each.
+[[nodiscard]] ChainResources make_resources(SanModel& model, std::size_t n);
+
+/// Timing parameters of the transport model (Section 3.3 / 5.1).
+struct TransportParams {
+  Distribution send_cpu = Distribution::deterministic_ms(0.025);    ///< t_send
+  Distribution recv_cpu = Distribution::deterministic_ms(0.025);    ///< t_receive
+  Distribution frame_unicast =
+      Distribution::bimodal_uniform_ms(0.8, 0.050, 0.080, 0.095, 0.300);  ///< t_network
+  /// t_network of a broadcast modelled as ONE message (Section 5.1): a
+  /// single medium occupancy longer than a unicast's.
+  Distribution frame_broadcast =
+      Distribution::bimodal_uniform_ms(0.8, 0.100, 0.160, 0.190, 0.600);
+
+  /// Paper-nominal parameters for n processes: the broadcast medium time
+  /// scales with the number of destinations (it stands for n-1 frames).
+  [[nodiscard]] static TransportParams nominal(std::size_t n);
+};
+
+/// Builds a unicast chain `name`: a token put into `trigger` traverses
+/// src's CPU, the medium and dst's CPU, then appears in `out`.
+///
+/// `grab_weight` biases the instantaneous resource-grab races. SAN races
+/// resolve randomly rather than FIFO; weights encode the program order of
+/// the implementation (e.g. a process writes its ack to the network before
+/// the next round's estimate, so ack chains should usually win ties).
+void make_unicast_chain(SanModel& model, const std::string& name, const ChainResources& res,
+                        std::size_t src, std::size_t dst, PlaceId trigger, PlaceId out,
+                        const TransportParams& params, double grab_weight = 1.0);
+
+/// Builds a broadcast chain `name`: one token in `trigger` occupies src's
+/// CPU once and the medium once (frame_broadcast), then fans out into one
+/// receive leg (dst CPU) per destination, ending in the paired place.
+void make_broadcast_chain(SanModel& model, const std::string& name, const ChainResources& res,
+                          std::size_t src,
+                          const std::vector<std::pair<std::size_t, PlaceId>>& destinations,
+                          PlaceId trigger, const TransportParams& params,
+                          double grab_weight = 1.0);
+
+}  // namespace sanperf::sanmodels

@@ -1,0 +1,33 @@
+#include "stats/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_{batch_size} {
+  if (batch_size == 0) throw std::invalid_argument{"BatchMeans: zero batch size"};
+}
+
+void BatchMeans::add(double x) {
+  ++observations_;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    batch_means_.push_back(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  SummaryStats s;
+  for (const double m : batch_means_) s.add(m);
+  return s.count() > 0 ? s.mean() : 0.0;
+}
+
+MeanCI BatchMeans::mean_ci(double confidence) const {
+  SummaryStats s;
+  for (const double m : batch_means_) s.add(m);
+  return s.mean_ci(confidence);
+}
+
+}  // namespace sanperf::stats

@@ -1,0 +1,41 @@
+// Batch-means analysis for autocorrelated series (steady-state simulation
+// output, e.g. throughput runs where consecutive executions share state).
+// Observations are grouped into fixed-size batches; batch means are treated
+// as approximately independent for the confidence interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace sanperf::stats {
+
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch; >= 1.
+  explicit BatchMeans(std::size_t batch_size);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+  /// Completed batches only.
+  [[nodiscard]] std::size_t batches() const { return batch_means_.size(); }
+  [[nodiscard]] std::uint64_t observations() const { return observations_; }
+  [[nodiscard]] const std::vector<double>& batch_means() const { return batch_means_; }
+
+  /// Grand mean over completed batches (0 when none completed).
+  [[nodiscard]] double mean() const;
+  /// Student-t CI over the batch means; requires >= 2 completed batches for
+  /// a non-zero half-width.
+  [[nodiscard]] MeanCI mean_ci(double confidence = 0.90) const;
+
+ private:
+  std::size_t batch_size_;
+  std::uint64_t observations_ = 0;
+  double current_sum_ = 0;
+  std::size_t current_count_ = 0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace sanperf::stats

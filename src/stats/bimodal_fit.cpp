@@ -1,0 +1,105 @@
+#include "stats/bimodal_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace sanperf::stats {
+
+double BimodalUniform::mean() const {
+  return p1 * (a1 + b1) / 2.0 + (1.0 - p1) * (a2 + b2) / 2.0;
+}
+
+namespace {
+
+double uniform_cdf(double x, double a, double b) {
+  if (x < a) return 0;
+  if (x >= b) return 1;
+  if (b == a) return 1;
+  return (x - a) / (b - a);
+}
+
+/// Sum of squared residuals of fitting U[xs[i], xs[j]] to the sorted
+/// segment xs[i..j] (inclusive), comparing empirical order statistics to
+/// the linear quantile function of the uniform.
+double segment_sse(const std::vector<double>& xs, std::size_t i, std::size_t j) {
+  const double a = xs[i];
+  const double b = xs[j];
+  if (j == i) return 0;
+  double sse = 0;
+  const double span = b - a;
+  const double len = static_cast<double>(j - i);
+  for (std::size_t k = i; k <= j; ++k) {
+    const double pred = a + span * static_cast<double>(k - i) / len;
+    const double r = xs[k] - pred;
+    sse += r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+double BimodalUniform::cdf(double x) const {
+  return p1 * uniform_cdf(x, a1, b1) + (1.0 - p1) * uniform_cdf(x, a2, b2);
+}
+
+std::string BimodalUniform::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "U[%.3f,%.3f]@%.2f + U[%.3f,%.3f]@%.2f", a1, b1, p1, a2, b2,
+                1.0 - p1);
+  return buf;
+}
+
+BimodalUniform fit_bimodal_uniform(std::vector<double> samples, double min_side_fraction) {
+  if (samples.size() < 8) throw std::invalid_argument{"fit_bimodal_uniform: need >= 8 samples"};
+  if (!(min_side_fraction > 0 && min_side_fraction < 0.5)) {
+    throw std::invalid_argument{"fit_bimodal_uniform: min_side_fraction outside (0,0.5)"};
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const auto lo_split = static_cast<std::size_t>(static_cast<double>(n) * min_side_fraction);
+  const std::size_t min_split = std::max<std::size_t>(lo_split, 2);
+  const std::size_t max_split = n - 1 - min_split;
+
+  // Candidate splits: evenly strided ranks PLUS the ranks adjacent to the
+  // largest value gaps. The SSE landscape has a needle-sharp minimum at the
+  // boundary between well-separated components (one rank off and the right
+  // component's support stretches across the gap), so gap ranks must be
+  // candidates explicitly; strided ranks cover gapless samples.
+  std::vector<std::size_t> candidates;
+  const std::size_t stride = std::max<std::size_t>(1, (max_split - min_split) / 192);
+  for (std::size_t s = min_split; s <= max_split; s += stride) candidates.push_back(s);
+
+  std::vector<std::pair<double, std::size_t>> gaps;  // (gap width, rank)
+  gaps.reserve(max_split - min_split + 1);
+  for (std::size_t s = min_split; s <= max_split; ++s) {
+    gaps.emplace_back(samples[s + 1] - samples[s], s);
+  }
+  const std::size_t top = std::min<std::size_t>(64, gaps.size());
+  std::partial_sort(gaps.begin(), gaps.begin() + static_cast<std::ptrdiff_t>(top), gaps.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t k = 0; k < top; ++k) candidates.push_back(gaps[k].second);
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  std::size_t best_split = min_split;
+  for (const std::size_t s : candidates) {
+    // Left component covers ranks [0, s], right covers [s+1, n-1].
+    const double sse = segment_sse(samples, 0, s) + segment_sse(samples, s + 1, n - 1);
+    if (sse < best_sse) {
+      best_sse = sse;
+      best_split = s;
+    }
+  }
+
+  BimodalUniform fit;
+  fit.p1 = static_cast<double>(best_split + 1) / static_cast<double>(n);
+  fit.a1 = samples.front();
+  fit.b1 = samples[best_split];
+  fit.a2 = samples[best_split + 1];
+  fit.b2 = samples.back();
+  return fit;
+}
+
+}  // namespace sanperf::stats

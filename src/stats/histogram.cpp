@@ -1,0 +1,60 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sanperf::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo}, hi_{hi} {
+  if (!(lo < hi)) throw std::invalid_argument{"Histogram: lo >= hi"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: zero bins"};
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::string out;
+  const std::uint64_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = peak == 0 ? 0u
+                                   : static_cast<unsigned>(std::llround(
+                                         static_cast<double>(counts_[i]) * static_cast<double>(width) /
+                                         static_cast<double>(peak)));
+    std::snprintf(line, sizeof line, "%10.4f | %-6llu ", bin_center(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sanperf::stats

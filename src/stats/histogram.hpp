@@ -1,0 +1,41 @@
+// Fixed-width histogram over a closed range, with out-of-range tracking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sanperf::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `bins` equal cells. Requires lo < hi, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Midpoint x of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of all observations (including out-of-range) in a bin.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (for examples and reports).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sanperf::stats

@@ -1,0 +1,30 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sanperf::stats {
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  // Evaluate both step functions at every jump point of either sample.
+  double d = 0;
+  for (const double x : a.sorted_samples()) d = std::max(d, std::fabs(a.eval(x) - b.eval(x)));
+  for (const double x : b.sorted_samples()) d = std::max(d, std::fabs(a.eval(x) - b.eval(x)));
+  return d;
+}
+
+double ks_distance(const Ecdf& a, const std::function<double(double)>& cdf) {
+  // For the one-sample statistic both the pre- and post-jump gaps matter.
+  double d = 0;
+  const auto& xs = a.sorted_samples();
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = cdf(xs[i]);
+    const double pre = static_cast<double>(i) / n;
+    const double post = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - pre), std::fabs(f - post)});
+  }
+  return d;
+}
+
+}  // namespace sanperf::stats

@@ -1,0 +1,19 @@
+// Kolmogorov-Smirnov distances, used for distribution-fit selection
+// (the paper's Fig 7b picks t_send by visually matching CDFs; we make the
+// choice quantitative with the two-sample KS statistic).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace sanperf::stats {
+
+/// Two-sample KS statistic: sup_x |F_a(x) - F_b(x)|.
+[[nodiscard]] double ks_distance(const Ecdf& a, const Ecdf& b);
+
+/// One-sample KS statistic against a reference CDF.
+[[nodiscard]] double ks_distance(const Ecdf& a, const std::function<double(double)>& cdf);
+
+}  // namespace sanperf::stats

@@ -1,0 +1,75 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sanperf::stats {
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) throw std::invalid_argument{"normal_quantile: p outside (0,1)"};
+
+  // Acklam's rational approximation, relative error < 1.15e-9.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  constexpr double phigh = 1 - plow;
+
+  if (p < plow) {
+    const double q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > phigh) {
+    const double q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+double student_t_quantile(double p, double dof) {
+  if (!(p > 0.0 && p < 1.0)) throw std::invalid_argument{"student_t_quantile: p outside (0,1)"};
+  if (!(dof >= 1.0)) throw std::invalid_argument{"student_t_quantile: dof < 1"};
+
+  if (dof > 300) return normal_quantile(p);  // t ~= normal at high dof
+
+  // Exact closed forms for the smallest dofs, where Hill's expansion is weak.
+  if (dof == 1.0) return std::tan(M_PI * (p - 0.5));
+  if (dof == 2.0) {
+    const double a = 4 * p * (1 - p);
+    return (2 * p - 1) * std::sqrt(2.0 / a);
+  }
+
+  // Hill (1970), Algorithm 396. Expansion in powers of 1/dof around normal.
+  const double x = normal_quantile(p);
+  const double g1 = (x * x * x + x) / 4.0;
+  const double g2 = (5 * std::pow(x, 5) + 16 * x * x * x + 3 * x) / 96.0;
+  const double g3 = (3 * std::pow(x, 7) + 19 * std::pow(x, 5) + 17 * x * x * x - 15 * x) / 384.0;
+  const double g4 =
+      (79 * std::pow(x, 9) + 776 * std::pow(x, 7) + 1482 * std::pow(x, 5) - 1920 * x * x * x -
+       945 * x) /
+      92160.0;
+  const double n = dof;
+  return x + g1 / n + g2 / (n * n) + g3 / (n * n * n) + g4 / (n * n * n * n);
+}
+
+double student_t_critical(double confidence, double dof) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument{"student_t_critical: confidence outside (0,1)"};
+  }
+  return student_t_quantile(0.5 + confidence / 2.0, dof);
+}
+
+}  // namespace sanperf::stats

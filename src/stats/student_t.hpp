@@ -1,0 +1,22 @@
+// Quantiles of the Student-t and standard normal distributions.
+//
+// Implemented locally (no external math library is available offline):
+// normal quantile by the Acklam rational approximation, Student-t quantile
+// by the Hill (1970) expansion with a normal fallback for large dof.
+// Accuracy is a few 1e-4 in the central range, which is ample for
+// confidence-interval construction.
+#pragma once
+
+namespace sanperf::stats {
+
+/// Inverse CDF of N(0,1). Requires 0 < p < 1.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Inverse CDF of Student-t with `dof` degrees of freedom. Requires
+/// 0 < p < 1 and dof >= 1.
+[[nodiscard]] double student_t_quantile(double p, double dof);
+
+/// Two-sided critical value t* such that P(|T| <= t*) = confidence.
+[[nodiscard]] double student_t_critical(double confidence, double dof);
+
+}  // namespace sanperf::stats

@@ -1,0 +1,333 @@
+// Unit and property tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "des/time.hpp"
+
+namespace sanperf::des {
+namespace {
+
+TEST(DurationTest, ConversionRoundTrips) {
+  EXPECT_EQ(Duration::millis(3).ns(), 3'000'000);
+  EXPECT_EQ(Duration::micros(5).ns(), 5'000);
+  EXPECT_EQ(Duration::seconds(2).ns(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::from_ms(0.025).to_ms(), 0.025);
+  EXPECT_DOUBLE_EQ(Duration::from_seconds(1.5).to_seconds(), 1.5);
+}
+
+TEST(DurationTest, ArithmeticAndOrdering) {
+  const auto a = Duration::millis(10);
+  const auto b = Duration::millis(3);
+  EXPECT_EQ((a + b).ns(), Duration::millis(13).ns());
+  EXPECT_EQ((a - b).ns(), Duration::millis(7).ns());
+  EXPECT_EQ((b * 4).ns(), Duration::millis(12).ns());
+  EXPECT_LT(b, a);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(DurationTest, FromMsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::from_ms(0.0000001).ns(), 0);   // 0.1 ns rounds down
+  EXPECT_EQ(Duration::from_ms(0.0000006).ns(), 1);   // 0.6 ns rounds up
+}
+
+TEST(TimePointTest, ArithmeticWithDurations) {
+  const auto t = TimePoint::origin() + Duration::millis(5);
+  EXPECT_EQ(t.ns(), 5'000'000);
+  EXPECT_EQ((t + Duration::millis(2)).ns(), 7'000'000);
+  EXPECT_EQ((t - TimePoint::origin()).ns(), 5'000'000);
+  EXPECT_LT(TimePoint::origin(), t);
+}
+
+TEST(TimeRenderTest, AdaptiveUnits) {
+  EXPECT_EQ(Duration::nanos(12).to_string(), "12ns");
+  EXPECT_NE(Duration::micros(500).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Duration::millis(20).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(Duration::seconds(20).to_string().find("s"), std::string::npos);
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(TimePoint::origin() + Duration::millis(2), [&] { fired.push_back(2); });
+  q.push(TimePoint::origin() + Duration::millis(1), [&] { fired.push_back(1); });
+  q.push(TimePoint::origin() + Duration::millis(3), [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TieBreaksByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  const auto t = TimePoint::origin() + Duration::millis(1);
+  for (int i = 0; i < 10; ++i) {
+    q.push(t, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(TimePoint::origin() + Duration::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(q.pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.push(TimePoint::origin(), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelledHeadDoesNotBlockNextTime) {
+  EventQueue q;
+  const EventId early = q.push(TimePoint::origin() + Duration::millis(1), [] {});
+  q.push(TimePoint::origin() + Duration::millis(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), TimePoint::origin() + Duration::millis(5));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+// Property: against a reference model (multimap), a random operation
+// sequence yields identical pop order.
+TEST(EventQueueTest, PropertyMatchesReferenceModel) {
+  RandomEngine rng{42};
+  EventQueue q;
+  std::multimap<std::pair<std::int64_t, EventId>, int> reference;
+  std::vector<EventId> live;
+  int payload = 0;
+  std::vector<int> fired;
+
+  for (int step = 0; step < 3000; ++step) {
+    const double u = rng.uniform01();
+    if (u < 0.55 || q.empty()) {
+      const auto at = TimePoint::origin() + Duration::nanos(rng.uniform_int(0, 1000));
+      const int tag = payload++;
+      const EventId id = q.push(at, [&fired, tag] { fired.push_back(tag); });
+      reference.emplace(std::make_pair(at.ns(), id), tag);
+      live.push_back(id);
+    } else if (u < 0.75 && !live.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const EventId id = live[idx];
+      const bool cancelled = q.cancel(id);
+      const auto it = std::find_if(reference.begin(), reference.end(),
+                                   [id](const auto& kv) { return kv.first.second == id; });
+      EXPECT_EQ(cancelled, it != reference.end());
+      if (it != reference.end()) reference.erase(it);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      ASSERT_EQ(q.size(), reference.size());
+      auto popped = q.pop();
+      ASSERT_FALSE(reference.empty());
+      popped.action();
+      EXPECT_EQ(fired.back(), reference.begin()->second);
+      reference.erase(reference.begin());
+    }
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> times;
+  sim.schedule(Duration::millis(5), [&] { times.push_back(sim.now().ns()); });
+  sim.schedule(Duration::millis(1), [&] { times.push_back(sim.now().ns()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<std::int64_t>{1'000'000, 5'000'000}));
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(SimulatorTest, NestedSchedulingFromHandlers) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule(Duration::millis(1), chain);
+  };
+  sim.schedule(Duration::millis(1), chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(5));
+}
+
+TEST(SimulatorTest, NegativeDelayRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(Duration::millis(-1), [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ScheduleInPastRejected) {
+  Simulator sim;
+  sim.schedule(Duration::millis(2), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin() + Duration::millis(1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] { ++fired; });
+  sim.schedule(Duration::millis(10), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(5));
+  EXPECT_EQ(sim.queue_size(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilExecutesEventsAtExactDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(5), [&] { ++fired; });
+  sim.run_until(TimePoint::origin() + Duration::millis(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(Duration::millis(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.queue_size(), 1u);
+}
+
+TEST(SimulatorTest, ResetClearsState) {
+  Simulator sim;
+  sim.schedule(Duration::millis(1), [] {});
+  sim.run();
+  sim.schedule(Duration::millis(1), [] {});
+  sim.reset();
+  EXPECT_TRUE(sim.queue_empty());
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(Duration::millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  RandomEngine a{7};
+  RandomEngine b{7};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  RandomEngine a{7};
+  RandomEngine b{8};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, SubstreamsAreStableAndIndependent) {
+  const RandomEngine root{99};
+  RandomEngine s1 = root.substream("alpha", 0);
+  RandomEngine s1b = root.substream("alpha", 0);
+  RandomEngine s2 = root.substream("alpha", 1);
+  RandomEngine s3 = root.substream("beta", 0);
+  EXPECT_EQ(s1.next_u64(), s1b.next_u64());
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+  EXPECT_NE(s2.next_u64(), s3.next_u64());
+}
+
+TEST(RandomTest, UniformBounds) {
+  RandomEngine rng{5};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+  EXPECT_THROW((void)rng.uniform(3.0, 2.0), std::invalid_argument);
+}
+
+TEST(RandomTest, UniformMeanCloseToCenter) {
+  RandomEngine rng{6};
+  double sum = 0;
+  const int k = 100000;
+  for (int i = 0; i < k; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / k, 0.5, 0.01);
+}
+
+TEST(RandomTest, ExponentialMeanMatches) {
+  RandomEngine rng{11};
+  double sum = 0;
+  const int k = 200000;
+  for (int i = 0; i < k; ++i) sum += rng.exponential_mean(2.5);
+  EXPECT_NEAR(sum / k, 2.5, 0.05);
+  EXPECT_THROW((void)rng.exponential_mean(0.0), std::invalid_argument);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  RandomEngine rng{12};
+  int hits = 0;
+  const int k = 100000;
+  for (int i = 0; i < k; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / k, 0.3, 0.01);
+}
+
+TEST(RandomTest, CategoricalProportions) {
+  RandomEngine rng{13};
+  const std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int k = 100000;
+  for (int i = 0; i < k; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(k), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(k), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(k), 0.6, 0.01);
+  EXPECT_THROW((void)rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(RandomTest, UniformIntCoversRangeInclusive) {
+  RandomEngine rng{14};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(1, 4);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 4);
+    saw_lo = saw_lo || x == 1;
+    saw_hi = saw_hi || x == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, WeibullShapeOneIsExponential) {
+  RandomEngine rng{15};
+  double sum = 0;
+  const int k = 200000;
+  for (int i = 0; i < k; ++i) sum += rng.weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / k, 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sanperf::des

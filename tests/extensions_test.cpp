@@ -1,0 +1,201 @@
+// Tests of the future-work extensions: batch means, SAN rate rewards,
+// throughput measurement and failure-detector detection time.
+#include <gtest/gtest.h>
+
+#include "core/extensions.hpp"
+#include "core/measurement.hpp"
+#include "des/random.hpp"
+#include "san/model.hpp"
+#include "san/simulator.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/ecdf.hpp"
+
+namespace sanperf {
+namespace {
+
+// --------------------------------------------------------------------------
+// BatchMeans
+// --------------------------------------------------------------------------
+
+TEST(BatchMeansTest, GroupsObservationsIntoBatches) {
+  stats::BatchMeans bm{4};
+  for (int i = 1; i <= 10; ++i) bm.add(i);
+  EXPECT_EQ(bm.observations(), 10u);
+  EXPECT_EQ(bm.batches(), 2u);  // the trailing partial batch is pending
+  EXPECT_DOUBLE_EQ(bm.batch_means()[0], 2.5);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[1], 6.5);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.5);
+}
+
+TEST(BatchMeansTest, CiCoversMeanOfIidStream) {
+  des::RandomEngine rng{5};
+  stats::BatchMeans bm{50};
+  for (int i = 0; i < 5000; ++i) bm.add(rng.normal(3.0, 1.0));
+  const auto ci = bm.mean_ci(0.95);
+  EXPECT_TRUE(ci.contains(3.0));
+  EXPECT_LT(ci.half_width, 0.2);
+}
+
+TEST(BatchMeansTest, CorrelatedStreamWiderCiThanNaive) {
+  // A strongly autocorrelated stream: batch means must acknowledge the
+  // correlation with a wider CI than the naive iid summary.
+  des::RandomEngine rng{6};
+  stats::SummaryStats naive;
+  stats::BatchMeans bm{100};
+  double x = 0;
+  for (int i = 0; i < 20000; ++i) {
+    x = 0.99 * x + rng.normal(0, 1);
+    naive.add(x);
+    bm.add(x);
+  }
+  EXPECT_GT(bm.mean_ci(0.90).half_width, naive.mean_ci(0.90).half_width * 2);
+}
+
+TEST(BatchMeansTest, RejectsZeroBatch) {
+  EXPECT_THROW(stats::BatchMeans{0}, std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// SAN rate rewards
+// --------------------------------------------------------------------------
+
+TEST(RateRewardTest, IntegratesTokenTime) {
+  san::SanModel m;
+  const auto a = m.place("a", 1);
+  const auto b = m.place("b");
+  const auto c = m.place("c");
+  m.timed_activity("t1", san::Distribution::deterministic_ms(2)).in(a).out(b);
+  m.timed_activity("t2", san::Distribution::deterministic_ms(3)).in(b).out(c);
+
+  san::SanSimulator sim{m, des::RandomEngine{1}};
+  const auto tokens_in_b =
+      sim.add_rate_reward([b](const san::Marking& mk) { return static_cast<double>(mk.get(b)); });
+  sim.reset(des::RandomEngine{1});  // rewards must survive reset wiring
+  sim.run();
+  // b holds one token from t=2 to t=5.
+  EXPECT_DOUBLE_EQ(sim.rate_reward(tokens_in_b), 3.0);
+  EXPECT_DOUBLE_EQ(sim.rate_reward_average(tokens_in_b), 3.0 / 5.0);
+}
+
+TEST(RateRewardTest, UtilisationOfAResource) {
+  // Single server, 3 jobs of 2 ms arriving instantly: busy 6 of 6 ms.
+  san::SanModel m;
+  const auto jobs = m.place("jobs", 3);
+  const auto server = m.place("server", 1);
+  const auto busy = m.place("busy");
+  const auto done = m.place("done");
+  m.instant_activity("grab").in(jobs).in(server).out(busy);
+  m.timed_activity("serve", san::Distribution::deterministic_ms(2)).in(busy).out(done).out(server);
+
+  san::SanSimulator sim{m, des::RandomEngine{2}};
+  const auto util =
+      sim.add_rate_reward([busy](const san::Marking& mk) { return mk.get(busy) > 0 ? 1.0 : 0.0; });
+  sim.reset(des::RandomEngine{2});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.rate_reward(util), 6.0);
+  EXPECT_DOUBLE_EQ(sim.rate_reward_average(util), 1.0);
+}
+
+TEST(RateRewardTest, AccruesUpToTimeLimit) {
+  san::SanModel m;
+  const auto a = m.place("a", 1);
+  m.timed_activity("loop", san::Distribution::deterministic_ms(100)).in(a).out(a);
+  san::SanSimulator sim{m, des::RandomEngine{3}};
+  const auto ones = sim.add_rate_reward([](const san::Marking&) { return 1.0; });
+  sim.reset(des::RandomEngine{3});
+  const auto res = sim.run(des::Duration::from_ms(42));
+  EXPECT_EQ(res.reason, san::StopReason::kTimeLimit);
+  EXPECT_DOUBLE_EQ(sim.rate_reward(ones), 42.0);
+}
+
+TEST(RateRewardTest, ResetClearsIntegrals) {
+  san::SanModel m;
+  const auto a = m.place("a", 1);
+  const auto b = m.place("b");
+  m.timed_activity("t", san::Distribution::deterministic_ms(5)).in(a).out(b);
+  san::SanSimulator sim{m, des::RandomEngine{4}};
+  const auto r = sim.add_rate_reward([](const san::Marking&) { return 2.0; });
+  sim.reset(des::RandomEngine{4});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.rate_reward(r), 10.0);
+  sim.reset(des::RandomEngine{5});
+  EXPECT_DOUBLE_EQ(sim.rate_reward(r), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Throughput
+// --------------------------------------------------------------------------
+
+TEST(ThroughputTest, AllExecutionsDecideAndRatesAreConsistent) {
+  const auto res = core::measure_throughput(3, net::NetworkParams::defaults(),
+                                            net::TimerModel::ideal(), 100, 11);
+  EXPECT_EQ(res.undecided, 0u);
+  EXPECT_EQ(res.executions, 100u);
+  EXPECT_GT(res.per_second, 0);
+  // Rate x duration must reproduce the count.
+  EXPECT_NEAR(res.per_second * res.duration_ms / 1000.0, 100.0, 1.0);
+}
+
+TEST(ThroughputTest, BackToBackSlowerThanIsolated) {
+  const auto params = net::NetworkParams::defaults();
+  const auto isolated =
+      core::measure_latency(5, params, net::TimerModel::ideal(), -1, 100, 12);
+  const auto b2b = core::measure_throughput(5, params, net::TimerModel::ideal(), 100, 12);
+  // Interference between consecutive executions raises per-execution latency.
+  EXPECT_GT(b2b.latency_ci.mean, isolated.summary().mean() * 1.1);
+  // ...and throughput must respect the isolated bound.
+  EXPECT_LT(b2b.per_second, 1000.0 / isolated.summary().mean());
+}
+
+TEST(ThroughputTest, ThroughputDecreasesWithN) {
+  const auto params = net::NetworkParams::defaults();
+  const auto t3 = core::measure_throughput(3, params, net::TimerModel::ideal(), 80, 13);
+  const auto t7 = core::measure_throughput(7, params, net::TimerModel::ideal(), 80, 13);
+  EXPECT_GT(t3.per_second, t7.per_second);
+}
+
+// --------------------------------------------------------------------------
+// Detection time
+// --------------------------------------------------------------------------
+
+TEST(DetectionTimeTest, BoundedByTimeoutAndPeriod) {
+  // Ideal timers: detection happens within (T - Th, Th + T + transit].
+  const auto res = core::measure_detection_time(3, net::NetworkParams::defaults(),
+                                                net::TimerModel::ideal(), 20.0, 25, 14);
+  ASSERT_GE(res.samples_ms.size(), 40u);  // 2 monitors x 25 trials, minus edge cases
+  for (const double d : res.samples_ms) {
+    EXPECT_GT(d, 20.0 - 14.0 - 0.5);
+    EXPECT_LT(d, 14.0 + 20.0 + 1.0);
+  }
+}
+
+TEST(DetectionTimeTest, GrowsWithTimeout) {
+  const auto params = net::NetworkParams::defaults();
+  const auto fast = core::measure_detection_time(3, params, net::TimerModel::defaults(), 20.0,
+                                                 20, 15);
+  const auto slow = core::measure_detection_time(3, params, net::TimerModel::defaults(), 100.0,
+                                                 20, 15);
+  ASSERT_FALSE(fast.samples_ms.empty());
+  ASSERT_FALSE(slow.samples_ms.empty());
+  EXPECT_LT(fast.summary.mean(), slow.summary.mean());
+}
+
+TEST(DetectionTimeTest, QuantisedTimersStretchDetection) {
+  // T = 40, Th = 28: ideal timers keep the true 28 ms heartbeat period
+  // (mean detection ~ T - Th/2 = 26 ms); 10 ms ticks stretch the period to
+  // 30 ms and delay the monitoring wake-ups, both of which push the mean
+  // detection time up.
+  const auto params = net::NetworkParams::defaults();
+  auto quantised = net::TimerModel::defaults();
+  quantised.p_minor_stall = quantised.p_major_stall = quantised.p_huge_stall = 0;  // tick only
+  const auto ideal =
+      core::measure_detection_time(3, params, net::TimerModel::ideal(), 40.0, 30, 16);
+  const auto ticked = core::measure_detection_time(3, params, quantised, 40.0, 30, 16);
+  ASSERT_FALSE(ideal.samples_ms.empty());
+  ASSERT_FALSE(ticked.samples_ms.empty());
+  EXPECT_NEAR(ideal.summary.mean(), 26.0, 3.0);
+  EXPECT_GT(ticked.summary.mean(), ideal.summary.mean());
+}
+
+}  // namespace
+}  // namespace sanperf

@@ -1,0 +1,186 @@
+// Cross-module integration tests: the full combined methodology
+// (emulator measurement -> calibration -> SAN simulation -> validation),
+// the QoS round trip through the abstract FD submodel, and end-to-end
+// properties the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/experiments.hpp"
+#include "core/measurement.hpp"
+#include "core/simulation.hpp"
+#include "fd/qos.hpp"
+#include "san/simulator.hpp"
+#include "sanmodels/fd_submodel.hpp"
+#include "stats/ks.hpp"
+
+namespace sanperf {
+namespace {
+
+// The paper's central workflow at small scale: measure, calibrate, simulate,
+// and require the model to track the measurement for several n.
+TEST(CombinedMethodologyTest, CalibratedModelTracksEmulator) {
+  auto scale = core::Scale::quick();
+  scale.sim_ns = {3, 5};
+  const auto ctx = core::make_context(scale, 424242);
+  for (const std::size_t n : {3u, 5u}) {
+    const auto meas = core::measure_latency(n, ctx.network, net::TimerModel::ideal(), -1, 400,
+                                            90 + n);
+    const auto sim = core::simulate_class1(n, ctx.transport(n), 400, 91 + n);
+    const double ratio = sim.summary.mean() / meas.summary().mean();
+    EXPECT_GT(ratio, 0.75) << "n=" << n;
+    EXPECT_LT(ratio, 1.35) << "n=" << n;
+    // Distribution-level agreement: the CDFs overlap substantially.
+    const double ks = stats::ks_distance(sim.ecdf(), stats::Ecdf{meas.latencies_ms});
+    EXPECT_LT(ks, 0.45) << "n=" << n;
+  }
+}
+
+// Table 1's qualitative structure, measured end to end on both sides.
+TEST(CombinedMethodologyTest, CrashScenarioDirections) {
+  const auto params = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::ideal();
+
+  // Emulator: coordinator crash slower everywhere; n=3 participant-crash
+  // anomaly (increase).
+  const auto ok3 = core::measure_latency(3, params, timers, -1, 400, 21);
+  const auto coord3 = core::measure_latency(3, params, timers, 0, 400, 22);
+  const auto part3 = core::measure_latency(3, params, timers, 1, 400, 23);
+  EXPECT_GT(coord3.summary().mean(), ok3.summary().mean() * 1.1);
+  EXPECT_GT(part3.summary().mean(), ok3.summary().mean());
+
+  // SAN: coordinator crash slower; participant crash FASTER (the broadcast
+  // simplification hides the anomaly -- the paper's Section 5.3 finding).
+  const auto transport = sanmodels::TransportParams::nominal(3);
+  const auto sok = core::simulate_class1(3, transport, 600, 24);
+  const auto scoord = core::simulate_class2(3, transport, 0, 600, 25);
+  const auto spart = core::simulate_class2(3, transport, 1, 600, 24);
+  EXPECT_GT(scoord.summary.mean(), sok.summary.mean() * 1.15);
+  EXPECT_LT(spart.summary.mean(), sok.summary.mean());
+}
+
+// QoS round trip: parameterise the abstract FD with known (T_MR, T_M), run
+// it, re-estimate the QoS from its trajectory with the paper's equations,
+// and recover the inputs. Validates the estimator and the submodel against
+// each other.
+class QosRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<double, double, fd::AbstractFdParams::Sojourn>> {
+};
+
+TEST_P(QosRoundTripTest, EstimatorRecoversModelParameters) {
+  const auto [t_mr, t_m, sojourn] = GetParam();
+  fd::QosEstimate qos;
+  qos.t_mr_ms = t_mr;
+  qos.t_m_ms = t_m;
+  const auto params = fd::AbstractFdParams::from_qos(qos, sojourn);
+
+  san::SanModel m;
+  const auto places = sanmodels::make_qos_fd(m, "fd", params);
+  san::SanSimulator sim{m, des::RandomEngine{77}};
+
+  // Rebuild the transition history by watching the susp places.
+  fd::PairHistory history;
+  bool suspected = places.suspected(m.initial_marking());
+  sim.set_fire_hook([&](san::ActivityId, des::TimePoint at) {
+    const bool now_suspected = places.suspected(sim.marking());
+    if (now_suspected != suspected) {
+      if (!history.transitions().empty() || now_suspected) {
+        history.record(at, now_suspected);
+      }
+      suspected = now_suspected;
+    }
+  });
+  const double horizon_ms = 400.0 * t_mr;  // ~400 mistake cycles
+  sim.run(des::Duration::from_ms(horizon_ms));
+
+  const auto est = fd::estimate_pair_qos(history, sim.now());
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->t_mr_ms, t_mr, 0.10 * t_mr);
+  EXPECT_NEAR(est->t_m_ms, t_m, 0.15 * t_m + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QosRoundTripTest,
+    ::testing::Values(
+        std::make_tuple(10.0, 2.0, fd::AbstractFdParams::Sojourn::kDeterministic),
+        std::make_tuple(10.0, 2.0, fd::AbstractFdParams::Sojourn::kExponential),
+        std::make_tuple(50.0, 5.0, fd::AbstractFdParams::Sojourn::kDeterministic),
+        std::make_tuple(50.0, 5.0, fd::AbstractFdParams::Sojourn::kExponential),
+        std::make_tuple(20.0, 0.5, fd::AbstractFdParams::Sojourn::kExponential)),
+    [](const auto& info) {
+      // NOTE: no structured bindings here -- the commas inside [a, b, c]
+      // would split the INSTANTIATE macro's arguments.
+      return "tmr" + std::to_string(static_cast<int>(std::get<0>(info.param))) + "_tm" +
+             std::to_string(static_cast<int>(10 * std::get<1>(info.param))) +
+             (std::get<2>(info.param) == fd::AbstractFdParams::Sojourn::kDeterministic ? "_det"
+                                                                                       : "_exp");
+    });
+
+// The class-3 pipeline end to end: measured QoS parameterises the SAN
+// model; good QoS must put the class-3 simulation at the class-1 level.
+TEST(CombinedMethodologyTest, Class3PipelineDegeneratesToClass1AtLargeT) {
+  auto scale = core::Scale::quick();
+  const auto ctx = core::make_context(scale, 31415);
+  const auto agg = core::measure_class3(3, ctx.network, ctx.timers, /*timeout_ms=*/100.0,
+                                        /*runs=*/2, /*executions=*/40, 32);
+  const auto transport = ctx.transport(3);
+  const auto class1 = core::simulate_class1(3, transport, 300, 33);
+
+  double class3_mean;
+  const auto& qos = agg.pooled_qos;
+  if (qos.pairs_used == 0 || !(qos.t_m_ms > 0) || qos.t_m_ms >= qos.t_mr_ms) {
+    class3_mean = class1.summary.mean();  // no mistakes at all
+  } else {
+    const auto params =
+        fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+    class3_mean = core::simulate_class3(3, transport, params, 300, 34).summary.mean();
+  }
+  EXPECT_NEAR(class3_mean, class1.summary.mean(), 0.15 * class1.summary.mean());
+}
+
+// Determinism across the whole stack: identical seeds give identical
+// campaign results.
+TEST(CombinedMethodologyTest, CampaignsAreReproducible) {
+  const auto params = net::NetworkParams::defaults();
+  const auto a = core::measure_latency(3, params, net::TimerModel::defaults(), -1, 50, 55);
+  const auto b = core::measure_latency(3, params, net::TimerModel::defaults(), -1, 50, 55);
+  EXPECT_EQ(a.latencies_ms, b.latencies_ms);
+
+  const auto c3a = core::measure_class3_run(3, params, net::TimerModel::defaults(), 5.0, 30, 56);
+  const auto c3b = core::measure_class3_run(3, params, net::TimerModel::defaults(), 5.0, 30, 56);
+  EXPECT_EQ(c3a.latency.latencies_ms, c3b.latency.latencies_ms);
+  EXPECT_DOUBLE_EQ(c3a.qos.t_mr_ms, c3b.qos.t_mr_ms);
+}
+
+// Consensus safety under the harshest setting we run anywhere: tiny
+// timeout, stall-prone timers, many executions -- agreement and validity
+// must hold for every decided instance.
+TEST(CombinedMethodologyTest, SafetyUnderHeavySuspicions) {
+  const auto run = core::measure_class3_run(5, net::NetworkParams::defaults(),
+                                            net::TimerModel::defaults(), 1.0, 60, 57);
+  // Liveness: the overwhelming majority of executions decide.
+  EXPECT_LT(run.latency.undecided, 6u);
+  for (const double lat : run.latency.latencies_ms) EXPECT_GT(lat, 0.0);
+  for (const auto rounds : run.latency.rounds) EXPECT_GE(rounds, 1);
+}
+
+// Fig 7b as a property: the KS-based sweep must prefer the true t_send
+// (0.025 ms) over badly wrong candidates.
+TEST(CombinedMethodologyTest, TsendSweepPrefersGroundTruth) {
+  auto scale = core::Scale::quick();
+  scale.class1_executions = 250;
+  scale.sim_replications = 250;
+  const auto ctx = core::make_context(scale, 2718);
+  const auto meas = core::measure_latency(5, ctx.network, net::TimerModel::ideal(), -1,
+                                          scale.class1_executions, 58);
+  const auto sweep = core::sweep_tsend(stats::Ecdf{meas.latencies_ms}, ctx.unicast_fit,
+                                       ctx.broadcast_fits.at(5), {0.005, 0.025, 0.035}, 250, 59);
+  double ks_true = 0, ks_low = 0;
+  for (const auto& cand : sweep.candidates) {
+    if (cand.t_send_ms == 0.025) ks_true = cand.ks_distance;
+    if (cand.t_send_ms == 0.005) ks_low = cand.ks_distance;
+  }
+  EXPECT_LT(ks_true, ks_low);
+}
+
+}  // namespace
+}  // namespace sanperf

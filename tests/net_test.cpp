@@ -1,0 +1,375 @@
+// Tests of the contention network: FIFO resource servers, end-to-end delay
+// decomposition, contention effects, crash handling and the timer model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <any>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "net/jitter.hpp"
+#include "net/network.hpp"
+#include "net/params.hpp"
+
+namespace sanperf::net {
+namespace {
+
+TEST(FifoServerTest, ServesJobsInOrderExclusively) {
+  des::Simulator sim;
+  FifoServer server{sim};
+  std::vector<int> done;
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(des::Duration::from_ms(2), [&, i] {
+      done.push_back(i);
+      times.push_back(sim.now().to_ms());
+    });
+  }
+  EXPECT_EQ(server.queue_length(), 2u);
+  sim.run();
+  EXPECT_EQ(done, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+  EXPECT_EQ(server.jobs_served(), 3u);
+  EXPECT_DOUBLE_EQ(server.busy_time().to_ms(), 6.0);
+}
+
+TEST(FifoServerTest, IdleServerStartsImmediately) {
+  des::Simulator sim;
+  FifoServer server{sim};
+  double when = -1;
+  sim.schedule(des::Duration::from_ms(5), [&] {
+    server.submit(des::Duration::from_ms(1), [&] { when = sim.now().to_ms(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 6.0);
+}
+
+TEST(FifoServerTest, DrainDropsQueuedJobs) {
+  des::Simulator sim;
+  FifoServer server{sim};
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(des::Duration::from_ms(1), [&] { ++completions; });
+  }
+  server.drain(/*drop_in_service=*/false);
+  sim.run();
+  EXPECT_EQ(completions, 1);  // only the in-service job completes
+}
+
+TEST(FifoServerTest, DrainCanSuppressInServiceJob) {
+  des::Simulator sim;
+  FifoServer server{sim};
+  int completions = 0;
+  server.submit(des::Duration::from_ms(1), [&] { ++completions; });
+  server.drain(/*drop_in_service=*/true);
+  sim.run();
+  EXPECT_EQ(completions, 0);
+  EXPECT_FALSE(server.busy());
+}
+
+NetworkParams fixed_delay_params() {
+  NetworkParams p;
+  p.send_cpu_ms = 0.025;
+  p.recv_cpu_ms = 0.025;
+  p.wire_service = {1.0, 0.09, 0.09, 0.0, 0.0};  // degenerate: always 0.09
+  p.pipeline_latency = {1.0, 0.0, 0.0, 0.0, 0.0};  // none: exact arithmetic
+  return p;
+}
+
+TEST(ContentionNetworkTest, UncontendedDelayIsSumOfStages) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{1}, fixed_delay_params(), 2};
+  double delay = -1;
+  netw.set_deliver([&](const Packet& pkt) { delay = (sim.now() - pkt.sent_at).to_ms(); });
+  netw.send(0, 1, std::any{});
+  sim.run();
+  EXPECT_NEAR(delay, 0.025 + 0.09 + 0.025, 1e-9);
+  EXPECT_EQ(netw.frames_sent(), 1u);
+}
+
+TEST(ContentionNetworkTest, DefaultsMatchPaperUnicastDelay) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{2}, NetworkParams::defaults(), 2};
+  std::vector<double> delays;
+  netw.set_deliver([&](const Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
+  // Isolated probes.
+  for (int i = 0; i < 2000; ++i) {
+    sim.schedule_at(des::TimePoint::origin() + des::Duration::from_ms(i * 1.0),
+                    [&netw] { netw.send(0, 1, std::any{}); });
+  }
+  sim.run();
+  ASSERT_EQ(delays.size(), 2000u);
+  double sum = 0;
+  for (const double d : delays) {
+    EXPECT_GE(d, 0.0999);
+    EXPECT_LE(d, 0.3581);
+    sum += d;
+  }
+  // Close to the paper fit mean 0.8 * 0.115 + 0.2 * 0.2475 = 0.1415 ms.
+  EXPECT_NEAR(sum / 2000.0, 0.1413, 0.005);
+}
+
+TEST(ContentionNetworkTest, SharedMediumSerialisesBurst) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{3}, fixed_delay_params(), 4};
+  std::vector<double> arrivals;
+  netw.set_deliver([&](const Packet&) { arrivals.push_back(sim.now().to_ms()); });
+  // Three different senders to three different receivers at t = 0: only the
+  // medium is shared, so arrivals must be spaced by the frame time.
+  netw.send(0, 1, std::any{});
+  netw.send(1, 2, std::any{});
+  netw.send(2, 3, std::any{});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 0.140, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.230, 1e-9);  // +0.09 medium serialisation
+  EXPECT_NEAR(arrivals[2], 0.320, 1e-9);
+}
+
+TEST(ContentionNetworkTest, SenderCpuSerialisesItsOwnMessages) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{4}, fixed_delay_params(), 3};
+  std::vector<double> arrivals;
+  netw.set_deliver([&](const Packet&) { arrivals.push_back(sim.now().to_ms()); });
+  netw.send(0, 1, std::any{});
+  netw.send(0, 2, std::any{});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Second message waits 0.025 for the sender CPU, then 0.065 more for the
+  // medium (which frees at 0.115): arrives at 0.115 + 0.09 + 0.025 = 0.230.
+  EXPECT_NEAR(arrivals[0], 0.140, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.230, 1e-9);
+}
+
+TEST(ContentionNetworkTest, ReceiverCpuSerialisesDeliveries) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{5}, fixed_delay_params(), 3};
+  std::vector<double> arrivals;
+  netw.set_deliver([&](const Packet&) { arrivals.push_back(sim.now().to_ms()); });
+  netw.send(0, 2, std::any{});
+  netw.send(1, 2, std::any{});
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.140, 1e-9);
+  // Frame 2 leaves the medium at 0.205 and the receiver is free by then,
+  // so only the medium serialisation shows: 0.205 + 0.025 = 0.230.
+  EXPECT_NEAR(arrivals[1], 0.230, 1e-9);
+}
+
+TEST(ContentionNetworkTest, FramesToCrashedHostOccupyMediumButDrop) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{6}, fixed_delay_params(), 3};
+  std::vector<double> arrivals;
+  netw.set_deliver([&](const Packet&) { arrivals.push_back(sim.now().to_ms()); });
+  netw.host_down(1);
+  netw.send(0, 1, std::any{});  // dropped after medium
+  netw.send(0, 2, std::any{});  // delivered, delayed by the dead frame
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_NEAR(arrivals[0], 0.230, 1e-9);  // dead frame still serialised first
+  EXPECT_EQ(netw.frames_dropped(), 1u);
+}
+
+TEST(ContentionNetworkTest, CrashedHostSendsNothing) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{7}, fixed_delay_params(), 2};
+  int delivered = 0;
+  netw.set_deliver([&](const Packet&) { ++delivered; });
+  netw.host_down(0);
+  netw.send(0, 1, std::any{});
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(netw.frames_sent(), 0u);
+}
+
+TEST(ContentionNetworkTest, RejectsBadEndpoints) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{8}, fixed_delay_params(), 2};
+  EXPECT_THROW(netw.send(0, 0, std::any{}), std::invalid_argument);
+  EXPECT_THROW(netw.send(0, 5, std::any{}), std::invalid_argument);
+  EXPECT_THROW(netw.host_down(9), std::invalid_argument);
+  EXPECT_THROW((ContentionNetwork{sim, des::RandomEngine{9}, fixed_delay_params(), 1}),
+               std::invalid_argument);
+}
+
+TEST(TimerModelTest, IdealTimersAreExact) {
+  des::RandomEngine rng{10};
+  const TimerModel tm = TimerModel::ideal();
+  const auto nominal = des::TimePoint::origin() + des::Duration::from_ms(3.7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(quantize_timer(tm, nominal, rng), nominal);
+  }
+}
+
+TEST(TimerModelTest, QuantisationRoundsUpToTick) {
+  des::RandomEngine rng{11};
+  TimerModel tm = TimerModel::ideal();
+  tm.tick_ms = 10.0;
+  const auto nominal = des::TimePoint::origin() + des::Duration::from_ms(3.7);
+  const auto t = quantize_timer(tm, nominal, rng);
+  EXPECT_EQ(t, des::TimePoint::origin() + des::Duration::from_ms(10.0));
+  // Already on a tick: unchanged.
+  const auto on_tick = des::TimePoint::origin() + des::Duration::from_ms(20.0);
+  EXPECT_EQ(quantize_timer(tm, on_tick, rng), on_tick);
+}
+
+TEST(TimerModelTest, NeverFiresEarly) {
+  des::RandomEngine rng{12};
+  const TimerModel tm = TimerModel::defaults();
+  for (int i = 0; i < 5000; ++i) {
+    const auto nominal =
+        des::TimePoint::origin() + des::Duration::from_ms(rng.uniform(0.0, 100.0));
+    EXPECT_GE(quantize_timer(tm, nominal, rng), nominal);
+  }
+}
+
+TEST(TimerModelTest, StallFrequenciesMatchConfig) {
+  des::RandomEngine rng{13};
+  TimerModel tm = TimerModel::ideal();
+  tm.p_minor_stall = 0.2;
+  tm.p_major_stall = 0.05;
+  tm.p_huge_stall = 0.01;
+  int stalled = 0, huge = 0;
+  const int k = 200000;
+  double max_stall = 0;
+  for (int i = 0; i < k; ++i) {
+    const double s = sample_stall(tm, rng).to_ms();
+    if (s > 0.0) ++stalled;
+    if (s >= 12.0) ++huge;
+    max_stall = std::max(max_stall, s);
+  }
+  // The minor/major ranges overlap; the total stall frequency and the
+  // heavy tail are the checkable quantities.
+  EXPECT_NEAR(stalled / static_cast<double>(k), 0.26, 0.01);
+  EXPECT_NEAR(huge / static_cast<double>(k), 0.01, 0.002);
+  EXPECT_LE(max_stall, 45.0);
+}
+
+TEST(TimerModelTest, DefaultExpectedUnicastMatchesFitMean) {
+  const NetworkParams p = NetworkParams::defaults();
+  // send 0.025 + wire 0.0915 + pipeline 0 + recv 0.025: the paper's fit mean.
+  EXPECT_NEAR(p.expected_unicast_e2e_ms(), 0.025 + 0.0915 + 0.025, 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// HubMedium arbitration
+// --------------------------------------------------------------------------
+
+TEST(HubMediumTest, PerHostQueuesStayFifo) {
+  des::Simulator sim;
+  HubMedium hub{sim, des::RandomEngine{20}, 3};
+  std::vector<int> order;
+  // Two frames from host 0 and two from host 1: arbitration between hosts
+  // is random, but each host's own frames must complete in order.
+  hub.submit(0, des::Duration::from_ms(1), [&] { order.push_back(1); });
+  hub.submit(0, des::Duration::from_ms(1), [&] { order.push_back(2); });
+  hub.submit(1, des::Duration::from_ms(1), [&] { order.push_back(11); });
+  hub.submit(1, des::Duration::from_ms(1), [&] { order.push_back(12); });
+  sim.run();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(11), pos(12));
+  EXPECT_EQ(hub.frames_served(), 4u);
+  EXPECT_DOUBLE_EQ(hub.busy_time().to_ms(), 4.0);
+}
+
+TEST(HubMediumTest, BacklogServedToCompletion) {
+  des::Simulator sim;
+  HubMedium hub{sim, des::RandomEngine{21}, 2};
+  int done = 0;
+  const int frames = 2000;
+  for (int i = 0; i < frames; ++i) {
+    hub.submit(0, des::Duration::from_ms(0.01), [&] { ++done; });
+    hub.submit(1, des::Duration::from_ms(0.01), [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 2 * frames);
+  EXPECT_EQ(hub.frames_served(), static_cast<std::uint64_t>(2 * frames));
+  EXPECT_EQ(hub.backlog(), 0u);
+  EXPECT_FALSE(hub.busy());
+}
+
+TEST(HubMediumTest, IdleHubStartsImmediately) {
+  des::Simulator sim;
+  HubMedium hub{sim, des::RandomEngine{22}, 2};
+  double when = -1;
+  sim.schedule(des::Duration::from_ms(3), [&] {
+    hub.submit(1, des::Duration::from_ms(2), [&] { when = sim.now().to_ms(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(when, 5.0);
+  EXPECT_FALSE(hub.busy());
+  EXPECT_EQ(hub.backlog(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Dead-peer absorption and frame classes
+// --------------------------------------------------------------------------
+
+TEST(DeadPeerAbsorptionTest, OnlyFirstProtocolFrameReachesWire) {
+  des::Simulator sim;
+  NetworkParams params = fixed_delay_params();
+  ContentionNetwork netw{sim, des::RandomEngine{23}, params, 2};
+  netw.host_down(1);
+  for (int i = 0; i < 5; ++i) netw.send(0, 1, std::any{});
+  sim.run();
+  // One frame on the wire (then TCP backoff absorbs), all five dropped.
+  EXPECT_EQ(netw.medium().frames_served(), 1u);
+  EXPECT_EQ(netw.frames_dropped(), 5u);
+}
+
+TEST(DeadPeerAbsorptionTest, PerPairBookkeeping) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{24}, fixed_delay_params(), 3};
+  netw.host_down(2);
+  netw.send(0, 2, std::any{});  // pair (0,2): first frame -> wire
+  netw.send(1, 2, std::any{});  // pair (1,2): first frame -> wire
+  netw.send(0, 2, std::any{});  // absorbed
+  sim.run();
+  EXPECT_EQ(netw.medium().frames_served(), 2u);
+}
+
+TEST(DeadPeerAbsorptionTest, CanBeDisabled) {
+  des::Simulator sim;
+  NetworkParams params = fixed_delay_params();
+  params.dead_peer_absorption = false;
+  ContentionNetwork netw{sim, des::RandomEngine{25}, params, 2};
+  netw.host_down(1);
+  for (int i = 0; i < 4; ++i) netw.send(0, 1, std::any{});
+  sim.run();
+  EXPECT_EQ(netw.medium().frames_served(), 4u);  // every frame on the wire
+}
+
+TEST(FrameClassTest, SmallFramesUseRawWireTime) {
+  des::Simulator sim;
+  NetworkParams params = fixed_delay_params();
+  params.small_wire_service = {1.0, 0.005, 0.005, 0.0, 0.0};
+  ContentionNetwork netw{sim, des::RandomEngine{26}, params, 2};
+  std::vector<double> delays;
+  netw.set_deliver([&](const Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
+  netw.send(0, 1, std::any{}, ContentionNetwork::FrameClass::kProtocol);
+  sim.run();
+  netw.send(0, 1, std::any{}, ContentionNetwork::FrameClass::kSmall);
+  sim.run();
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_NEAR(delays[0], 0.025 + 0.09 + 0.025, 1e-9);
+  EXPECT_NEAR(delays[1], 0.025 + 0.005 + 0.025, 1e-9);
+}
+
+TEST(FrameClassTest, SmallFramesToDeadHostAlwaysEmitted) {
+  // Heartbeats are UDP: no connection state, every datagram hits the wire.
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{27}, fixed_delay_params(), 2};
+  netw.host_down(1);
+  for (int i = 0; i < 3; ++i) {
+    netw.send(0, 1, std::any{}, ContentionNetwork::FrameClass::kSmall);
+  }
+  sim.run();
+  EXPECT_EQ(netw.medium().frames_served(), 3u);
+}
+
+}  // namespace
+}  // namespace sanperf::net

@@ -1,0 +1,362 @@
+// Tests of the SAN submodels: transport chains, FD submodels and the full
+// consensus model in all three run classes.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "san/simulator.hpp"
+#include "san/study.hpp"
+#include "sanmodels/consensus_model.hpp"
+#include "sanmodels/fd_submodel.hpp"
+#include "sanmodels/network_chains.hpp"
+
+namespace sanperf::sanmodels {
+namespace {
+
+using san::Distribution;
+using san::Marking;
+using san::SanModel;
+using san::SanSimulator;
+
+TransportParams fixed_transport() {
+  TransportParams p;
+  p.send_cpu = Distribution::deterministic_ms(0.025);
+  p.recv_cpu = Distribution::deterministic_ms(0.025);
+  p.frame_unicast = Distribution::deterministic_ms(0.09);
+  p.frame_broadcast = Distribution::deterministic_ms(0.18);
+  return p;
+}
+
+TEST(NetworkChainTest, UnicastDelayDecomposition) {
+  SanModel m;
+  const auto res = make_resources(m, 2);
+  const auto trg = m.place("trg", 1);
+  const auto out = m.place("out");
+  make_unicast_chain(m, "c", res, 0, 1, trg, out, fixed_transport());
+  m.validate();
+  SanSimulator sim{m, des::RandomEngine{1}};
+  sim.run();
+  EXPECT_EQ(sim.marking().get(out), 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.14);
+  // Resources returned.
+  EXPECT_EQ(sim.marking().get(res.cpu[0]), 1);
+  EXPECT_EQ(sim.marking().get(res.cpu[1]), 1);
+  EXPECT_EQ(sim.marking().get(res.medium), 1);
+}
+
+TEST(NetworkChainTest, MediumSerialisesCompetingChains) {
+  SanModel m;
+  const auto res = make_resources(m, 4);
+  const auto t1 = m.place("t1", 1);
+  const auto t2 = m.place("t2", 1);
+  const auto o1 = m.place("o1");
+  const auto o2 = m.place("o2");
+  make_unicast_chain(m, "c1", res, 0, 1, t1, o1, fixed_transport());
+  make_unicast_chain(m, "c2", res, 2, 3, t2, o2, fixed_transport());
+  SanSimulator sim{m, des::RandomEngine{2}};
+  sim.run();
+  // Distinct CPUs, shared medium: the second frame waits 0.09.
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.23);
+  EXPECT_EQ(sim.marking().get(o1) + sim.marking().get(o2), 2);
+}
+
+TEST(NetworkChainTest, SenderCpuHeldDuringService) {
+  SanModel m;
+  const auto res = make_resources(m, 3);
+  const auto t1 = m.place("t1", 1);
+  const auto t2 = m.place("t2", 1);
+  const auto o1 = m.place("o1");
+  const auto o2 = m.place("o2");
+  // Two messages from the SAME sender to DIFFERENT receivers, with a tiny
+  // frame time: the only serialisation left is the sender's CPU.
+  TransportParams p = fixed_transport();
+  p.frame_unicast = Distribution::deterministic_ms(0.001);
+  make_unicast_chain(m, "c1", res, 0, 1, t1, o1, p);
+  make_unicast_chain(m, "c2", res, 0, 2, t2, o2, p);
+  SanSimulator sim{m, des::RandomEngine{3}};
+  sim.run();
+  EXPECT_EQ(sim.marking().get(o1) + sim.marking().get(o2), 2);
+  // Second send starts at 0.025 (CPU held), delivers at 0.05+0.001+0.025.
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.076);
+}
+
+TEST(NetworkChainTest, BroadcastSingleMediumOccupancy) {
+  SanModel m;
+  const auto res = make_resources(m, 3);
+  const auto trg = m.place("trg", 1);
+  const auto o1 = m.place("o1");
+  const auto o2 = m.place("o2");
+  make_broadcast_chain(m, "b", res, 0, {{1, o1}, {2, o2}}, trg, fixed_transport());
+  m.validate();
+  SanSimulator sim{m, des::RandomEngine{4}};
+  sim.run();
+  EXPECT_EQ(sim.marking().get(o1), 1);
+  EXPECT_EQ(sim.marking().get(o2), 1);
+  // 0.025 send + 0.18 broadcast frame + 0.025 recv (parallel receivers).
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.23);
+  EXPECT_EQ(sim.marking().get(res.medium), 1);
+}
+
+TEST(NetworkChainTest, RejectsBadEndpoints) {
+  SanModel m;
+  const auto res = make_resources(m, 2);
+  const auto trg = m.place("trg");
+  const auto out = m.place("out");
+  EXPECT_THROW(make_unicast_chain(m, "x", res, 0, 0, trg, out, fixed_transport()),
+               std::invalid_argument);
+  EXPECT_THROW(make_broadcast_chain(m, "y", res, 0, {}, trg, fixed_transport()),
+               std::invalid_argument);
+}
+
+TEST(TransportParamsTest, NominalBroadcastScalesWithN) {
+  const auto p3 = TransportParams::nominal(3);
+  const auto p5 = TransportParams::nominal(5);
+  EXPECT_GT(p5.frame_broadcast.mean_ms(), p3.frame_broadcast.mean_ms());
+  EXPECT_GT(p3.frame_broadcast.mean_ms(), p3.frame_unicast.mean_ms());
+  EXPECT_THROW(TransportParams::nominal(1), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// FD submodel
+// --------------------------------------------------------------------------
+
+TEST(FdSubmodelTest, StaticDetectorFixedForever) {
+  SanModel m;
+  const auto trusted = make_static_fd(m, "t", false);
+  const auto suspected = make_static_fd(m, "s", true);
+  const Marking init = m.initial_marking();
+  EXPECT_FALSE(trusted.suspected(init));
+  EXPECT_TRUE(suspected.suspected(init));
+  EXPECT_FALSE(trusted.dynamic);
+}
+
+TEST(FdSubmodelTest, QosDetectorLongRunSuspicionFraction) {
+  // Long-run fraction of time suspected must approach T_M / T_MR.
+  fd::QosEstimate qos;
+  qos.t_mr_ms = 20.0;
+  qos.t_m_ms = 4.0;
+  for (const auto sojourn : {fd::AbstractFdParams::Sojourn::kDeterministic,
+                             fd::AbstractFdParams::Sojourn::kExponential}) {
+    SanModel m;
+    const auto params = fd::AbstractFdParams::from_qos(qos, sojourn);
+    const auto places = make_qos_fd(m, "fd", params);
+    m.validate();
+    SanSimulator sim{m, des::RandomEngine{42}};
+    double suspected_ms = 0;
+    double last_ms = 0;
+    bool was_suspected = false;
+    sim.set_fire_hook([&](san::ActivityId, des::TimePoint at) {
+      if (was_suspected) suspected_ms += at.to_ms() - last_ms;
+      last_ms = at.to_ms();
+      was_suspected = places.suspected(sim.marking());
+    });
+    sim.run(des::Duration::seconds(40));
+    const double fraction = suspected_ms / last_ms;
+    EXPECT_NEAR(fraction, 0.2, 0.02) << "sojourn kind " << static_cast<int>(sojourn);
+  }
+}
+
+TEST(FdSubmodelTest, InitialStateProbabilityIsStationary) {
+  fd::QosEstimate qos;
+  qos.t_mr_ms = 10.0;
+  qos.t_m_ms = 3.0;
+  const auto params =
+      fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kDeterministic);
+  SanModel m;
+  const auto places = make_qos_fd(m, "fd", params);
+  int suspected_at_start = 0;
+  const int k = 4000;
+  SanSimulator sim{m, des::RandomEngine{1}};
+  const des::RandomEngine master{5};
+  for (int i = 0; i < k; ++i) {
+    sim.reset(master.substream("rep", static_cast<std::uint64_t>(i)));
+    sim.run(des::Duration::zero());  // settle the init activity only
+    if (places.suspected(sim.marking())) ++suspected_at_start;
+  }
+  EXPECT_NEAR(suspected_at_start / static_cast<double>(k), 0.3, 0.025);
+}
+
+TEST(FdSubmodelTest, ZeroMistakeQosDegeneratesToStatic) {
+  fd::AbstractFdParams params;
+  params.trust_mean_ms = 100;
+  params.suspect_mean_ms = 0;
+  params.p_initial_suspect = 0;
+  SanModel m;
+  const auto places = make_qos_fd(m, "fd", params);
+  EXPECT_FALSE(places.dynamic);
+  EXPECT_FALSE(places.suspected(m.initial_marking()));
+}
+
+// --------------------------------------------------------------------------
+// Full consensus model
+// --------------------------------------------------------------------------
+
+TEST(ConsensusSanTest, Class1DecidesOnce) {
+  ConsensusSanConfig cfg;
+  cfg.n = 3;
+  cfg.transport = fixed_transport();
+  const auto built = build_consensus_san(cfg);
+  SanSimulator sim{built.model, des::RandomEngine{7}};
+  sim.set_stop_predicate(built.stop_predicate());
+  const auto res = sim.run(des::Duration::seconds(5));
+  EXPECT_EQ(res.reason, san::StopReason::kPredicate);
+  EXPECT_EQ(sim.marking().get(built.decided), 1);
+  // Deterministic timing: est (0.14) + propose bcast (0.23 phase) + ack.
+  EXPECT_GT(sim.now().to_ms(), 0.3);
+  EXPECT_LT(sim.now().to_ms(), 2.0);
+}
+
+TEST(ConsensusSanTest, Class1LatencyGrowsWithN) {
+  const des::RandomEngine master{8};
+  double prev = 0;
+  for (const std::size_t n : {3u, 5u, 7u}) {
+    ConsensusSanConfig cfg;
+    cfg.n = n;
+    cfg.transport = TransportParams::nominal(n);
+    const auto built = build_consensus_san(cfg);
+    san::TransientStudy study{built.model, built.stop_predicate()};
+    const auto result = study.run(200, master.substream("n", n).seed());
+    EXPECT_EQ(result.dropped, 0u);
+    EXPECT_GT(result.summary.mean(), prev);
+    prev = result.summary.mean();
+  }
+}
+
+TEST(ConsensusSanTest, Class2CoordinatorCrashSlower) {
+  ConsensusSanConfig base;
+  base.n = 5;
+  base.transport = TransportParams::nominal(5);
+  const auto model_ok = build_consensus_san(base);
+
+  ConsensusSanConfig crash = base;
+  crash.initially_crashed = 0;
+  const auto model_crash = build_consensus_san(crash);
+
+  san::TransientStudy ok_study{model_ok.model, model_ok.stop_predicate()};
+  san::TransientStudy crash_study{model_crash.model, model_crash.stop_predicate()};
+  const auto ok = ok_study.run(600, 91);
+  const auto bad = crash_study.run(600, 91);
+  ASSERT_EQ(ok.dropped, 0u);
+  ASSERT_EQ(bad.dropped, 0u);
+  // Two rounds instead of one: clearly slower.
+  EXPECT_GT(bad.summary.mean(), ok.summary.mean() * 1.2);
+}
+
+TEST(ConsensusSanTest, Class2ParticipantCrashFasterForN5) {
+  // The paper's simulation: less traffic from the crashed participant means
+  // lower latency (the single-broadcast model hides the n=3 anomaly).
+  ConsensusSanConfig base;
+  base.n = 5;
+  base.transport = TransportParams::nominal(5);
+  const auto model_ok = build_consensus_san(base);
+  ConsensusSanConfig crash = base;
+  crash.initially_crashed = 1;
+  const auto model_crash = build_consensus_san(crash);
+
+  san::TransientStudy ok_study{model_ok.model, model_ok.stop_predicate()};
+  san::TransientStudy crash_study{model_crash.model, model_crash.stop_predicate()};
+  const auto ok = ok_study.run(1500, 93);
+  const auto bad = crash_study.run(1500, 93);
+  EXPECT_LT(bad.summary.mean(), ok.summary.mean());
+}
+
+TEST(ConsensusSanTest, Class3GoodQosMatchesClass1) {
+  // Nearly perfect detectors: class-3 latency must sit at the class-1 level.
+  ConsensusSanConfig cfg;
+  cfg.n = 3;
+  cfg.transport = TransportParams::nominal(3);
+  const auto class1 = build_consensus_san(cfg);
+
+  fd::QosEstimate qos;
+  qos.t_mr_ms = 100000.0;
+  qos.t_m_ms = 0.1;
+  cfg.qos_fd = fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+  const auto class3 = build_consensus_san(cfg);
+
+  san::TransientStudy s1{class1.model, class1.stop_predicate()};
+  san::TransientStudy s3{class3.model, class3.stop_predicate()};
+  const auto r1 = s1.run(300, 95);
+  const auto r3 = s3.run(300, 95);
+  EXPECT_NEAR(r3.summary.mean(), r1.summary.mean(), 0.15);
+}
+
+TEST(ConsensusSanTest, Class3BadQosMuchSlower) {
+  ConsensusSanConfig cfg;
+  cfg.n = 3;
+  cfg.transport = TransportParams::nominal(3);
+  const auto class1 = build_consensus_san(cfg);
+
+  fd::QosEstimate qos;
+  qos.t_mr_ms = 4.0;  // a mistake every 4 ms...
+  qos.t_m_ms = 2.0;   // ...lasting 2 ms: suspected half the time
+  cfg.qos_fd = fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+  const auto class3 = build_consensus_san(cfg);
+
+  san::TransientStudy s1{class1.model, class1.stop_predicate()};
+  san::TransientStudy s3{class3.model, class3.stop_predicate()};
+  s3.set_time_limit(des::Duration::seconds(10));
+  const auto r1 = s1.run(200, 96);
+  const auto r3 = s3.run(200, 96);
+  EXPECT_GT(r3.summary.mean(), r1.summary.mean() * 2.0);
+}
+
+TEST(ConsensusSanTest, DeterministicVsExponentialSojournsDiffer) {
+  fd::QosEstimate qos;
+  qos.t_mr_ms = 6.0;
+  qos.t_m_ms = 2.0;
+  ConsensusSanConfig cfg;
+  cfg.n = 3;
+  cfg.transport = TransportParams::nominal(3);
+  cfg.qos_fd = fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kDeterministic);
+  const auto det = build_consensus_san(cfg);
+  cfg.qos_fd = fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+  const auto exp = build_consensus_san(cfg);
+  san::TransientStudy sd{det.model, det.stop_predicate()};
+  san::TransientStudy se{exp.model, exp.stop_predicate()};
+  sd.set_time_limit(des::Duration::seconds(10));
+  se.set_time_limit(des::Duration::seconds(10));
+  const auto rd = sd.run(300, 97);
+  const auto re = se.run(300, 97);
+  // Same mean QoS, different variance: latencies differ measurably.
+  EXPECT_GT(rd.summary.count(), 250u);
+  EXPECT_GT(re.summary.count(), 250u);
+  EXPECT_NE(rd.summary.mean(), re.summary.mean());
+}
+
+TEST(ConsensusSanTest, RejectsBadConfig) {
+  ConsensusSanConfig cfg;
+  cfg.n = 1;
+  EXPECT_THROW(build_consensus_san(cfg), std::invalid_argument);
+  cfg.n = 3;
+  cfg.initially_crashed = 3;
+  EXPECT_THROW(build_consensus_san(cfg), std::invalid_argument);
+}
+
+TEST(ConsensusSanTest, ModelSizeScalesQuadratically) {
+  ConsensusSanConfig c3;
+  c3.n = 3;
+  const auto m3 = build_consensus_san(c3);
+  ConsensusSanConfig c5;
+  c5.n = 5;
+  const auto m5 = build_consensus_san(c5);
+  EXPECT_GT(m5.model.place_count(), m3.model.place_count());
+  EXPECT_GT(m5.model.activity_count(), m3.model.activity_count());
+  // Message chains dominate: ~3 n(n-1) unicast chains.
+  EXPECT_GT(m5.model.activity_count(), 2 * m3.model.activity_count());
+}
+
+TEST(ConsensusSanTest, ReplicationsAreIndependentButReproducible) {
+  ConsensusSanConfig cfg;
+  cfg.n = 3;
+  cfg.transport = TransportParams::nominal(3);
+  const auto built = build_consensus_san(cfg);
+  san::TransientStudy study{built.model, built.stop_predicate()};
+  const auto a = study.run(50, 123);
+  const auto b = study.run(50, 123);
+  EXPECT_EQ(a.rewards, b.rewards);
+  stats::SummaryStats spread;
+  for (const double r : a.rewards) spread.add(r);
+  EXPECT_GT(spread.stddev(), 0.0);  // bimodal frames produce variance
+}
+
+}  // namespace
+}  // namespace sanperf::sanmodels
