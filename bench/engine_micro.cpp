@@ -1,11 +1,13 @@
 // Microbenchmarks of the substrates: event queue, SAN firing loop,
-// contention network, consensus emulation and SAN consensus replication.
+// contention network, consensus emulation, SAN consensus replication, and
+// the parallel replication engine's thread scaling.
 #include <benchmark/benchmark.h>
 
 #include <any>
 
 #include "consensus/ct_consensus.hpp"
 #include "core/measurement.hpp"
+#include "core/replication.hpp"
 #include "des/event_queue.hpp"
 #include "des/simulator.hpp"
 #include "fd/failure_detector.hpp"
@@ -90,6 +92,40 @@ void BM_SanConsensusReplication(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SanConsensusReplication)->Arg(3)->Arg(5);
+
+// Thread scaling of a SAN replication campaign through the engine. The
+// merged statistics are bit-identical across the Arg values; only the wall
+// clock changes (real time is the honest metric here).
+void BM_ReplicationEngineSan(benchmark::State& state) {
+  const core::ReplicationRunner runner{static_cast<std::size_t>(state.range(0))};
+  sanmodels::ConsensusSanConfig cfg;
+  cfg.n = 5;
+  cfg.transport = sanmodels::TransportParams::nominal(5);
+  const auto model = sanmodels::build_consensus_san(cfg);
+  san::TransientStudy study{model.model, model.stop_predicate()};
+  study.set_time_limit(des::Duration::seconds(10));
+  for (auto _ : state) {
+    const auto res = core::run_study(runner, study, 1000, 42);
+    benchmark::DoNotOptimize(res.summary.mean());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ReplicationEngineSan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of the emulated-cluster measurement campaign (the Fig 7a
+// inner loop) through the engine.
+void BM_ReplicationEngineEmulation(benchmark::State& state) {
+  const core::ReplicationRunner runner{static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    const auto res = core::measure_latency(5, net::NetworkParams::defaults(),
+                                           net::TimerModel::ideal(), -1, 64, 42, runner);
+    benchmark::DoNotOptimize(res.latencies_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ReplicationEngineEmulation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SanModelBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -45,7 +45,8 @@ std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
   std::vector<Fig7aRow> rows;
   for (const std::size_t n : ctx.scale.ns) {
     const auto meas = measure_latency(n, ctx.network, ctx.timers, /*initially_crashed=*/-1,
-                                      ctx.scale.class1_executions, ctx.seed + 100 + n);
+                                      ctx.scale.class1_executions, ctx.seed + 100 + n,
+                                      *ctx.runner);
     Fig7aRow row;
     row.n = n;
     row.latencies_ms = meas.latencies_ms;
@@ -59,7 +60,7 @@ std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
 Fig7bResult run_fig7b(const PaperContext& ctx) {
   Fig7bResult out;
   const auto meas = measure_latency(5, ctx.network, ctx.timers, -1, ctx.scale.class1_executions,
-                                    ctx.seed + 105);
+                                    ctx.seed + 105, *ctx.runner);
   out.measured_ms = meas.latencies_ms;
 
   const std::vector<double> candidates = {0.005, 0.010, 0.015, 0.020, 0.025, 0.035};
@@ -69,7 +70,8 @@ Fig7bResult run_fig7b(const PaperContext& ctx) {
 
   for (const double t_send : candidates) {
     const auto transport = make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5), t_send);
-    const auto study = simulate_class1(5, transport, ctx.scale.sim_replications, ctx.seed + 7);
+    const auto study =
+        simulate_class1(5, transport, ctx.scale.sim_replications, ctx.seed + 7, *ctx.runner);
     out.sim_ms[t_send] = study.rewards;
   }
   return out;
@@ -81,11 +83,14 @@ std::vector<Table1Row> run_table1(const PaperContext& ctx) {
     Table1Row row;
     row.n = n;
     const auto no_crash = measure_latency(n, ctx.network, ctx.timers, -1,
-                                          ctx.scale.class1_executions, ctx.seed + 200 + n);
+                                          ctx.scale.class1_executions, ctx.seed + 200 + n,
+                                          *ctx.runner);
     const auto coord = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/0,
-                                       ctx.scale.class1_executions, ctx.seed + 300 + n);
+                                       ctx.scale.class1_executions, ctx.seed + 300 + n,
+                                       *ctx.runner);
     const auto part = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/1,
-                                      ctx.scale.class1_executions, ctx.seed + 400 + n);
+                                      ctx.scale.class1_executions, ctx.seed + 400 + n,
+                                      *ctx.runner);
     row.meas_no_crash = no_crash.summary().mean_ci(0.90);
     row.meas_coord_crash = coord.summary().mean_ci(0.90);
     row.meas_part_crash = part.summary().mean_ci(0.90);
@@ -93,13 +98,15 @@ std::vector<Table1Row> run_table1(const PaperContext& ctx) {
     if (ctx.broadcast_fits.contains(n)) {
       const auto transport = ctx.transport(n);
       row.sim_no_crash =
-          simulate_class1(n, transport, ctx.scale.sim_replications, ctx.seed + 500 + n)
+          simulate_class1(n, transport, ctx.scale.sim_replications, ctx.seed + 500 + n, *ctx.runner)
               .summary.mean();
       row.sim_coord_crash =
-          simulate_class2(n, transport, 0, ctx.scale.sim_replications, ctx.seed + 600 + n)
+          simulate_class2(n, transport, 0, ctx.scale.sim_replications, ctx.seed + 600 + n,
+                          *ctx.runner)
               .summary.mean();
       row.sim_part_crash =
-          simulate_class2(n, transport, 1, ctx.scale.sim_replications, ctx.seed + 700 + n)
+          simulate_class2(n, transport, 1, ctx.scale.sim_replications, ctx.seed + 700 + n,
+                          *ctx.runner)
               .summary.mean();
     }
     rows.push_back(row);
@@ -117,7 +124,8 @@ std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
       pt.timeout_ms = timeout;
       pt.meas = measure_class3(n, ctx.network, ctx.timers, timeout, ctx.scale.class3_runs,
                                ctx.scale.class3_executions,
-                               ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout));
+                               ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout),
+                               *ctx.runner);
       points.push_back(std::move(pt));
     }
   }
@@ -142,7 +150,7 @@ std::vector<Fig9bPoint> run_fig9b(const PaperContext& ctx,
       // The detector made essentially no mistakes at this timeout: the
       // class-3 model degenerates to class 1.
       const auto study =
-          simulate_class1(pt.n, transport, ctx.scale.sim_replications, ctx.seed + 9000);
+          simulate_class1(pt.n, transport, ctx.scale.sim_replications, ctx.seed + 9000, *ctx.runner);
       row.sim_det_ms = study.summary.mean();
       row.sim_exp_ms = row.sim_det_ms;
     } else {
@@ -151,10 +159,10 @@ std::vector<Fig9bPoint> run_fig9b(const PaperContext& ctx,
       const auto exp = fd::AbstractFdParams::from_qos(
           qos, fd::AbstractFdParams::Sojourn::kExponential);
       row.sim_det_ms = simulate_class3(pt.n, transport, det, ctx.scale.sim_replications,
-                                       ctx.seed + 9100)
+                                       ctx.seed + 9100, *ctx.runner)
                            .summary.mean();
       row.sim_exp_ms = simulate_class3(pt.n, transport, exp, ctx.scale.sim_replications,
-                                       ctx.seed + 9200)
+                                       ctx.seed + 9200, *ctx.runner)
                            .summary.mean();
     }
     out.push_back(row);

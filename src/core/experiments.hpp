@@ -12,6 +12,7 @@
 #include "core/calibration.hpp"
 #include "core/config.hpp"
 #include "core/measurement.hpp"
+#include "core/replication.hpp"
 #include "net/params.hpp"
 #include "stats/ecdf.hpp"
 
@@ -22,6 +23,9 @@ struct PaperContext {
   std::uint64_t seed = kDefaultSeed;
   net::NetworkParams network = net::NetworkParams::defaults();
   net::TimerModel timers = net::TimerModel::defaults();
+  /// Replication engine the drivers fan campaigns out on. Thread count does
+  /// not affect results (deterministic per-replication seeding).
+  const ReplicationRunner* runner = &default_runner();
 
   // Calibration products (Section 5.1), filled by make_context():
   stats::BimodalUniform unicast_fit;

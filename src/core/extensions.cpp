@@ -6,6 +6,7 @@
 #include "consensus/ct_consensus.hpp"
 #include "consensus/mr_consensus.hpp"
 #include "consensus/sequencer.hpp"
+#include "core/exec_harness.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/heartbeat_fd.hpp"
 #include "runtime/cluster.hpp"
@@ -23,58 +24,23 @@ const char* to_string(Algorithm algorithm) {
 MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
                                      const net::NetworkParams& params,
                                      const net::TimerModel& timers, int initially_crashed,
-                                     std::size_t executions, std::uint64_t seed) {
+                                     std::size_t executions, std::uint64_t seed,
+                                     const ReplicationRunner& runner) {
   if (algorithm == Algorithm::kChandraToueg) {
-    return measure_latency(n, params, timers, initially_crashed, executions, seed);
+    return measure_latency(n, params, timers, initially_crashed, executions, seed, runner);
   }
-  const des::RandomEngine master{seed};
+  const des::SeedSplitter seeds{seed, "exec"};
+  const auto outcomes = runner.map(executions, [&](std::size_t k) {
+    return detail::run_one_consensus_execution<consensus::MrConsensus>(
+        n, params, timers, initially_crashed, k, seeds.stream_seed(k));
+  });
+
   MeasuredLatency out;
   out.latencies_ms.reserve(executions);
-
-  for (std::size_t k = 0; k < executions; ++k) {
-    runtime::ClusterConfig cfg;
-    cfg.n = n;
-    cfg.network = params;
-    cfg.timers = timers;
-    cfg.seed = master.substream("exec", k).seed();
-    runtime::Cluster cluster{cfg};
-
-    std::set<runtime::HostId> suspected;
-    if (initially_crashed >= 0) suspected.insert(static_cast<runtime::HostId>(initially_crashed));
-
-    std::optional<des::TimePoint> first_decide;
-    std::int32_t first_rounds = 0;
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      auto& proc = cluster.process(pid);
-      auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
-      auto& cons = proc.add_layer<consensus::MrConsensus>(fd_layer);
-      cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
-        if (!first_decide || ev.at < *first_decide) {
-          first_decide = ev.at;
-          first_rounds = ev.round;
-        }
-      });
-    }
-    if (initially_crashed >= 0) {
-      cluster.crash_initially(static_cast<runtime::HostId>(initially_crashed));
-    }
-
-    const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
-    auto skew_rng = cluster.rng_stream("ntp-skew");
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      auto& proc = cluster.process(pid);
-      if (proc.crashed()) continue;
-      const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
-      cluster.sim().schedule_at(start, [&proc, k] {
-        proc.layer<consensus::MrConsensus>().propose(static_cast<std::int32_t>(k),
-                                                     1 + proc.id());
-      });
-    }
-    const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
-    cluster.run_until([&] { return first_decide.has_value(); }, deadline);
-    if (first_decide) {
-      out.latencies_ms.push_back((*first_decide - t0).to_ms());
-      out.rounds.push_back(first_rounds);
+  for (const detail::ExecOutcome& exec : outcomes) {
+    if (exec.latency_ms) {
+      out.latencies_ms.push_back(*exec.latency_ms);
+      out.rounds.push_back(exec.rounds);
     } else {
       ++out.undecided;
     }
@@ -133,17 +99,16 @@ ThroughputResult measure_throughput(std::size_t n, const net::NetworkParams& par
 
 DetectionTimeResult measure_detection_time(std::size_t n, const net::NetworkParams& params,
                                            const net::TimerModel& timers, double timeout_ms,
-                                           std::size_t trials, std::uint64_t seed) {
-  const des::RandomEngine master{seed};
-  DetectionTimeResult out;
-  out.samples_ms.reserve(trials * (n - 1));
-
-  for (std::size_t trial = 0; trial < trials; ++trial) {
+                                           std::size_t trials, std::uint64_t seed,
+                                           const ReplicationRunner& runner) {
+  const des::SeedSplitter seeds{seed, "trial"};
+  const auto trial_samples = runner.map(trials, [&](std::size_t trial) {
+    std::vector<double> samples;
     runtime::ClusterConfig cfg;
     cfg.n = n;
     cfg.network = params;
     cfg.timers = timers;
-    cfg.seed = master.substream("trial", trial).seed();
+    cfg.seed = seeds.stream_seed(trial);
     runtime::Cluster cluster{cfg};
     const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
     for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
@@ -174,7 +139,16 @@ DetectionTimeResult measure_detection_time(std::size_t n, const net::NetworkPara
       if (!hb.is_suspected(victim) || history.transitions().empty()) continue;
       const auto& final_tr = history.transitions().back();
       if (!final_tr.to_suspect) continue;
-      const double detection = (final_tr.at - crash_at).to_ms();
+      samples.push_back((final_tr.at - crash_at).to_ms());
+    }
+    return samples;
+  });
+
+  // Fold in trial order: identical to the sequential loop.
+  DetectionTimeResult out;
+  out.samples_ms.reserve(trials * (n - 1));
+  for (const auto& samples : trial_samples) {
+    for (const double detection : samples) {
       out.samples_ms.push_back(detection);
       out.summary.add(detection);
     }

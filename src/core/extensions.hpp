@@ -31,7 +31,9 @@ enum class Algorithm {
                                                    const net::NetworkParams& params,
                                                    const net::TimerModel& timers,
                                                    int initially_crashed, std::size_t executions,
-                                                   std::uint64_t seed);
+                                                   std::uint64_t seed,
+                                                   const ReplicationRunner& runner =
+                                                       default_runner());
 
 struct ThroughputResult {
   double per_second = 0;        ///< decided executions per second
@@ -61,6 +63,8 @@ struct DetectionTimeResult {
                                                          const net::NetworkParams& params,
                                                          const net::TimerModel& timers,
                                                          double timeout_ms, std::size_t trials,
-                                                         std::uint64_t seed);
+                                                         std::uint64_t seed,
+                                                         const ReplicationRunner& runner =
+                                                             default_runner());
 
 }  // namespace sanperf::core

@@ -7,6 +7,7 @@
 #include "consensus/ct_consensus.hpp"
 #include "consensus/sequencer.hpp"
 #include "core/config.hpp"
+#include "core/exec_harness.hpp"
 #include "des/simulator.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/heartbeat_fd.hpp"
@@ -73,6 +74,12 @@ std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, s
   return delays;
 }
 
+void MeasuredLatency::merge(const MeasuredLatency& other) {
+  latencies_ms.insert(latencies_ms.end(), other.latencies_ms.begin(), other.latencies_ms.end());
+  rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+  undecided += other.undecided;
+}
+
 stats::SummaryStats MeasuredLatency::summary() const {
   stats::SummaryStats s;
   for (const double x : latencies_ms) s.add(x);
@@ -81,62 +88,24 @@ stats::SummaryStats MeasuredLatency::summary() const {
 
 MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
                                 const net::TimerModel& timers, int initially_crashed,
-                                std::size_t executions, std::uint64_t seed) {
+                                std::size_t executions, std::uint64_t seed,
+                                const ReplicationRunner& runner) {
   if (initially_crashed >= static_cast<int>(n)) {
     throw std::invalid_argument{"measure_latency: crashed id out of range"};
   }
-  const des::RandomEngine master{seed};
+  const des::SeedSplitter seeds{seed, "exec"};
+  const auto outcomes = runner.map(executions, [&](std::size_t k) {
+    return detail::run_one_consensus_execution<consensus::CtConsensus>(
+        n, params, timers, initially_crashed, k, seeds.stream_seed(k));
+  });
+
+  // Merge in execution order: identical to the sequential loop.
   MeasuredLatency out;
   out.latencies_ms.reserve(executions);
-
-  for (std::size_t k = 0; k < executions; ++k) {
-    // Independent executions: a fresh cluster per run keeps them perfectly
-    // isolated (the cluster equivalent of the paper's 10 ms separation).
-    runtime::ClusterConfig cfg;
-    cfg.n = n;
-    cfg.network = params;
-    cfg.timers = timers;
-    cfg.seed = master.substream("exec", k).seed();
-    runtime::Cluster cluster{cfg};
-
-    std::set<runtime::HostId> suspected;
-    if (initially_crashed >= 0) suspected.insert(static_cast<runtime::HostId>(initially_crashed));
-
-    std::optional<des::TimePoint> first_decide;
-    std::int32_t first_rounds = 0;
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      auto& proc = cluster.process(pid);
-      auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
-      auto& cons = proc.add_layer<consensus::CtConsensus>(fd_layer);
-      cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
-        if (!first_decide || ev.at < *first_decide) {
-          first_decide = ev.at;
-          first_rounds = ev.round;
-        }
-      });
-    }
-    if (initially_crashed >= 0) {
-      cluster.crash_initially(static_cast<runtime::HostId>(initially_crashed));
-    }
-
-    // All correct processes propose at t0 (up to the emulated NTP skew).
-    const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
-    auto skew_rng = cluster.rng_stream("ntp-skew");
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      auto& proc = cluster.process(pid);
-      if (proc.crashed()) continue;
-      const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
-      cluster.sim().schedule_at(start, [&proc, k] {
-        proc.layer<consensus::CtConsensus>().propose(static_cast<std::int32_t>(k), 1 + proc.id());
-      });
-    }
-
-    const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
-    cluster.run_until([&] { return first_decide.has_value(); }, deadline);
-
-    if (first_decide) {
-      out.latencies_ms.push_back((*first_decide - t0).to_ms());
-      out.rounds.push_back(first_rounds);
+  for (const detail::ExecOutcome& exec : outcomes) {
+    if (exec.latency_ms) {
+      out.latencies_ms.push_back(*exec.latency_ms);
+      out.rounds.push_back(exec.rounds);
     } else {
       ++out.undecided;
     }
@@ -192,14 +161,18 @@ Class3Run measure_class3_run(std::size_t n, const net::NetworkParams& params,
 
 Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
                                const net::TimerModel& timers, double timeout_ms, std::size_t runs,
-                               std::size_t executions, std::uint64_t seed) {
-  const des::RandomEngine master{seed};
+                               std::size_t executions, std::uint64_t seed,
+                               const ReplicationRunner& runner) {
+  const des::SeedSplitter seeds{seed, "run"};
+  const auto run_results = runner.map(runs, [&](std::size_t r) {
+    return measure_class3_run(n, params, timers, timeout_ms, executions, seeds.stream_seed(r));
+  });
+
   stats::SummaryStats lat_means, tmr_means, tm_means;
   Class3Aggregate agg;
 
-  for (std::size_t r = 0; r < runs; ++r) {
-    const Class3Run run = measure_class3_run(n, params, timers, timeout_ms, executions,
-                                             master.substream("run", r).seed());
+  // Aggregate in run order: identical to the sequential loop.
+  for (const Class3Run& run : run_results) {
     const auto lat = run.latency.summary();
     if (lat.count() > 0) lat_means.add(lat.mean());
     if (run.qos.pairs_used > 0) {

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/replication.hpp"
 #include "fd/qos.hpp"
 #include "net/params.hpp"
 #include "stats/summary.hpp"
@@ -27,16 +28,23 @@ struct MeasuredLatency {
   std::vector<std::int32_t> rounds;  ///< rounds used by the first decider
   std::size_t undecided = 0;
 
+  /// Appends another campaign's executions (shard merging).
+  void merge(const MeasuredLatency& other);
+
   [[nodiscard]] stats::SummaryStats summary() const;
 };
 
 /// Consensus latency for run classes 1 and 2: isolated executions, static
 /// complete-and-accurate failure detectors, optional initial crash.
-/// `initially_crashed` is a host id or -1.
+/// `initially_crashed` is a host id or -1. Executions are independent
+/// emulated clusters seeded per index, fanned out over `runner`; the result
+/// is identical for every thread count.
 [[nodiscard]] MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
                                               const net::TimerModel& timers,
                                               int initially_crashed, std::size_t executions,
-                                              std::uint64_t seed);
+                                              std::uint64_t seed,
+                                              const ReplicationRunner& runner =
+                                                  default_runner());
 
 /// One class-3 run: a single long experiment with live heartbeat failure
 /// detection (timeout T, Th = 0.7 T) and `executions` consensus executions
@@ -66,6 +74,8 @@ struct Class3Aggregate {
 [[nodiscard]] Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
                                              const net::TimerModel& timers, double timeout_ms,
                                              std::size_t runs, std::size_t executions,
-                                             std::uint64_t seed);
+                                             std::uint64_t seed,
+                                             const ReplicationRunner& runner =
+                                                 default_runner());
 
 }  // namespace sanperf::core

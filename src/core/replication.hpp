@@ -1,0 +1,95 @@
+// Parallel replication engine.
+//
+// Every campaign in this codebase is a set of independent replications,
+// each fully determined by (master seed, replication index). The
+// ReplicationRunner fans those indices out across a persistent thread pool
+// and the caller folds the per-index results back together IN INDEX ORDER,
+// so merged statistics are bit-identical regardless of thread count or
+// scheduling order. One thread (or SANPERF_THREADS=1) degenerates to the
+// plain sequential loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "san/study.hpp"
+
+namespace sanperf::core {
+
+class ReplicationRunner {
+ public:
+  /// `threads == 0` resolves to the hardware concurrency.
+  explicit ReplicationRunner(std::size_t threads = 0);
+  ~ReplicationRunner();
+
+  ReplicationRunner(const ReplicationRunner&) = delete;
+  ReplicationRunner& operator=(const ReplicationRunner&) = delete;
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count), distributed over the pool; the
+  /// calling thread participates. Blocks until every index has finished.
+  /// The first exception thrown by fn is rethrown here. Calls issued from
+  /// inside a running batch (nested parallelism) execute inline on the
+  /// current thread, so replication bodies may themselves use the runner.
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// for_each with results collected in index order. fn's result type must
+  /// be default-constructible.
+  template <typename Fn>
+  [[nodiscard]] auto map(std::size_t count, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "ReplicationRunner::map requires a default-constructible result");
+    static_assert(!std::is_same_v<R, bool>,
+                  "ReplicationRunner::map cannot return bool: std::vector<bool> packs bits, "
+                  "so concurrent out[i] writes race; return char/int instead");
+    std::vector<R> out(count);
+    for_each(count, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Batch {
+    Batch(const std::function<void(std::size_t)>& f, std::size_t c) : fn{&f}, count{c} {}
+    const std::function<void(std::size_t)>* fn;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::exception_ptr error;  ///< first failure; guarded by the runner mutex
+  };
+
+  void worker_loop();
+  void drain(Batch& batch) const;
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable wake_;
+  mutable std::condition_variable done_;
+  mutable std::shared_ptr<Batch> batch_;
+  mutable std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide runner shared by the experiment drivers. Thread count comes
+/// from SANPERF_THREADS (unset or 0 means hardware concurrency).
+[[nodiscard]] const ReplicationRunner& default_runner();
+
+/// Runs a transient study's replications through `runner` and merges the
+/// per-replication rewards in index order: the result is bit-identical to
+/// san::TransientStudy::run for every thread count.
+[[nodiscard]] san::StudyResult run_study(const ReplicationRunner& runner,
+                                         const san::TransientStudy& study,
+                                         std::size_t replications, std::uint64_t seed,
+                                         double confidence = 0.90);
+
+}  // namespace sanperf::core

@@ -3,42 +3,45 @@
 namespace sanperf::core {
 
 san::StudyResult simulate_latency(const sanmodels::ConsensusSanModel& model,
-                                  std::size_t replications, std::uint64_t seed) {
+                                  std::size_t replications, std::uint64_t seed,
+                                  const ReplicationRunner& runner) {
   san::TransientStudy study{model.model, model.stop_predicate()};
   // Pathological class-3 settings can spin through rounds for a long time;
   // 10 simulated seconds comfortably bounds every paper scenario.
   study.set_time_limit(des::Duration::seconds(10));
-  return study.run(replications, seed);
+  return run_study(runner, study, replications, seed);
 }
 
 san::StudyResult simulate_class1(std::size_t n, const sanmodels::TransportParams& transport,
-                                 std::size_t replications, std::uint64_t seed) {
+                                 std::size_t replications, std::uint64_t seed,
+                                 const ReplicationRunner& runner) {
   sanmodels::ConsensusSanConfig cfg;
   cfg.n = n;
   cfg.transport = transport;
   const auto model = sanmodels::build_consensus_san(cfg);
-  return simulate_latency(model, replications, seed);
+  return simulate_latency(model, replications, seed, runner);
 }
 
 san::StudyResult simulate_class2(std::size_t n, const sanmodels::TransportParams& transport,
-                                 int crashed, std::size_t replications, std::uint64_t seed) {
+                                 int crashed, std::size_t replications, std::uint64_t seed,
+                                 const ReplicationRunner& runner) {
   sanmodels::ConsensusSanConfig cfg;
   cfg.n = n;
   cfg.transport = transport;
   cfg.initially_crashed = crashed;
   const auto model = sanmodels::build_consensus_san(cfg);
-  return simulate_latency(model, replications, seed);
+  return simulate_latency(model, replications, seed, runner);
 }
 
 san::StudyResult simulate_class3(std::size_t n, const sanmodels::TransportParams& transport,
                                  const fd::AbstractFdParams& fd_params, std::size_t replications,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed, const ReplicationRunner& runner) {
   sanmodels::ConsensusSanConfig cfg;
   cfg.n = n;
   cfg.transport = transport;
   cfg.qos_fd = fd_params;
   const auto model = sanmodels::build_consensus_san(cfg);
-  return simulate_latency(model, replications, seed);
+  return simulate_latency(model, replications, seed, runner);
 }
 
 }  // namespace sanperf::core

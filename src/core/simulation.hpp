@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "core/replication.hpp"
 #include "fd/qos.hpp"
 #include "san/study.hpp"
 #include "sanmodels/consensus_model.hpp"
@@ -11,25 +12,35 @@
 namespace sanperf::core {
 
 /// Runs a latency study on a built consensus SAN: replications of the time
-/// from all-propose (t = 0) to the first decision.
+/// from all-propose (t = 0) to the first decision. Replications fan out
+/// across `runner` (default: the process-wide pool); results are merged in
+/// replication order and do not depend on the thread count.
 [[nodiscard]] san::StudyResult simulate_latency(const sanmodels::ConsensusSanModel& model,
-                                                std::size_t replications, std::uint64_t seed);
+                                                std::size_t replications, std::uint64_t seed,
+                                                const ReplicationRunner& runner =
+                                                    default_runner());
 
 /// Class 1: no crashes, accurate detectors.
 [[nodiscard]] san::StudyResult simulate_class1(std::size_t n,
                                                const sanmodels::TransportParams& transport,
-                                               std::size_t replications, std::uint64_t seed);
+                                               std::size_t replications, std::uint64_t seed,
+                                               const ReplicationRunner& runner =
+                                                   default_runner());
 
 /// Class 2: `crashed` is initially down; detectors complete and accurate.
 [[nodiscard]] san::StudyResult simulate_class2(std::size_t n,
                                                const sanmodels::TransportParams& transport,
                                                int crashed, std::size_t replications,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               const ReplicationRunner& runner =
+                                                   default_runner());
 
 /// Class 3: no crashes, QoS-parameterised independent two-state detectors.
 [[nodiscard]] san::StudyResult simulate_class3(std::size_t n,
                                                const sanmodels::TransportParams& transport,
                                                const fd::AbstractFdParams& fd_params,
-                                               std::size_t replications, std::uint64_t seed);
+                                               std::size_t replications, std::uint64_t seed,
+                                               const ReplicationRunner& runner =
+                                                   default_runner());
 
 }  // namespace sanperf::core

@@ -15,14 +15,19 @@ std::uint64_t mix64(std::uint64_t x) {
 
 RandomEngine::RandomEngine(std::uint64_t seed) : seed_{seed}, gen_{mix64(seed)} {}
 
-RandomEngine RandomEngine::substream(std::string_view label, std::uint64_t index) const {
+std::uint64_t derive_seed(std::uint64_t parent_seed, std::string_view label,
+                          std::uint64_t index) {
   // FNV-1a over the label, then mixed with the parent seed and index.
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : label) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
-  return RandomEngine{mix64(seed_ ^ mix64(h) ^ mix64(index * 0xd1342543de82ef95ULL + 1))};
+  return mix64(parent_seed ^ mix64(h) ^ mix64(index * 0xd1342543de82ef95ULL + 1));
+}
+
+RandomEngine RandomEngine::substream(std::string_view label, std::uint64_t index) const {
+  return RandomEngine{derive_seed(seed_, label, index)};
 }
 
 double RandomEngine::uniform(double a, double b) {

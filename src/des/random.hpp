@@ -52,4 +52,33 @@ class RandomEngine {
 /// SplitMix64 finalizer; used for seed derivation and stable hashing.
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x);
 
+/// Seed for the substream of `parent_seed` named (label, index). This is the
+/// derivation RandomEngine::substream uses; exposed so seeds can be split
+/// without instantiating engines.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent_seed, std::string_view label,
+                                        std::uint64_t index = 0);
+
+/// Splits one master seed into arbitrarily many independent replication
+/// streams. stream(i) is pure in (master_seed, label, i): replication i sees
+/// the same draws no matter how many threads run the campaign or in which
+/// order replications execute. Equivalent to
+/// RandomEngine{master}.substream(label, i), without engine construction.
+class SeedSplitter {
+ public:
+  explicit SeedSplitter(std::uint64_t master_seed, std::string_view label = "rep")
+      : master_{master_seed}, label_{label} {}
+
+  [[nodiscard]] std::uint64_t stream_seed(std::uint64_t index) const {
+    return derive_seed(master_, label_, index);
+  }
+  [[nodiscard]] RandomEngine stream(std::uint64_t index) const {
+    return RandomEngine{stream_seed(index)};
+  }
+  [[nodiscard]] std::uint64_t master_seed() const { return master_; }
+
+ private:
+  std::uint64_t master_;
+  std::string label_;
+};
+
 }  // namespace sanperf::des

@@ -44,7 +44,7 @@ PlaceId SanModel::place(const std::string& name, std::int32_t initial) {
   const auto id = static_cast<PlaceId>(places_.size());
   places_.push_back({name, initial});
   place_index_.emplace(name, id);
-  dependents_dirty_ = true;
+  touch();
   return id;
 }
 
@@ -54,7 +54,7 @@ InputGateId SanModel::input_gate(std::string name, std::vector<PlaceId> reads,
   if (!enabled) throw std::logic_error{"SanModel: input gate without predicate: " + name};
   const auto id = static_cast<InputGateId>(input_gates_.size());
   input_gates_.push_back({std::move(name), std::move(reads), std::move(enabled), std::move(fire)});
-  dependents_dirty_ = true;
+  touch();
   return id;
 }
 
@@ -77,7 +77,7 @@ ActivityRef SanModel::timed_activity(const std::string& name, Distribution delay
   act.cases.push_back(Case{});
   activities_.push_back(std::move(act));
   activity_index_.emplace(name, id);
-  dependents_dirty_ = true;
+  touch();
   return ActivityRef{*this, id};
 }
 
@@ -94,7 +94,7 @@ ActivityRef SanModel::instant_activity(const std::string& name, double weight) {
   act.cases.push_back(Case{});
   activities_.push_back(std::move(act));
   activity_index_.emplace(name, id);
-  dependents_dirty_ = true;
+  touch();
   return ActivityRef{*this, id};
 }
 
@@ -115,6 +115,7 @@ ActivityId SanModel::find_activity(const std::string& name) const {
 void SanModel::set_initial_tokens(PlaceId p, std::int32_t v) {
   if (v < 0) throw std::logic_error{"SanModel: negative initial tokens"};
   places_[p].initial = v;
+  touch();
 }
 
 Marking SanModel::initial_marking() const {
@@ -126,6 +127,7 @@ Marking SanModel::initial_marking() const {
 }
 
 void SanModel::validate() const {
+  if (validated_) return;
   for (const Activity& act : activities_) {
     if (act.cases.empty()) throw std::logic_error{"SanModel: activity without cases: " + act.name};
     double total = 0;
@@ -162,31 +164,39 @@ void SanModel::validate() const {
       if (p >= places_.size()) throw std::logic_error{"SanModel: bad read in gate " + g.name};
     }
   }
+  validated_ = true;
+}
+
+void SanModel::prepare() const {
+  validate();
+  if (dependents_dirty_) build_dependents();
+}
+
+void SanModel::build_dependents() const {
+  dependents_.assign(places_.size(), {});
+  for (std::size_t a = 0; a < activities_.size(); ++a) {
+    const Activity& act = activities_[a];
+    auto note = [&](PlaceId q) {
+      auto& vec = dependents_[q];
+      if (vec.empty() || vec.back() != static_cast<ActivityId>(a)) {
+        vec.push_back(static_cast<ActivityId>(a));
+      }
+    };
+    for (const PlaceId q : act.input_places) note(q);
+    for (const InputGateId g : act.input_gates) {
+      for (const PlaceId q : input_gates_[g].reads) note(q);
+    }
+  }
+  // Deduplicate (an activity may touch a place through several routes).
+  for (auto& vec : dependents_) {
+    std::sort(vec.begin(), vec.end());
+    vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+  }
+  dependents_dirty_ = false;
 }
 
 const std::vector<ActivityId>& SanModel::dependents(PlaceId p) const {
-  if (dependents_dirty_) {
-    dependents_.assign(places_.size(), {});
-    for (std::size_t a = 0; a < activities_.size(); ++a) {
-      const Activity& act = activities_[a];
-      auto note = [&](PlaceId q) {
-        auto& vec = dependents_[q];
-        if (vec.empty() || vec.back() != static_cast<ActivityId>(a)) {
-          vec.push_back(static_cast<ActivityId>(a));
-        }
-      };
-      for (const PlaceId q : act.input_places) note(q);
-      for (const InputGateId g : act.input_gates) {
-        for (const PlaceId q : input_gates_[g].reads) note(q);
-      }
-    }
-    // Deduplicate (an activity may touch a place through several routes).
-    for (auto& vec : dependents_) {
-      std::sort(vec.begin(), vec.end());
-      vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
-    }
-    dependents_dirty_ = false;
-  }
+  if (dependents_dirty_) build_dependents();
   return dependents_[p];
 }
 

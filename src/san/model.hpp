@@ -150,11 +150,19 @@ class SanModel {
   // --- integrity -----------------------------------------------------------
   /// Checks structural invariants (case probabilities sum to 1, every
   /// activity has at least one effect, gate sensitivity lists are in range).
-  /// Throws std::logic_error describing the first violation.
+  /// Throws std::logic_error describing the first violation. Memoized: a
+  /// repeat call on an unmutated model is O(1).
   void validate() const;
 
+  /// Validates and eagerly builds the dependents cache. Call this (from one
+  /// thread) before sharing the model across concurrent simulators: after
+  /// prepare(), all accessors on an unmutated model are read-only and
+  /// thread-safe.
+  void prepare() const;
+
   /// Activities whose enabling can change when `p` changes (input arcs and
-  /// gate reads). Built lazily on first use after the last mutation.
+  /// gate reads). Built lazily on first use after the last mutation; NOT
+  /// thread-safe while the cache is cold (see prepare()).
   [[nodiscard]] const std::vector<ActivityId>& dependents(PlaceId p) const;
 
  private:
@@ -165,10 +173,18 @@ class SanModel {
     std::int32_t initial = 0;
   };
 
-  Activity& mutable_activity(ActivityId a) {
+  /// Marks cached derived state stale after any structural mutation.
+  void touch() {
     dependents_dirty_ = true;
+    validated_ = false;
+  }
+
+  Activity& mutable_activity(ActivityId a) {
+    touch();
     return activities_[a];
   }
+
+  void build_dependents() const;
 
   std::vector<PlaceInfo> places_;
   std::vector<Activity> activities_;
@@ -178,6 +194,7 @@ class SanModel {
   std::unordered_map<std::string, ActivityId> activity_index_;
 
   mutable bool dependents_dirty_ = true;
+  mutable bool validated_ = false;
   mutable std::vector<std::vector<ActivityId>> dependents_;
 };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,9 +41,20 @@ class TransientStudy {
   void set_keep_incomplete(bool keep) { keep_incomplete_ = keep; }
   void set_time_limit(des::Duration limit) { time_limit_ = limit; }
 
-  /// Runs `replications` independent replications derived from `seed`.
+  /// Runs `replications` independent replications derived from `seed`,
+  /// sequentially. Replication r draws from substream ("rep", r) of the
+  /// seed, the same streams core::run_study hands to its thread pool, so
+  /// sequential and parallel campaigns agree bit for bit.
   [[nodiscard]] StudyResult run(std::size_t replications, std::uint64_t seed,
                                 double confidence = 0.90) const;
+
+  /// Runs one replication on its own simulator and returns its reward, or
+  /// nullopt when the run ends without reaching the stop predicate and
+  /// incompletes are dropped. Thread-safe provided the model is not mutated
+  /// during the study: the constructor warms the model's caches
+  /// (SanModel::prepare), after which concurrent calls only read shared
+  /// state.
+  [[nodiscard]] std::optional<double> run_one(des::RandomEngine rng) const;
 
  private:
   const SanModel* model_;

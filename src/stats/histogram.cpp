@@ -29,6 +29,16 @@ void Histogram::add(double x) {
   ++counts_[bin];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument{"Histogram::merge: incompatible binning"};
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_center(std::size_t bin) const {
   const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + (static_cast<double>(bin) + 0.5) * w;

@@ -15,6 +15,12 @@ class Histogram {
 
   void add(double x);
 
+  /// Adds another histogram's counts into this one. Both must have the same
+  /// range and bin count (throws std::invalid_argument otherwise).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
