@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <any>
+#include <deque>
 
 #include "consensus/ct_consensus.hpp"
 #include "core/measurement.hpp"
@@ -33,6 +34,35 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+// Cancellation under a standing backlog: the dominant failure-detector
+// pattern (arm a timeout, cancel it when the heartbeat arrives). With the
+// indexed heap this is a true O(log n) removal and zero allocations; the
+// old lazy-deletion design left a dead entry to churn through the heap.
+void BM_EventQueueCancel(benchmark::State& state) {
+  des::RandomEngine rng{2};
+  des::EventQueue q;
+  std::vector<des::EventId> backlog;
+  for (int i = 0; i < 256; ++i) {
+    backlog.push_back(
+        q.push(des::TimePoint::origin() + des::Duration::nanos(rng.uniform_int(0, 1'000'000)),
+               [] {}));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      const des::EventId victim = backlog[cursor];
+      benchmark::DoNotOptimize(q.cancel(victim));
+      backlog[cursor] =
+          q.push(des::TimePoint::origin() + des::Duration::nanos(rng.uniform_int(0, 1'000'000)),
+                 [] {});
+      cursor = (cursor + 1) % backlog.size();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.counters["slab_slots"] = static_cast<double>(q.slot_capacity());
+}
+BENCHMARK(BM_EventQueueCancel);
 
 void BM_SimulatorEventChain(benchmark::State& state) {
   for (auto _ : state) {
@@ -125,6 +155,36 @@ void BM_ReplicationEngineEmulation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ReplicationEngineEmulation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Thread scaling of a whole flattened campaign: a Fig 7a-shaped sweep
+// (several group sizes x replications) enumerated as one ShardSpace, so the
+// outer grid sweep and the inner replication loops drain from a single
+// batch. Results are bit-identical across the Arg values.
+void BM_FlatCampaignSan(benchmark::State& state) {
+  const core::ReplicationRunner runner{static_cast<std::size_t>(state.range(0))};
+  const std::vector<std::size_t> ns = {3, 5};
+  std::deque<sanmodels::ConsensusSanModel> models;  // address-stable under the studies
+  std::vector<san::TransientStudy> studies;
+  for (const std::size_t n : ns) {
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = n;
+    cfg.transport = sanmodels::TransportParams::nominal(n);
+    models.push_back(sanmodels::build_consensus_san(cfg));
+    studies.emplace_back(models.back().model, models.back().stop_predicate());
+    studies.back().set_time_limit(des::Duration::seconds(10));
+  }
+  core::ShardSpace space;
+  for (std::size_t g = 0; g < ns.size(); ++g) space.add_group(256, 42 + g);
+  for (auto _ : state) {
+    const auto rewards = runner.run_flat(space, [&](const core::ShardSpace::Task& t) {
+      return studies[t.group].run_one(des::RandomEngine{t.seed});
+    });
+    benchmark::DoNotOptimize(rewards.front().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(space.size()));
+}
+BENCHMARK(BM_FlatCampaignSan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_SanModelBuild(benchmark::State& state) {

@@ -9,16 +9,16 @@
 #include <optional>
 #include <set>
 
+#include "core/measurement.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/params.hpp"
 #include "runtime/cluster.hpp"
 
 namespace sanperf::core::detail {
 
-struct ExecOutcome {
-  std::optional<double> latency_ms;
-  std::int32_t rounds = 0;
-};
+/// The public campaign-facing outcome type; defined in measurement.hpp so
+/// the flattened drivers can fold outcomes without pulling in the harness.
+using ExecOutcome = ::sanperf::core::ExecOutcome;
 
 template <typename ConsensusLayer>
 ExecOutcome run_one_consensus_execution(std::size_t n, const net::NetworkParams& params,

@@ -1,9 +1,12 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
+#include <deque>
 #include <stdexcept>
+#include <utility>
 
 #include "core/simulation.hpp"
+#include "sanmodels/consensus_model.hpp"
 
 namespace sanperf::core {
 
@@ -15,40 +18,84 @@ sanmodels::TransportParams PaperContext::transport(std::size_t n) const {
   return make_transport(unicast_fit, it->second, t_send_ms);
 }
 
+namespace {
+
+/// The Fig 6 calibration pass as one flattened shard space: group 0 holds
+/// the unicast probe shards, one further group per broadcast n. Returns the
+/// pooled per-group delay samples in probe order.
+struct DelaySamples {
+  std::vector<double> unicast_ms;
+  std::map<std::size_t, std::vector<double>> broadcast_ms;  ///< keyed by n
+};
+
+DelaySamples run_calibration_probes(const net::NetworkParams& network, const Scale& scale,
+                                    std::uint64_t seed, const ReplicationRunner& runner) {
+  const std::size_t shard_count = delay_probe_shards(scale.delay_probes);
+  ShardSpace space;
+  space.add_group(shard_count, seed + 1, "probe");
+  for (const std::size_t n : scale.sim_ns) space.add_group(shard_count, seed + 2 + n, "probe");
+
+  auto shards = runner.run_flat(space, [&](const ShardSpace::Task& t) {
+    const std::size_t count = delay_probe_shard_size(scale.delay_probes, t.index);
+    if (t.group == 0) return unicast_probe_shard(network, count, t.seed);
+    return broadcast_probe_shard(network, scale.sim_ns[t.group - 1], count, t.seed);
+  });
+
+  const auto concat = [](std::vector<double>& a, std::vector<double>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+  };
+  DelaySamples out;
+  out.unicast_ms = tree_merge(std::move(shards[0]), concat, &runner);
+  for (std::size_t g = 0; g < scale.sim_ns.size(); ++g) {
+    out.broadcast_ms[scale.sim_ns[g]] = tree_merge(std::move(shards[g + 1]), concat, &runner);
+  }
+  return out;
+}
+
+}  // namespace
+
 PaperContext make_context(const Scale& scale, std::uint64_t seed) {
   PaperContext ctx;
   ctx.scale = scale;
   ctx.seed = seed;
 
-  const auto unicast = measure_unicast_delays(ctx.network, scale.delay_probes, seed + 1);
-  ctx.unicast_fit = stats::fit_bimodal_uniform(unicast);
-  for (const std::size_t n : scale.sim_ns) {
-    const auto bcast = measure_broadcast_delays(ctx.network, n, scale.delay_probes, seed + 2 + n);
-    ctx.broadcast_fits[n] = stats::fit_bimodal_uniform(bcast);
+  const auto samples = run_calibration_probes(ctx.network, scale, seed, *ctx.runner);
+  ctx.unicast_fit = stats::fit_bimodal_uniform(samples.unicast_ms);
+  for (const auto& [n, delays] : samples.broadcast_ms) {
+    ctx.broadcast_fits[n] = stats::fit_bimodal_uniform(delays);
   }
   return ctx;
 }
 
 Fig6Result run_fig6(const PaperContext& ctx) {
   Fig6Result out;
-  out.unicast_ms = measure_unicast_delays(ctx.network, ctx.scale.delay_probes, ctx.seed + 1);
+  auto samples = run_calibration_probes(ctx.network, ctx.scale, ctx.seed, *ctx.runner);
+  out.unicast_ms = std::move(samples.unicast_ms);
   out.unicast_fit = stats::fit_bimodal_uniform(out.unicast_ms);
-  for (const std::size_t n : ctx.scale.sim_ns) {
-    out.broadcast_ms[n] =
-        measure_broadcast_delays(ctx.network, n, ctx.scale.delay_probes, ctx.seed + 2 + n);
-    out.broadcast_fits[n] = stats::fit_bimodal_uniform(out.broadcast_ms[n]);
+  for (auto& [n, delays] : samples.broadcast_ms) {
+    out.broadcast_fits[n] = stats::fit_bimodal_uniform(delays);
+    out.broadcast_ms[n] = std::move(delays);
   }
   return out;
 }
 
 std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
-  std::vector<Fig7aRow> rows;
+  // Flattened fan-out: every (n, execution) pair is one task, so small n
+  // groups and large ones drain from the same pool batch.
+  ShardSpace space;
   for (const std::size_t n : ctx.scale.ns) {
-    const auto meas = measure_latency(n, ctx.network, ctx.timers, /*initially_crashed=*/-1,
-                                      ctx.scale.class1_executions, ctx.seed + 100 + n,
-                                      *ctx.runner);
+    space.add_group(ctx.scale.class1_executions, ctx.seed + 100 + n, "exec");
+  }
+  const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+    return run_latency_execution(ctx.scale.ns[t.group], ctx.network, ctx.timers,
+                                 /*initially_crashed=*/-1, t.index, t.seed);
+  });
+
+  std::vector<Fig7aRow> rows;
+  for (std::size_t g = 0; g < ctx.scale.ns.size(); ++g) {
+    const auto meas = fold_latency_outcomes(outcomes[g]);
     Fig7aRow row;
-    row.n = n;
+    row.n = ctx.scale.ns[g];
     row.latencies_ms = meas.latencies_ms;
     row.mean = meas.summary().mean_ci(0.90);
     row.undecided = meas.undecided;
@@ -78,36 +125,93 @@ Fig7bResult run_fig7b(const PaperContext& ctx) {
 }
 
 std::vector<Table1Row> run_table1(const PaperContext& ctx) {
+  // One flattened space for the whole campaign: every (n, scenario,
+  // execution) measurement task and every (n, scenario, replication) SAN
+  // simulation task drains from a single batch. Per-task seeds reproduce
+  // the nested measure_latency / simulate_class* calls exactly.
+  struct GroupDesc {
+    std::size_t n = 0;
+    int crashed = -1;                            ///< measurement scenario
+    const san::TransientStudy* study = nullptr;  ///< non-null for SAN groups
+  };
+  struct Cell {
+    ExecOutcome exec;
+    std::optional<double> reward;
+  };
+
+  // SAN studies for the calibrated n, built up front on the caller thread
+  // (a deque keeps the models address-stable under the studies' pointers).
+  struct SimGroup {
+    sanmodels::ConsensusSanModel built;
+    std::optional<san::TransientStudy> study;
+  };
+  std::deque<SimGroup> sims;
+  const auto add_sim = [&](std::size_t n, int crashed) {
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = n;
+    cfg.transport = ctx.transport(n);
+    cfg.initially_crashed = crashed;
+    auto& sim = sims.emplace_back(SimGroup{sanmodels::build_consensus_san(cfg), std::nullopt});
+    sim.study.emplace(sim.built.model, sim.built.stop_predicate());
+    sim.study->set_time_limit(des::Duration::seconds(10));
+    return &*sim.study;
+  };
+
+  ShardSpace space;
+  std::vector<GroupDesc> descs;
+  for (const std::size_t n : ctx.scale.ns) {
+    for (const auto& [crashed, base] :
+         {std::pair{-1, 200ULL}, std::pair{0, 300ULL}, std::pair{1, 400ULL}}) {
+      space.add_group(ctx.scale.class1_executions, ctx.seed + base + n, "exec");
+      descs.push_back(GroupDesc{n, crashed, nullptr});
+    }
+    if (ctx.broadcast_fits.contains(n)) {
+      for (const auto& [crashed, base] :
+           {std::pair{-1, 500ULL}, std::pair{0, 600ULL}, std::pair{1, 700ULL}}) {
+        space.add_group(ctx.scale.sim_replications, ctx.seed + base + n, "rep");
+        descs.push_back(GroupDesc{n, crashed, add_sim(n, crashed)});
+      }
+    }
+  }
+
+  const auto cells = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+    const GroupDesc& gd = descs[t.group];
+    Cell cell;
+    if (gd.study != nullptr) {
+      cell.reward = gd.study->run_one(des::RandomEngine{t.seed});
+    } else {
+      cell.exec = run_latency_execution(gd.n, ctx.network, ctx.timers, gd.crashed, t.index,
+                                        t.seed);
+    }
+    return cell;
+  });
+
+  // Fold per group in index order: bit-identical to the sequential sweep.
+  const auto fold_meas = [&](std::size_t g) {
+    std::vector<ExecOutcome> outcomes;
+    outcomes.reserve(cells[g].size());
+    for (const Cell& c : cells[g]) outcomes.push_back(c.exec);
+    return fold_latency_outcomes(outcomes).summary().mean_ci(0.90);
+  };
+  const auto fold_sim = [&](std::size_t g) {
+    std::vector<std::optional<double>> rewards;
+    rewards.reserve(cells[g].size());
+    for (const Cell& c : cells[g]) rewards.push_back(c.reward);
+    return fold_study_rewards(rewards).summary.mean();
+  };
+
   std::vector<Table1Row> rows;
+  std::size_t g = 0;
   for (const std::size_t n : ctx.scale.ns) {
     Table1Row row;
     row.n = n;
-    const auto no_crash = measure_latency(n, ctx.network, ctx.timers, -1,
-                                          ctx.scale.class1_executions, ctx.seed + 200 + n,
-                                          *ctx.runner);
-    const auto coord = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/0,
-                                       ctx.scale.class1_executions, ctx.seed + 300 + n,
-                                       *ctx.runner);
-    const auto part = measure_latency(n, ctx.network, ctx.timers, /*crashed=*/1,
-                                      ctx.scale.class1_executions, ctx.seed + 400 + n,
-                                      *ctx.runner);
-    row.meas_no_crash = no_crash.summary().mean_ci(0.90);
-    row.meas_coord_crash = coord.summary().mean_ci(0.90);
-    row.meas_part_crash = part.summary().mean_ci(0.90);
-
+    row.meas_no_crash = fold_meas(g++);
+    row.meas_coord_crash = fold_meas(g++);
+    row.meas_part_crash = fold_meas(g++);
     if (ctx.broadcast_fits.contains(n)) {
-      const auto transport = ctx.transport(n);
-      row.sim_no_crash =
-          simulate_class1(n, transport, ctx.scale.sim_replications, ctx.seed + 500 + n, *ctx.runner)
-              .summary.mean();
-      row.sim_coord_crash =
-          simulate_class2(n, transport, 0, ctx.scale.sim_replications, ctx.seed + 600 + n,
-                          *ctx.runner)
-              .summary.mean();
-      row.sim_part_crash =
-          simulate_class2(n, transport, 1, ctx.scale.sim_replications, ctx.seed + 700 + n,
-                          *ctx.runner)
-              .summary.mean();
+      row.sim_no_crash = fold_sim(g++);
+      row.sim_coord_crash = fold_sim(g++);
+      row.sim_part_crash = fold_sim(g++);
     }
     rows.push_back(row);
   }
@@ -116,18 +220,29 @@ std::vector<Table1Row> run_table1(const PaperContext& ctx) {
 
 std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
                                                  const std::vector<std::size_t>& ns) {
+  // Flattened (n, timeout, run) space: every class-3 run is one task, so
+  // the whole Fig 8 / Fig 9a sweep drains from a single pool batch.
+  ShardSpace space;
   std::vector<Class3Point> points;
   for (const std::size_t n : ns) {
     for (const double timeout : ctx.scale.timeouts_ms) {
+      space.add_group(ctx.scale.class3_runs,
+                      ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout), "run");
       Class3Point pt;
       pt.n = n;
       pt.timeout_ms = timeout;
-      pt.meas = measure_class3(n, ctx.network, ctx.timers, timeout, ctx.scale.class3_runs,
-                               ctx.scale.class3_executions,
-                               ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout),
-                               *ctx.runner);
-      points.push_back(std::move(pt));
+      points.push_back(pt);
     }
+  }
+
+  auto runs = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+    const Class3Point& pt = points[t.group];
+    return measure_class3_run(pt.n, ctx.network, ctx.timers, pt.timeout_ms,
+                              ctx.scale.class3_executions, t.seed);
+  });
+
+  for (std::size_t g = 0; g < points.size(); ++g) {
+    points[g].meas = fold_class3_runs(std::move(runs[g]));
   }
   return points;
 }

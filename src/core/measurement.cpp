@@ -16,14 +16,14 @@
 
 namespace sanperf::core {
 
-std::vector<double> measure_unicast_delays(const net::NetworkParams& params, std::size_t probes,
-                                           std::uint64_t seed) {
+std::vector<double> unicast_probe_shard(const net::NetworkParams& params, std::size_t count,
+                                        std::uint64_t seed) {
   des::Simulator sim;
   des::RandomEngine rng{seed};
   net::ContentionNetwork netw{sim, rng.substream("net"), params, 2};
 
   std::vector<double> delays;
-  delays.reserve(probes);
+  delays.reserve(count);
   netw.set_deliver([&](const net::Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
 
   // Isolated probes: each send waits for the previous delivery plus a gap,
@@ -31,7 +31,7 @@ std::vector<double> measure_unicast_delays(const net::NetworkParams& params, std
   // paper's delay measurements).
   const des::Duration gap = des::Duration::from_ms(1.0);
   std::function<void(std::size_t)> fire = [&](std::size_t k) {
-    if (k >= probes) return;
+    if (k >= count) return;
     netw.send(0, 1, std::any{});
     sim.schedule(gap, [&fire, k] { fire(k + 1); });
   };
@@ -40,15 +40,15 @@ std::vector<double> measure_unicast_delays(const net::NetworkParams& params, std
   return delays;
 }
 
-std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, std::size_t n,
-                                             std::size_t probes, std::uint64_t seed) {
-  if (n < 2) throw std::invalid_argument{"measure_broadcast_delays: n < 2"};
+std::vector<double> broadcast_probe_shard(const net::NetworkParams& params, std::size_t n,
+                                          std::size_t count, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument{"broadcast_probe_shard: n < 2"};
   des::Simulator sim;
   des::RandomEngine rng{seed};
   net::ContentionNetwork netw{sim, rng.substream("net"), params, n};
 
   std::vector<double> delays;  // one entry per broadcast: mean over destinations
-  delays.reserve(probes);
+  delays.reserve(count);
   double acc = 0;
   std::size_t received = 0;
   netw.set_deliver([&](const net::Packet& pkt) {
@@ -62,7 +62,7 @@ std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, s
 
   const des::Duration gap = des::Duration::from_ms(3.0);
   std::function<void(std::size_t)> fire = [&](std::size_t k) {
-    if (k >= probes) return;
+    if (k >= count) return;
     // The implementation broadcasts as n-1 unicasts in ascending id order.
     for (net::HostId dst = 1; dst < static_cast<net::HostId>(n); ++dst) {
       netw.send(0, dst, std::any{});
@@ -72,6 +72,44 @@ std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, s
   fire(0);
   sim.run();
   return delays;
+}
+
+namespace {
+
+/// Concatenates probe shards in shard order (tree merge; associative, so
+/// identical to sequential appends) into the pooled delay sample.
+std::vector<double> pool_probe_shards(std::vector<std::vector<double>> shards,
+                                      const ReplicationRunner& runner) {
+  return tree_merge(
+      std::move(shards),
+      [](std::vector<double>& a, std::vector<double>& b) {
+        a.insert(a.end(), b.begin(), b.end());
+        std::vector<double>{}.swap(b);
+      },
+      &runner);
+}
+
+}  // namespace
+
+std::vector<double> measure_unicast_delays(const net::NetworkParams& params, std::size_t probes,
+                                           std::uint64_t seed, const ReplicationRunner& runner) {
+  const des::SeedSplitter seeds{seed, "probe"};
+  auto shards = runner.map(delay_probe_shards(probes), [&](std::size_t s) {
+    return unicast_probe_shard(params, delay_probe_shard_size(probes, s), seeds.stream_seed(s));
+  });
+  return pool_probe_shards(std::move(shards), runner);
+}
+
+std::vector<double> measure_broadcast_delays(const net::NetworkParams& params, std::size_t n,
+                                             std::size_t probes, std::uint64_t seed,
+                                             const ReplicationRunner& runner) {
+  if (n < 2) throw std::invalid_argument{"measure_broadcast_delays: n < 2"};
+  const des::SeedSplitter seeds{seed, "probe"};
+  auto shards = runner.map(delay_probe_shards(probes), [&](std::size_t s) {
+    return broadcast_probe_shard(params, n, delay_probe_shard_size(probes, s),
+                                 seeds.stream_seed(s));
+  });
+  return pool_probe_shards(std::move(shards), runner);
 }
 
 void MeasuredLatency::merge(const MeasuredLatency& other) {
@@ -86,23 +124,18 @@ stats::SummaryStats MeasuredLatency::summary() const {
   return s;
 }
 
-MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
-                                const net::TimerModel& timers, int initially_crashed,
-                                std::size_t executions, std::uint64_t seed,
-                                const ReplicationRunner& runner) {
-  if (initially_crashed >= static_cast<int>(n)) {
-    throw std::invalid_argument{"measure_latency: crashed id out of range"};
-  }
-  const des::SeedSplitter seeds{seed, "exec"};
-  const auto outcomes = runner.map(executions, [&](std::size_t k) {
-    return detail::run_one_consensus_execution<consensus::CtConsensus>(
-        n, params, timers, initially_crashed, k, seeds.stream_seed(k));
-  });
+ExecOutcome run_latency_execution(std::size_t n, const net::NetworkParams& params,
+                                  const net::TimerModel& timers, int initially_crashed,
+                                  std::size_t k, std::uint64_t exec_seed) {
+  return detail::run_one_consensus_execution<consensus::CtConsensus>(
+      n, params, timers, initially_crashed, k, exec_seed);
+}
 
+MeasuredLatency fold_latency_outcomes(const std::vector<ExecOutcome>& outcomes) {
   // Merge in execution order: identical to the sequential loop.
   MeasuredLatency out;
-  out.latencies_ms.reserve(executions);
-  for (const detail::ExecOutcome& exec : outcomes) {
+  out.latencies_ms.reserve(outcomes.size());
+  for (const ExecOutcome& exec : outcomes) {
     if (exec.latency_ms) {
       out.latencies_ms.push_back(*exec.latency_ms);
       out.rounds.push_back(exec.rounds);
@@ -111,6 +144,19 @@ MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
     }
   }
   return out;
+}
+
+MeasuredLatency measure_latency(std::size_t n, const net::NetworkParams& params,
+                                const net::TimerModel& timers, int initially_crashed,
+                                std::size_t executions, std::uint64_t seed,
+                                const ReplicationRunner& runner) {
+  if (initially_crashed >= static_cast<int>(n)) {
+    throw std::invalid_argument{"measure_latency: crashed id out of range"};
+  }
+  const des::SeedSplitter seeds{seed, "exec"};
+  return fold_latency_outcomes(runner.map(executions, [&](std::size_t k) {
+    return run_latency_execution(n, params, timers, initially_crashed, k, seeds.stream_seed(k));
+  }));
 }
 
 Class3Run measure_class3_run(std::size_t n, const net::NetworkParams& params,
@@ -159,30 +205,32 @@ Class3Run measure_class3_run(std::size_t n, const net::NetworkParams& params,
   return run;
 }
 
-Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
-                               const net::TimerModel& timers, double timeout_ms, std::size_t runs,
-                               std::size_t executions, std::uint64_t seed,
-                               const ReplicationRunner& runner) {
-  const des::SeedSplitter seeds{seed, "run"};
-  const auto run_results = runner.map(runs, [&](std::size_t r) {
-    return measure_class3_run(n, params, timers, timeout_ms, executions, seeds.stream_seed(r));
-  });
-
+Class3Aggregate fold_class3_runs(std::vector<Class3Run> runs) {
   stats::SummaryStats lat_means, tmr_means, tm_means;
   Class3Aggregate agg;
 
-  // Aggregate in run order: identical to the sequential loop.
-  for (const Class3Run& run : run_results) {
+  // Aggregate scalar summaries in run order: identical to the sequential
+  // loop (SummaryStats folds are order-sensitive in the last bits).
+  std::vector<MeasuredLatency> latency_shards;
+  latency_shards.reserve(runs.size());
+  for (Class3Run& run : runs) {
     const auto lat = run.latency.summary();
     if (lat.count() > 0) lat_means.add(lat.mean());
     if (run.qos.pairs_used > 0) {
       tmr_means.add(run.qos.t_mr_ms);
       tm_means.add(run.qos.t_m_ms);
     }
-    agg.all_latencies_ms.insert(agg.all_latencies_ms.end(), run.latency.latencies_ms.begin(),
-                                run.latency.latencies_ms.end());
-    agg.undecided += run.latency.undecided;
+    latency_shards.push_back(std::move(run.latency));
   }
+
+  // Pool per-run latency shards pairwise: concatenation is associative, so
+  // the tree merge reproduces the sequential appends exactly while scaling
+  // to high run counts.
+  MeasuredLatency pooled = tree_merge(
+      std::move(latency_shards),
+      [](MeasuredLatency& a, MeasuredLatency& b) { a.merge(b); });
+  agg.all_latencies_ms = std::move(pooled.latencies_ms);
+  agg.undecided = pooled.undecided;
 
   agg.latency_ms = lat_means.mean_ci(0.90);
   agg.t_mr_ms = tmr_means.mean_ci(0.90);
@@ -191,6 +239,16 @@ Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
   agg.pooled_qos.t_m_ms = tm_means.mean();
   agg.pooled_qos.pairs_used = tmr_means.count();
   return agg;
+}
+
+Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
+                               const net::TimerModel& timers, double timeout_ms, std::size_t runs,
+                               std::size_t executions, std::uint64_t seed,
+                               const ReplicationRunner& runner) {
+  const des::SeedSplitter seeds{seed, "run"};
+  return fold_class3_runs(runner.map(runs, [&](std::size_t r) {
+    return measure_class3_run(n, params, timers, timeout_ms, executions, seeds.stream_seed(r));
+  }));
 }
 
 }  // namespace sanperf::core

@@ -13,15 +13,63 @@
 
 namespace sanperf::core {
 
+// --- Fig 6 delay probes ------------------------------------------------------
+//
+// The calibration pass measures isolated probe delays. Probes are batched
+// into independent shards -- each shard a fresh emulated network with its
+// own derived seed -- so the whole pass fans out over the replication
+// engine and the shard results concatenate deterministically in shard
+// order, identical for any thread count.
+
+/// Probes per independent shard in the Fig 6 calibration pass.
+inline constexpr std::size_t kDelayProbeShard = 64;
+
+/// Number of probe shards covering `probes` probes.
+[[nodiscard]] constexpr std::size_t delay_probe_shards(std::size_t probes) {
+  return (probes + kDelayProbeShard - 1) / kDelayProbeShard;
+}
+/// Probes carried by shard `shard` of a `probes`-probe campaign.
+[[nodiscard]] constexpr std::size_t delay_probe_shard_size(std::size_t probes, std::size_t shard) {
+  const std::size_t start = shard * kDelayProbeShard;
+  return start >= probes ? 0 : (probes - start < kDelayProbeShard ? probes - start
+                                                                  : kDelayProbeShard);
+}
+
+/// One shard of `count` isolated unicast probes (the flat sharding unit of
+/// the Fig 6 calibration): end-to-end delays in ms, in probe order.
+[[nodiscard]] std::vector<double> unicast_probe_shard(const net::NetworkParams& params,
+                                                      std::size_t count, std::uint64_t seed);
+
+/// One shard of `count` isolated broadcasts to n-1 destinations, each delay
+/// averaged over the destinations.
+[[nodiscard]] std::vector<double> broadcast_probe_shard(const net::NetworkParams& params,
+                                                        std::size_t n, std::size_t count,
+                                                        std::uint64_t seed);
+
 /// End-to-end delay of isolated unicast messages (Fig 6, "unicast"), in ms.
+/// Shards fan out over `runner`; the pooled sample is identical for any
+/// thread count.
 [[nodiscard]] std::vector<double> measure_unicast_delays(const net::NetworkParams& params,
-                                                         std::size_t probes, std::uint64_t seed);
+                                                         std::size_t probes, std::uint64_t seed,
+                                                         const ReplicationRunner& runner =
+                                                             default_runner());
 
 /// End-to-end delay of isolated broadcasts to n-1 destinations, averaged
 /// over the destinations (Fig 6, "broadcast to n"), in ms.
 [[nodiscard]] std::vector<double> measure_broadcast_delays(const net::NetworkParams& params,
                                                            std::size_t n, std::size_t probes,
-                                                           std::uint64_t seed);
+                                                           std::uint64_t seed,
+                                                           const ReplicationRunner& runner =
+                                                               default_runner());
+
+// --- Class 1/2 latency campaigns --------------------------------------------
+
+/// Outcome of one isolated consensus execution (the flat sharding unit of
+/// the Fig 7a / Table 1 measurement campaigns).
+struct ExecOutcome {
+  std::optional<double> latency_ms;  ///< empty when the execution timed out
+  std::int32_t rounds = 0;
+};
 
 struct MeasuredLatency {
   std::vector<double> latencies_ms;  ///< decided executions only
@@ -33,6 +81,17 @@ struct MeasuredLatency {
 
   [[nodiscard]] stats::SummaryStats summary() const;
 };
+
+/// One isolated Chandra-Toueg execution with an explicitly derived seed
+/// (task `k` of a campaign; seeds come from SeedSplitter{seed, "exec"}).
+[[nodiscard]] ExecOutcome run_latency_execution(std::size_t n, const net::NetworkParams& params,
+                                                const net::TimerModel& timers,
+                                                int initially_crashed, std::size_t k,
+                                                std::uint64_t exec_seed);
+
+/// Folds per-execution outcomes in execution order -- the exact merge the
+/// sequential campaign loop performs.
+[[nodiscard]] MeasuredLatency fold_latency_outcomes(const std::vector<ExecOutcome>& outcomes);
 
 /// Consensus latency for run classes 1 and 2: isolated executions, static
 /// complete-and-accurate failure detectors, optional initial crash.
@@ -70,6 +129,11 @@ struct Class3Aggregate {
   std::size_t undecided = 0;
   fd::QosEstimate pooled_qos;            ///< run-mean QoS (feeds the SAN model)
 };
+
+/// Folds independent class-3 runs in run order (the flat sharding fold for
+/// the Fig 8 / Fig 9a campaigns). Pooled latencies concatenate by pairwise
+/// tree merge -- associative, so still bit-identical to the left fold.
+[[nodiscard]] Class3Aggregate fold_class3_runs(std::vector<Class3Run> runs);
 
 [[nodiscard]] Class3Aggregate measure_class3(std::size_t n, const net::NetworkParams& params,
                                              const net::TimerModel& timers, double timeout_ms,

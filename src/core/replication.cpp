@@ -105,16 +105,10 @@ const ReplicationRunner& default_runner() {
   return runner;
 }
 
-san::StudyResult run_study(const ReplicationRunner& runner, const san::TransientStudy& study,
-                           std::size_t replications, std::uint64_t seed, double confidence) {
-  const des::SeedSplitter seeds{seed};
-  const auto rewards = runner.map(
-      replications, [&](std::size_t r) { return study.run_one(seeds.stream(r)); });
-
-  // Deterministic fold in replication order: the exact sequence of add()
-  // calls the sequential loop would make.
+san::StudyResult fold_study_rewards(const std::vector<std::optional<double>>& rewards,
+                                    double confidence) {
   san::StudyResult out;
-  out.rewards.reserve(replications);
+  out.rewards.reserve(rewards.size());
   for (const auto& reward : rewards) {
     if (!reward) {
       ++out.dropped;
@@ -125,6 +119,16 @@ san::StudyResult run_study(const ReplicationRunner& runner, const san::Transient
   }
   out.ci = out.summary.mean_ci(confidence);
   return out;
+}
+
+san::StudyResult run_study(const ReplicationRunner& runner, const san::TransientStudy& study,
+                           std::size_t replications, std::uint64_t seed, double confidence) {
+  const des::SeedSplitter seeds{seed};
+  const auto rewards = runner.map(
+      replications, [&](std::size_t r) { return study.run_one(seeds.stream(r)); });
+  // Deterministic fold in replication order: the exact sequence of add()
+  // calls the sequential loop would make.
+  return fold_study_rewards(rewards, confidence);
 }
 
 }  // namespace sanperf::core

@@ -5,41 +5,109 @@
 
 namespace sanperf::des {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNpos;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  ++s.gen;  // stale every EventId handed out for this occupancy
+  s.heap_pos = kNpos;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], slot)) break;
+    heap_[pos] = heap_[child];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = slot;
+  slots_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::heap_remove(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    // The relocated entry may need to move either way.
+    sift_down(pos);
+    sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
 EventId EventQueue::push(TimePoint at, Action action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(action)});
-  pending_.insert(id);
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.action = std::move(action);
+  heap_.push_back(slot);
+  s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  return make_id(slot, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  // Cancellation is lazy: the heap entry stays until it reaches the top.
-  return pending_.erase(id) > 0;
-}
-
-void EventQueue::drop_dead_prefix() const {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+  if (!pending(id)) return false;
+  const std::uint32_t slot = slot_of(id);
+  heap_remove(slots_[slot].heap_pos);
+  release_slot(slot);
+  return true;
 }
 
 TimePoint EventQueue::next_time() const {
-  drop_dead_prefix();
   if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
-  return heap_.top().at;
+  return slots_[heap_.front()].at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_dead_prefix();
   if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
-  const Entry& top = heap_.top();
-  Popped out{top.at, top.id, std::move(top.action)};
-  heap_.pop();
-  pending_.erase(out.id);
+  const std::uint32_t slot = heap_.front();
+  Slot& s = slots_[slot];
+  Popped out{s.at, make_id(slot, s.gen), std::move(s.action)};
+  heap_remove(0);
+  release_slot(slot);
   return out;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
-  pending_.clear();
+  // Release every live slot; each release bumps the generation so stale
+  // ids cannot alias the next occupancy.
+  for (const std::uint32_t slot : heap_) release_slot(slot);
+  heap_.clear();
 }
 
 }  // namespace sanperf::des

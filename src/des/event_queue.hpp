@@ -3,12 +3,24 @@
 // The insertion-sequence tie-break makes simulations deterministic: two
 // events scheduled for the same instant always fire in scheduling order,
 // independent of heap internals.
+//
+// Storage layout (the DES hot path -- every simulated event passes here):
+//   * events live in a slab of generation-stamped slots; freed slots go on
+//     a free list and are reused, so steady-state push/cancel/pop performs
+//     no heap allocation;
+//   * an indexed binary heap of slot indices orders the pending set; each
+//     slot tracks its heap position, so cancel() is a true O(log n)
+//     removal (no lazy-deletion churn of dead entries);
+//   * callables are stored in-place inside the slot (EventAction's small
+//     buffer); only oversized captures fall back to the heap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "des/time.hpp"
@@ -16,29 +28,145 @@
 namespace sanperf::des {
 
 /// Opaque handle identifying a scheduled event; usable to cancel it.
+/// Encodes (slot generation, slot index): a handle goes stale the moment
+/// its event fires or is cancelled, even if the slot is reused later.
 using EventId = std::uint64_t;
 
 /// Sentinel returned when no event exists.
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Move-only callable with inline storage sized for the simulator's event
+/// closures (a this-pointer plus a couple of words, or a captured
+/// std::function). Construction from a small callable performs no heap
+/// allocation; larger callables degrade gracefully to a heap-held copy.
+class EventAction {
+ public:
+  /// Covers [this + id], [ptr, packet-by-value] and [this, std::function]
+  /// captures used across the runtime layers.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  EventAction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventAction> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventAction(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    emplace(std::forward<F>(f));
+  }
+
+  EventAction(EventAction&& other) noexcept { move_from(other); }
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+  ~EventAction() { reset(); }
+
+  /// Invokes the stored callable; throws like std::function on empty (or
+  /// moved-from) actions.
+  void operator()() {
+    if (vtable_ == nullptr) throw std::bad_function_call{};
+    vtable_->invoke(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs the payload into `dst` and destroys the source.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline_v = sizeof(F) <= kInlineBytes &&
+                                        alignof(F) <= alignof(std::max_align_t) &&
+                                        std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static const VTable* inline_vtable() {
+    static const VTable vt{
+        [](void* p) { (*static_cast<F*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) F(std::move(*static_cast<F*>(src)));
+          static_cast<F*>(src)->~F();
+        },
+        [](void* p) noexcept { static_cast<F*>(p)->~F(); },
+    };
+    return &vt;
+  }
+
+  template <typename F>
+  static const VTable* heap_vtable() {
+    static const VTable vt{
+        [](void* p) { (**static_cast<F**>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) F*(*static_cast<F**>(src));
+        },
+        [](void* p) noexcept { delete *static_cast<F**>(p); },
+    };
+    return &vt;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vtable_ = inline_vtable<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vtable_ = heap_vtable<D>();
+    }
+  }
+
+  void move_from(EventAction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = EventAction;
 
   /// Adds an event firing at `at`. Returns a handle for cancellation.
   EventId push(TimePoint at, Action action);
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or never existed. Amortised O(1).
+  /// was already cancelled, or never existed. True O(log n) removal: the
+  /// slot is recycled immediately and no dead entry lingers in the heap.
   bool cancel(EventId id);
 
   /// True iff the event is scheduled and not yet fired or cancelled.
-  [[nodiscard]] bool pending(EventId id) const { return pending_.contains(id); }
+  [[nodiscard]] bool pending(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].gen == gen_of(id) &&
+           slots_[slot].heap_pos != kNpos;
+  }
 
-  /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  /// True when no live event remains.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Firing time of the earliest live event. Requires !empty().
   [[nodiscard]] TimePoint next_time() const;
@@ -51,30 +179,51 @@ class EventQueue {
   };
   Popped pop();
 
-  /// Removes every pending event.
+  /// Removes every pending event. Slab capacity is retained; every
+  /// outstanding EventId goes stale.
   void clear();
 
- private:
-  struct Entry {
-    TimePoint at;
-    EventId id = kInvalidEventId;
-    // Heap payloads are moved out on pop; mutable so the action can be
-    // extracted from the priority_queue's const top().
-    mutable Action action;
+  /// Slots ever allocated (live + free). Exposed so tests and benches can
+  /// assert steady-state slot reuse (no slab growth under churn).
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
-    // priority_queue is a max-heap; invert so earliest (time, id) wins.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+ private:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  struct Slot {
+    TimePoint at;
+    std::uint64_t seq = 0;         ///< insertion order; (at, seq) orders the heap
+    Action action;
+    std::uint32_t gen = 0;         ///< bumped on release; stales old EventIds
+    std::uint32_t heap_pos = kNpos;  ///< index into heap_, kNpos when free
+    std::uint32_t next_free = kNpos;
   };
 
-  /// Pops heap entries whose id is no longer pending (cancelled).
-  void drop_dead_prefix() const;
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+  static std::uint32_t slot_of(EventId id) { return static_cast<std::uint32_t>(id) - 1; }
+  static std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
 
-  mutable std::priority_queue<Entry> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  /// Detaches the heap entry at `pos` and restores the heap invariant.
+  void heap_remove(std::size_t pos);
+  std::uint32_t acquire_slot();
+  /// Destroys the slot's action, bumps its generation and free-lists it.
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;  ///< slot indices, binary min-heap
+  std::uint32_t free_head_ = kNpos;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace sanperf::des

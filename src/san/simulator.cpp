@@ -106,10 +106,9 @@ void SanSimulator::fire(ActivityId a) {
   // Case selection.
   const Case* chosen = &act.cases.front();
   if (act.cases.size() > 1) {
-    std::vector<double> probs;
-    probs.reserve(act.cases.size());
-    for (const Case& c : act.cases) probs.push_back(c.probability);
-    chosen = &act.cases[rng_.categorical(probs)];
+    case_probs_.clear();
+    for (const Case& c : act.cases) case_probs_.push_back(c.probability);
+    chosen = &act.cases[rng_.categorical(case_probs_)];
   }
   for (const PlaceId p : chosen->output_places) marking_.add(p, 1);
   for (const OutputGateId g : chosen->output_gates) model_->out_gate(g).fire(marking_);
@@ -138,20 +137,16 @@ void SanSimulator::fire(ActivityId a) {
 
 std::optional<ActivityId> SanSimulator::pick_instantaneous() {
   // Scan the (static) set of instantaneous activities for enabled ones.
-  ActivityId only = 0;
-  std::size_t found = 0;
-  std::vector<ActivityId> ids;
-  std::vector<double> weights;
+  inst_ids_.clear();
+  inst_weights_.clear();
   for (ActivityId a = 0; a < model_->activity_count(); ++a) {
     if (!enabled_[a] || model_->activity(a).timed) continue;
-    ++found;
-    only = a;
-    ids.push_back(a);
-    weights.push_back(model_->activity(a).weight);
+    inst_ids_.push_back(a);
+    inst_weights_.push_back(model_->activity(a).weight);
   }
-  if (found == 0) return std::nullopt;
-  if (found == 1) return only;
-  return ids[rng_.categorical(weights)];
+  if (inst_ids_.empty()) return std::nullopt;
+  if (inst_ids_.size() == 1) return inst_ids_.front();
+  return inst_ids_[rng_.categorical(inst_weights_)];
 }
 
 void SanSimulator::settle_instantaneous() {

@@ -96,7 +96,6 @@ class SanSimulator {
 
   std::vector<char> enabled_;            // per activity
   std::vector<des::EventId> scheduled_;  // per timed activity; 0 when none
-  std::vector<ActivityId> inst_enabled_; // currently enabled instantaneous set
   std::vector<std::uint64_t> fire_counts_;
   std::uint64_t total_firings_ = 0;
 
@@ -110,9 +109,13 @@ class SanSimulator {
   std::vector<RateReward> rate_rewards_;
   des::TimePoint last_accrual_;
 
-  // scratch buffers reused across firings
+  // scratch buffers reused across firings (the firing loop allocates
+  // nothing in steady state)
   std::vector<std::int32_t> before_;
   std::vector<ActivityId> affected_;
+  std::vector<ActivityId> inst_ids_;     // enabled instantaneous candidates
+  std::vector<double> inst_weights_;
+  std::vector<double> case_probs_;
 };
 
 }  // namespace sanperf::san

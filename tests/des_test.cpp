@@ -106,13 +106,16 @@ TEST(EventQueueTest, PopOnEmptyThrows) {
   EXPECT_THROW((void)q.next_time(), std::logic_error);
 }
 
-// Property: against a reference model (multimap), a random operation
-// sequence yields identical pop order.
+// Property: against a reference model (multimap ordered by time then
+// insertion sequence), a random operation sequence yields identical pop
+// order. The reference tracks its own insertion counter because EventIds
+// encode recycled slots, not insertion order.
 TEST(EventQueueTest, PropertyMatchesReferenceModel) {
   RandomEngine rng{42};
   EventQueue q;
-  std::multimap<std::pair<std::int64_t, EventId>, int> reference;
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, std::pair<EventId, int>> reference;
   std::vector<EventId> live;
+  std::uint64_t seq = 0;
   int payload = 0;
   std::vector<int> fired;
 
@@ -122,7 +125,7 @@ TEST(EventQueueTest, PropertyMatchesReferenceModel) {
       const auto at = TimePoint::origin() + Duration::nanos(rng.uniform_int(0, 1000));
       const int tag = payload++;
       const EventId id = q.push(at, [&fired, tag] { fired.push_back(tag); });
-      reference.emplace(std::make_pair(at.ns(), id), tag);
+      reference.emplace(std::make_pair(at.ns(), seq++), std::make_pair(id, tag));
       live.push_back(id);
     } else if (u < 0.75 && !live.empty()) {
       const auto idx = static_cast<std::size_t>(
@@ -130,7 +133,7 @@ TEST(EventQueueTest, PropertyMatchesReferenceModel) {
       const EventId id = live[idx];
       const bool cancelled = q.cancel(id);
       const auto it = std::find_if(reference.begin(), reference.end(),
-                                   [id](const auto& kv) { return kv.first.second == id; });
+                                   [id](const auto& kv) { return kv.second.first == id; });
       EXPECT_EQ(cancelled, it != reference.end());
       if (it != reference.end()) reference.erase(it);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -139,9 +142,99 @@ TEST(EventQueueTest, PropertyMatchesReferenceModel) {
       auto popped = q.pop();
       ASSERT_FALSE(reference.empty());
       popped.action();
-      EXPECT_EQ(fired.back(), reference.begin()->second);
+      EXPECT_EQ(popped.id, reference.begin()->second.first);
+      EXPECT_EQ(fired.back(), reference.begin()->second.second);
       reference.erase(reference.begin());
     }
+  }
+}
+
+// --- Slot reuse and generation stamps ---------------------------------------
+
+TEST(EventQueueTest, CancelledSlotIsReusedWithoutSlabGrowth) {
+  EventQueue q;
+  const EventId a = q.push(TimePoint::origin() + Duration::millis(1), [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const std::size_t capacity = q.slot_capacity();
+  // Steady-state churn: every push must recycle the freed slot.
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.push(TimePoint::origin() + Duration::millis(1 + i), [] {});
+    EXPECT_NE(id, a) << "recycled slot must carry a fresh generation";
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.slot_capacity(), capacity);
+  }
+}
+
+TEST(EventQueueTest, StaleIdOnReusedSlotDoesNotCancelNewEvent) {
+  EventQueue q;
+  const EventId old_id = q.push(TimePoint::origin() + Duration::millis(1), [] {});
+  q.pop();  // fires: the slot is released and recycled below
+  bool fired = false;
+  const EventId fresh = q.push(TimePoint::origin() + Duration::millis(2), [&] { fired = true; });
+  // The stale handle aliases the same slot but an older generation.
+  EXPECT_FALSE(q.pending(old_id));
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_TRUE(q.pending(fresh));
+  q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireViaRecycledSlotFails) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.push(TimePoint::origin() + Duration::millis(i), [] {}));
+  }
+  while (!q.empty()) q.pop();
+  // Refill: slots are recycled, every old handle must stay dead.
+  for (int i = 0; i < 8; ++i) q.push(TimePoint::origin() + Duration::millis(i), [] {});
+  for (const EventId id : ids) {
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 8u);
+}
+
+TEST(EventQueueTest, ClearMidRunStalesAllIdsAndKeepsSlab) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(q.push(TimePoint::origin() + Duration::millis(i), [] {}));
+  }
+  q.pop();  // mid-run: one already fired
+  const std::size_t capacity = q.slot_capacity();
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.slot_capacity(), capacity);
+  for (const EventId id : ids) {
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  // The queue keeps working after clear, reusing the retained slab.
+  std::vector<int> order;
+  q.push(TimePoint::origin() + Duration::millis(2), [&] { order.push_back(2); });
+  q.push(TimePoint::origin() + Duration::millis(1), [&] { order.push_back(1); });
+  EXPECT_EQ(q.slot_capacity(), capacity);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, CancelInMiddleOfHeapPreservesOrder) {
+  // True O(log n) removal must keep the remaining pop order intact no
+  // matter where in the heap the cancelled entry sits.
+  for (int victim = 0; victim < 12; ++victim) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    std::vector<int> fired;
+    for (int i = 0; i < 12; ++i) {
+      ids.push_back(
+          q.push(TimePoint::origin() + Duration::millis(11 - i), [&fired, i] { fired.push_back(i); }));
+    }
+    ASSERT_TRUE(q.cancel(ids[static_cast<std::size_t>(victim)]));
+    while (!q.empty()) q.pop().action();
+    ASSERT_EQ(fired.size(), 11u);
+    for (std::size_t k = 1; k < fired.size(); ++k) EXPECT_LT(fired[k], fired[k - 1]);
+    for (const int f : fired) EXPECT_NE(f, victim);
   }
 }
 

@@ -4,12 +4,21 @@
 #include <gtest/gtest.h>
 
 #include "core/extensions.hpp"
+#include "core/replication.hpp"
 #include "san/study.hpp"
 #include "sanmodels/consensus_model.hpp"
 #include "sanmodels/mr_model.hpp"
 
 namespace sanperf::sanmodels {
 namespace {
+
+// Study loops fan out over the shared replication pool (SANPERF_THREADS);
+// results are bit-identical to TransientStudy::run at any thread count, so
+// this only shrinks the suite's wall clock.
+san::StudyResult run_study(const san::TransientStudy& study, std::size_t replications,
+                           std::uint64_t seed) {
+  return core::run_study(core::default_runner(), study, replications, seed);
+}
 
 TEST(MrSanTest, Class1DecidesOnce) {
   MrSanConfig cfg;
@@ -33,7 +42,7 @@ TEST(MrSanTest, LatencyGrowsWithN) {
     cfg.transport = TransportParams::nominal(n);
     const auto built = build_mr_san(cfg);
     san::TransientStudy study{built.model, built.stop_predicate()};
-    const auto result = study.run(200, 7 + n);
+    const auto result = run_study(study, 200, 7 + n);
     EXPECT_EQ(result.dropped, 0u) << "n=" << n;
     EXPECT_GT(result.summary.mean(), prev);
     prev = result.summary.mean();
@@ -51,8 +60,8 @@ TEST(MrSanTest, CoordinatorCrashCostsOneRound) {
 
   san::TransientStudy ok_study{ok_model.model, ok_model.stop_predicate()};
   san::TransientStudy crash_study{crash_model.model, crash_model.stop_predicate()};
-  const auto ok = ok_study.run(400, 11);
-  const auto bad = crash_study.run(400, 11);
+  const auto ok = run_study(ok_study, 400, 11);
+  const auto bad = run_study(crash_study, 400, 11);
   ASSERT_EQ(ok.dropped, 0u);
   ASSERT_EQ(bad.dropped, 0u);
   // One wasted all-to-all bottoms round plus its contention: roughly a
@@ -77,8 +86,8 @@ TEST(MrSanTest, FasterThanCtFailureFreeInTheModelToo) {
 
     san::TransientStudy mr_study{mr_model.model, mr_model.stop_predicate()};
     san::TransientStudy ct_study{ct_model.model, ct_model.stop_predicate()};
-    const auto mr = mr_study.run(400, 13);
-    const auto ct = ct_study.run(400, 13);
+    const auto mr = run_study(mr_study, 400, 13);
+    const auto ct = run_study(ct_study, 400, 13);
     EXPECT_LT(mr.summary.mean(), ct.summary.mean()) << "n=" << n;
   }
 }
@@ -98,8 +107,8 @@ TEST(MrSanTest, Class3BadQosSlowsItDown) {
   san::TransientStudy good_study{good.model, good.stop_predicate()};
   san::TransientStudy bad_study{bad.model, bad.stop_predicate()};
   bad_study.set_time_limit(des::Duration::seconds(10));
-  const auto g = good_study.run(300, 17);
-  const auto b = bad_study.run(300, 17);
+  const auto g = run_study(good_study, 300, 17);
+  const auto b = run_study(bad_study, 300, 17);
   EXPECT_GT(b.summary.mean(), g.summary.mean() * 1.2);
 }
 
@@ -112,7 +121,7 @@ TEST(MrSanTest, ModelTracksEmulatorClass1) {
     cfg.transport = TransportParams::nominal(n);
     const auto built = build_mr_san(cfg);
     san::TransientStudy study{built.model, built.stop_predicate()};
-    const auto sim = study.run(400, 19);
+    const auto sim = run_study(study, 400, 19);
 
     const auto meas = core::measure_latency_with(core::Algorithm::kMostefaouiRaynal, n,
                                                  net::NetworkParams::defaults(),
@@ -138,8 +147,8 @@ TEST(MrSanTest, DeterministicGivenSeed) {
   cfg.transport = TransportParams::nominal(3);
   const auto built = build_mr_san(cfg);
   san::TransientStudy study{built.model, built.stop_predicate()};
-  const auto a = study.run(50, 23);
-  const auto b = study.run(50, 23);
+  const auto a = run_study(study, 50, 23);
+  const auto b = run_study(study, 50, 23);
   EXPECT_EQ(a.rewards, b.rewards);
 }
 

@@ -2,6 +2,7 @@
 // consensus model in all three run classes.
 #include <gtest/gtest.h>
 
+#include "core/replication.hpp"
 #include "core/simulation.hpp"
 #include "san/simulator.hpp"
 #include "san/study.hpp"
@@ -16,6 +17,14 @@ using san::Distribution;
 using san::Marking;
 using san::SanModel;
 using san::SanSimulator;
+
+// Study loops fan out over the shared replication pool (SANPERF_THREADS);
+// results are bit-identical to TransientStudy::run at any thread count, so
+// this only shrinks the suite's wall clock.
+san::StudyResult run_study(const san::TransientStudy& study, std::size_t replications,
+                           std::uint64_t seed) {
+  return core::run_study(core::default_runner(), study, replications, seed);
+}
 
 TransportParams fixed_transport() {
   TransportParams p;
@@ -214,7 +223,7 @@ TEST(ConsensusSanTest, Class1LatencyGrowsWithN) {
     cfg.transport = TransportParams::nominal(n);
     const auto built = build_consensus_san(cfg);
     san::TransientStudy study{built.model, built.stop_predicate()};
-    const auto result = study.run(200, master.substream("n", n).seed());
+    const auto result = run_study(study, 200, master.substream("n", n).seed());
     EXPECT_EQ(result.dropped, 0u);
     EXPECT_GT(result.summary.mean(), prev);
     prev = result.summary.mean();
@@ -233,8 +242,8 @@ TEST(ConsensusSanTest, Class2CoordinatorCrashSlower) {
 
   san::TransientStudy ok_study{model_ok.model, model_ok.stop_predicate()};
   san::TransientStudy crash_study{model_crash.model, model_crash.stop_predicate()};
-  const auto ok = ok_study.run(600, 91);
-  const auto bad = crash_study.run(600, 91);
+  const auto ok = run_study(ok_study, 600, 91);
+  const auto bad = run_study(crash_study, 600, 91);
   ASSERT_EQ(ok.dropped, 0u);
   ASSERT_EQ(bad.dropped, 0u);
   // Two rounds instead of one: clearly slower.
@@ -254,8 +263,8 @@ TEST(ConsensusSanTest, Class2ParticipantCrashFasterForN5) {
 
   san::TransientStudy ok_study{model_ok.model, model_ok.stop_predicate()};
   san::TransientStudy crash_study{model_crash.model, model_crash.stop_predicate()};
-  const auto ok = ok_study.run(1500, 93);
-  const auto bad = crash_study.run(1500, 93);
+  const auto ok = run_study(ok_study, 1500, 93);
+  const auto bad = run_study(crash_study, 1500, 93);
   EXPECT_LT(bad.summary.mean(), ok.summary.mean());
 }
 
@@ -274,8 +283,8 @@ TEST(ConsensusSanTest, Class3GoodQosMatchesClass1) {
 
   san::TransientStudy s1{class1.model, class1.stop_predicate()};
   san::TransientStudy s3{class3.model, class3.stop_predicate()};
-  const auto r1 = s1.run(300, 95);
-  const auto r3 = s3.run(300, 95);
+  const auto r1 = run_study(s1, 300, 95);
+  const auto r3 = run_study(s3, 300, 95);
   EXPECT_NEAR(r3.summary.mean(), r1.summary.mean(), 0.15);
 }
 
@@ -294,8 +303,8 @@ TEST(ConsensusSanTest, Class3BadQosMuchSlower) {
   san::TransientStudy s1{class1.model, class1.stop_predicate()};
   san::TransientStudy s3{class3.model, class3.stop_predicate()};
   s3.set_time_limit(des::Duration::seconds(10));
-  const auto r1 = s1.run(200, 96);
-  const auto r3 = s3.run(200, 96);
+  const auto r1 = run_study(s1, 200, 96);
+  const auto r3 = run_study(s3, 200, 96);
   EXPECT_GT(r3.summary.mean(), r1.summary.mean() * 2.0);
 }
 
@@ -314,8 +323,8 @@ TEST(ConsensusSanTest, DeterministicVsExponentialSojournsDiffer) {
   san::TransientStudy se{exp.model, exp.stop_predicate()};
   sd.set_time_limit(des::Duration::seconds(10));
   se.set_time_limit(des::Duration::seconds(10));
-  const auto rd = sd.run(300, 97);
-  const auto re = se.run(300, 97);
+  const auto rd = run_study(sd, 300, 97);
+  const auto re = run_study(se, 300, 97);
   // Same mean QoS, different variance: latencies differ measurably.
   EXPECT_GT(rd.summary.count(), 250u);
   EXPECT_GT(re.summary.count(), 250u);
@@ -350,8 +359,8 @@ TEST(ConsensusSanTest, ReplicationsAreIndependentButReproducible) {
   cfg.transport = TransportParams::nominal(3);
   const auto built = build_consensus_san(cfg);
   san::TransientStudy study{built.model, built.stop_predicate()};
-  const auto a = study.run(50, 123);
-  const auto b = study.run(50, 123);
+  const auto a = run_study(study, 50, 123);
+  const auto b = run_study(study, 50, 123);
   EXPECT_EQ(a.rewards, b.rewards);
   stats::SummaryStats spread;
   for (const double r : a.rewards) spread.add(r);
