@@ -148,6 +148,42 @@ int main() {
           "n=" + std::to_string(row.n) + " coordinator crash slower (measured)");
   }
 
+  // --- 5. Class-3 shape (Fig 8 / Fig 9a headline trends, n = 3) ------------
+  // The per-figure drivers used to print these as yes/NO lines; here they
+  // gate CI: a model regression that flattens the T_MR blow-up or inverts
+  // the latency-vs-timeout trend must fail even when unit tests pass.
+  std::cout << "Class-3 shape (paper Fig 8 / Fig 9a, n=3):\n";
+  ctx.runner = &four;  // results are thread-count-invariant; take the speed
+  const auto class3 = core::run_class3_measurements(ctx, {3});
+  double lat_first = -1, lat_last = -1;
+  double tmr_first = -1, tmr_last = -1;
+  bool blowup = true;
+  for (const auto& pt : class3) {
+    if (lat_first < 0) lat_first = pt.meas.latency_ms.mean;
+    lat_last = pt.meas.latency_ms.mean;
+    const bool mistakes = pt.meas.pooled_qos.pairs_used > 0;
+    if (mistakes) {
+      if (tmr_first < 0) tmr_first = pt.meas.t_mr_ms.mean;
+      tmr_last = pt.meas.t_mr_ms.mean;
+    }
+    // Past T ~ 40 ms the detector is either mistake-free or its mistakes
+    // recur very rarely (paper: T_MR > 190 ms at T = 40).
+    if (pt.timeout_ms >= 39.9 && mistakes && pt.meas.t_mr_ms.mean < 190.0) blowup = false;
+  }
+  {
+    std::ostringstream os;
+    os << "fig9a latency decreases in T (" << core::fmt(lat_first, 2) << " -> "
+       << core::fmt(lat_last, 2) << " ms)";
+    check(lat_first > 2 * lat_last, os.str());
+  }
+  {
+    std::ostringstream os;
+    os << "fig8 T_MR increases in T (" << core::fmt(tmr_first, 1) << " -> "
+       << core::fmt(tmr_last, 1) << " ms)";
+    check(tmr_first > 0 && tmr_last > tmr_first, os.str());
+  }
+  check(blowup, "fig8 T_MR blows up (or no mistakes) for T >= 40");
+
   if (failures > 0) {
     std::cout << "\n" << failures << " golden check(s) FAILED\n";
     return 1;

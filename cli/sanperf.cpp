@@ -1,0 +1,374 @@
+// sanperf -- the unified experiment CLI over the declarative campaign API.
+//
+//   sanperf list                       enumerate registered scenarios + axes
+//   sanperf run <scenario> [options]   run one scenario and render the table
+//   sanperf diff <a.csv> <b.csv>       tolerance-aware comparison (CI goldens)
+//
+// Every paper figure/table, ablation and extension is a registered
+// ScenarioSpec; this binary subsumes the per-figure driver binaries the
+// repository used to carry. Grid enumeration goes through ShardSpace, so
+// every scenario is parallel (--threads / SANPERF_THREADS) with
+// bit-identical results at any thread count.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "stats/ecdf.hpp"
+
+namespace {
+
+using namespace sanperf;
+
+int usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  sanperf list [--scale quick|default|full]\n"
+        "  sanperf run <scenario> [--set axis=v1[,v2...]]... [--threads N]\n"
+        "              [--scale quick|default|full] [--seed S]\n"
+        "              [--format text|csv|json] [--out FILE]\n"
+        "  sanperf diff <expected.csv> <actual.csv> [--tol REL]\n"
+        "  sanperf help\n"
+        "\n"
+        "Scenario axes are restricted with --set (e.g. --set n=3,5 --set\n"
+        "timeout_ms=10); restricted runs reproduce the matching subset of the\n"
+        "full grid bit for bit. SANPERF_SCALE / SANPERF_THREADS are honoured\n"
+        "when the flags are absent.\n";
+  return code;
+}
+
+core::Scale parse_scale(const std::string& name) {
+  if (name == "quick") return core::Scale::quick();
+  if (name == "default") return core::Scale::defaults();
+  if (name == "full") return core::Scale::full();
+  throw std::invalid_argument{"unknown scale '" + name + "' (quick|default|full)"};
+}
+
+std::string axis_domain(const core::ParamAxis& axis) {
+  std::string out;
+  for (const auto& v : axis.values()) {
+    out += (out.empty() ? "" : ",") + core::to_string(v);
+  }
+  return out;
+}
+
+int cmd_list(const core::Scale& scale) {
+  const auto& registry = core::CampaignRegistry::builtin();
+  core::print_banner(std::cout, "Registered scenarios (scale: " + scale.name() + ")");
+  for (const auto& spec : registry.specs()) {
+    std::cout << spec.name << "\n    " << spec.description << "\n";
+    for (const auto& axis : spec.axes(scale)) {
+      std::cout << "    --set " << axis.name() << "=" << axis_domain(axis) << "\n";
+    }
+    if (spec.needs_calibration) std::cout << "    (runs the Fig 6 calibration pass first)\n";
+  }
+  std::cout << "\n" << registry.specs().size()
+            << " scenarios; run one with: sanperf run <name> [--set axis=value]\n";
+  return 0;
+}
+
+/// Renders the table as text: aligned table, CDF curves for sample
+/// columns, then the spec's paper-shape notes.
+void render_text(std::ostream& os, const core::ScenarioSpec& spec,
+                 const core::ResultTable& table, const core::Scale& scale) {
+  core::print_banner(os, spec.name + " -- " + spec.description + " (scale: " + scale.name() +
+                             ")");
+  table.print(os);
+  for (std::size_t c = 0; c < table.columns().size(); ++c) {
+    if (table.columns()[c].type != core::ResultTable::ColumnType::kSample) continue;
+    // Label each curve by the row's axis-like cells (ints/reals/strings).
+    std::vector<std::pair<std::string, stats::Ecdf>> curves;
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      const auto* sample = std::get_if<core::SampleRef>(&table.cell(r, c));
+      if (sample == nullptr || sample->empty()) continue;
+      // The first couple of scalar cells (n, timeout, kind, ...) identify
+      // the row; the rest are results, not coordinates.
+      std::string label;
+      std::size_t parts = 0;
+      for (std::size_t k = 0; k < table.columns().size() && parts < 2; ++k) {
+        const auto& cell = table.cell(r, k);
+        std::string part;
+        if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+          part = table.columns()[k].name + "=" + std::to_string(*i);
+        } else if (const auto* d = std::get_if<double>(&cell)) {
+          part = table.columns()[k].name + "=" + core::fmt(*d);
+        } else if (const auto* s = std::get_if<std::string>(&cell)) {
+          part = *s;
+        }
+        if (part.empty()) continue;
+        label += (label.empty() ? "" : " ") + part;
+        ++parts;
+      }
+      curves.emplace_back(label.empty() ? "row " + std::to_string(r) : label,
+                          stats::Ecdf{sample->values()});
+      if (curves.size() == 10) break;  // readability cap for wide grids
+    }
+    if (!curves.empty()) {
+      os << "\nCDF of " << table.columns()[c].name << ":\n";
+      core::print_cdfs(os, curves, 20, table.columns()[c].name);
+    }
+  }
+  if (!spec.notes.empty()) os << "\n" << spec.notes << "\n";
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "sanperf run: missing scenario name\n";
+    return usage(std::cerr, 2);
+  }
+  const std::string name = args[0];
+  core::RunOptions options;
+  std::string format = "text";
+  std::optional<std::string> out_path;
+  std::unique_ptr<core::ReplicationRunner> runner;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument{"missing value after " + arg};
+      }
+      return args[++i];
+    };
+    if (arg == "--set") {
+      const std::string& kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument{"--set expects axis=value[,value...], got '" + kv + "'"};
+      }
+      options.axis_overrides[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (arg == "--threads") {
+      const long n = std::stol(next());
+      if (n < 1) throw std::invalid_argument{"--threads must be >= 1"};
+      runner = std::make_unique<core::ReplicationRunner>(static_cast<std::size_t>(n));
+      options.runner = runner.get();
+    } else if (arg == "--scale") {
+      options.scale = parse_scale(next());
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (arg == "--format") {
+      format = next();
+      if (format != "text" && format != "csv" && format != "json") {
+        throw std::invalid_argument{"--format must be text, csv or json"};
+      }
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::cerr << "sanperf run: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  const auto& registry = core::CampaignRegistry::builtin();
+  const core::ScenarioSpec* spec = registry.find(name);
+  if (spec == nullptr) {
+    std::cerr << "sanperf run: unknown scenario '" << name << "'; registered:\n";
+    for (const auto& s : registry.specs()) std::cerr << "  " << s.name << "\n";
+    return 2;
+  }
+
+  const core::ResultTable table = registry.run(*spec, options);
+
+  std::ostringstream rendered;
+  if (format == "csv") {
+    table.write_csv(rendered);
+  } else if (format == "json") {
+    table.write_json(rendered);
+    rendered << "\n";
+  } else {
+    render_text(rendered, *spec, table, options.scale);
+  }
+  if (out_path) {
+    std::ofstream file{*out_path};
+    if (!file) {
+      std::cerr << "sanperf run: cannot open '" << *out_path << "' for writing\n";
+      return 1;
+    }
+    file << rendered.str();
+    std::cout << "wrote " << table.row_count() << " rows to " << *out_path << "\n";
+  } else {
+    std::cout << rendered.str();
+  }
+  return 0;
+}
+
+// --- diff --------------------------------------------------------------------
+
+struct DiffReport {
+  std::size_t mismatches = 0;
+  std::ostringstream detail;
+
+  void note(const std::string& what) {
+    if (++mismatches <= 20) detail << "  " << what << "\n";
+  }
+};
+
+bool close(double a, double b, double tol) {
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return std::abs(a - b) <= tol * std::max(std::abs(a), std::abs(b)) + 1e-12;
+}
+
+void diff_cell(const core::ResultTable& exp, const core::ResultTable& act, std::size_t r,
+               std::size_t c, double tol, DiffReport& report) {
+  const auto& col = exp.columns()[c];
+  const auto& a = exp.cell(r, c);
+  const auto& b = act.cell(r, c);
+  const std::string where = col.name + " row " + std::to_string(r);
+  if (a.index() != b.index()) {
+    report.note(where + ": null/non-null mismatch");
+    return;
+  }
+  using CT = core::ResultTable::ColumnType;
+  switch (col.type) {
+    case CT::kInt:
+      if (std::holds_alternative<std::int64_t>(a) &&
+          std::get<std::int64_t>(a) != std::get<std::int64_t>(b)) {
+        report.note(where + ": " + std::to_string(std::get<std::int64_t>(a)) + " vs " +
+                    std::to_string(std::get<std::int64_t>(b)));
+      }
+      break;
+    case CT::kString:
+      if (std::holds_alternative<std::string>(a) &&
+          std::get<std::string>(a) != std::get<std::string>(b)) {
+        report.note(where + ": '" + std::get<std::string>(a) + "' vs '" +
+                    std::get<std::string>(b) + "'");
+      }
+      break;
+    case CT::kReal:
+      if (std::holds_alternative<double>(a) && !close(std::get<double>(a), std::get<double>(b), tol)) {
+        report.note(where + ": " + core::fmt(std::get<double>(a), 6) + " vs " +
+                    core::fmt(std::get<double>(b), 6));
+      }
+      break;
+    case CT::kMeanCI: {
+      if (!std::holds_alternative<stats::MeanCI>(a)) break;
+      const auto& ca = std::get<stats::MeanCI>(a);
+      const auto& cb = std::get<stats::MeanCI>(b);
+      if (!close(ca.mean, cb.mean, tol) || !close(ca.half_width, cb.half_width, tol) ||
+          !close(static_cast<double>(ca.count), static_cast<double>(cb.count), tol)) {
+        report.note(where + ": mean " + core::fmt(ca.mean, 6) + " vs " + core::fmt(cb.mean, 6));
+      }
+      break;
+    }
+    case CT::kSample: {
+      if (!std::holds_alternative<core::SampleRef>(a)) break;
+      const auto& xa = std::get<core::SampleRef>(a).values();
+      const auto& xb = std::get<core::SampleRef>(b).values();
+      if (!close(static_cast<double>(xa.size()), static_cast<double>(xb.size()), tol)) {
+        report.note(where + ": sample size " + std::to_string(xa.size()) + " vs " +
+                    std::to_string(xb.size()));
+        break;
+      }
+      // Compare distribution shape (means), not element-wise bits: shard
+      // counts may differ slightly across standard libraries.
+      stats::SummaryStats sa, sb;
+      for (const double x : xa) sa.add(x);
+      for (const double x : xb) sb.add(x);
+      if (!close(sa.mean(), sb.mean(), tol)) {
+        report.note(where + ": sample mean " + core::fmt(sa.mean(), 6) + " vs " +
+                    core::fmt(sb.mean(), 6));
+      }
+      break;
+    }
+  }
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::cerr << "sanperf diff: expected two CSV paths\n";
+    return usage(std::cerr, 2);
+  }
+  double tol = 0.10;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--tol" && i + 1 < args.size()) {
+      tol = std::stod(args[++i]);
+    } else {
+      std::cerr << "sanperf diff: unknown option '" << args[i] << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  const auto load = [](const std::string& path) {
+    std::ifstream file{path};
+    if (!file) throw std::invalid_argument{"cannot open '" + path + "'"};
+    return core::ResultTable::from_csv(file);
+  };
+  const auto expected = load(args[0]);
+  const auto actual = load(args[1]);
+
+  DiffReport report;
+  if (expected.name() != actual.name()) {
+    report.note("table name: '" + expected.name() + "' vs '" + actual.name() + "'");
+  }
+  if (expected.columns().size() != actual.columns().size()) {
+    report.note("column count: " + std::to_string(expected.columns().size()) + " vs " +
+                std::to_string(actual.columns().size()));
+  } else {
+    for (std::size_t c = 0; c < expected.columns().size(); ++c) {
+      if (expected.columns()[c].name != actual.columns()[c].name ||
+          expected.columns()[c].type != actual.columns()[c].type) {
+        report.note("column " + std::to_string(c) + " schema mismatch");
+      }
+    }
+  }
+  if (expected.row_count() != actual.row_count()) {
+    report.note("row count: " + std::to_string(expected.row_count()) + " vs " +
+                std::to_string(actual.row_count()));
+  }
+  if (report.mismatches == 0) {
+    for (std::size_t r = 0; r < expected.row_count(); ++r) {
+      for (std::size_t c = 0; c < expected.columns().size(); ++c) {
+        diff_cell(expected, actual, r, c, tol, report);
+      }
+    }
+  }
+
+  if (report.mismatches > 0) {
+    std::cout << "sanperf diff: " << report.mismatches << " mismatch(es) beyond tol " << tol
+              << " between " << args[0] << " and " << args[1] << ":\n"
+              << report.detail.str();
+    if (report.mismatches > 20) std::cout << "  ... (truncated)\n";
+    return 1;
+  }
+  std::cout << "sanperf diff: tables match within tol " << tol << " (" << expected.row_count()
+            << " rows)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args{argv + 1, argv + argc};
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string command = args[0];
+  args.erase(args.begin());
+  try {
+    if (command == "help" || command == "--help" || command == "-h") {
+      return usage(std::cout, 0);
+    }
+    if (command == "list") {
+      core::Scale scale = core::Scale::from_env();
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--scale" && i + 1 < args.size()) {
+          scale = parse_scale(args[++i]);
+        } else {
+          std::cerr << "sanperf list: unknown option '" << args[i] << "'\n";
+          return usage(std::cerr, 2);
+        }
+      }
+      return cmd_list(scale);
+    }
+    if (command == "run") return cmd_run(args);
+    if (command == "diff") return cmd_diff(args);
+    std::cerr << "sanperf: unknown command '" << command << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "sanperf " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -38,22 +38,48 @@ TsendSweep sweep_tsend(const stats::Ecdf& measured_latency_n5,
                        const stats::BimodalUniform& unicast_e2e,
                        const stats::BimodalUniform& broadcast_e2e_n5,
                        const std::vector<double>& candidates_ms, std::size_t replications,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, const ReplicationRunner& runner) {
   if (candidates_ms.empty()) throw std::invalid_argument{"sweep_tsend: no candidates"};
+  // Flattened driver-level fan-out: one group per candidate, all sharing
+  // the (seed, "rep") streams the nested simulate_class1 calls used, so
+  // every (candidate, replication) task drains from one batch and the
+  // per-candidate folds reproduce the sequential sweep bit for bit.
+  ConsensusStudyBank bank;
+  std::vector<const san::TransientStudy*> studies;
+  ShardSpace space;
+  for (const double t_send : candidates_ms) {
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = 5;
+    cfg.transport = make_transport(unicast_e2e, broadcast_e2e_n5, t_send);
+    studies.push_back(bank.add(cfg));
+    space.add_group(replications, seed, "rep");
+  }
+  const auto rewards = runner.run_flat(space, [&](const ShardSpace::Task& t) {
+    return studies[t.group]->run_one(des::RandomEngine{t.seed});
+  });
+  return fold_tsend_sweep(candidates_ms, rewards, measured_latency_n5);
+}
+
+TsendSweep fold_tsend_sweep(const std::vector<double>& candidates_ms,
+                            const std::vector<std::vector<std::optional<double>>>& rewards,
+                            const stats::Ecdf& measured_latency_n5) {
+  if (rewards.size() != candidates_ms.size()) {
+    throw std::invalid_argument{"fold_tsend_sweep: rewards/candidates size mismatch"};
+  }
   TsendSweep sweep;
   double best = std::numeric_limits<double>::infinity();
-  for (const double t_send : candidates_ms) {
-    const auto transport = make_transport(unicast_e2e, broadcast_e2e_n5, t_send);
-    const auto study = simulate_class1(5, transport, replications, seed);
+  for (std::size_t k = 0; k < candidates_ms.size(); ++k) {
+    auto study = fold_study_rewards(rewards[k]);
     TsendCandidate cand;
-    cand.t_send_ms = t_send;
+    cand.t_send_ms = candidates_ms[k];
     cand.sim_mean_ms = study.summary.mean();
     cand.ks_distance = stats::ks_distance(study.ecdf(), measured_latency_n5);
-    sweep.candidates.push_back(cand);
+    cand.sim_latencies_ms = std::move(study.rewards);
     if (cand.ks_distance < best) {
       best = cand.ks_distance;
-      sweep.best_t_send_ms = t_send;
+      sweep.best_t_send_ms = cand.t_send_ms;
     }
+    sweep.candidates.push_back(std::move(cand));
   }
   return sweep;
 }

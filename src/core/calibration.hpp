@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/replication.hpp"
 #include "sanmodels/network_chains.hpp"
 #include "stats/bimodal_fit.hpp"
 #include "stats/ecdf.hpp"
@@ -32,6 +33,7 @@ struct TsendCandidate {
   double t_send_ms = 0;
   double ks_distance = 0;  ///< simulated vs measured latency CDF (n = 5)
   double sim_mean_ms = 0;
+  std::vector<double> sim_latencies_ms;  ///< the candidate's simulated sample
 };
 
 struct TsendSweep {
@@ -39,12 +41,23 @@ struct TsendSweep {
   double best_t_send_ms = 0;
 };
 
+/// Folds per-candidate replication rewards (in replication order) into the
+/// ranked sweep: KS distance against the measured CDF, first-wins best
+/// selection. The shared fold of sweep_tsend and run_fig7b.
+[[nodiscard]] TsendSweep fold_tsend_sweep(
+    const std::vector<double>& candidates_ms,
+    const std::vector<std::vector<std::optional<double>>>& rewards,
+    const stats::Ecdf& measured_latency_n5);
+
 /// The Fig 7b sweep: simulate class-1 latency for each t_send candidate and
-/// rank them against the measured latency distribution.
+/// rank them against the measured latency distribution. The whole
+/// (candidate x replication) space fans out over `runner` as one flattened
+/// ShardSpace batch; results are bit-identical for any thread count.
 [[nodiscard]] TsendSweep sweep_tsend(const stats::Ecdf& measured_latency_n5,
                                      const stats::BimodalUniform& unicast_e2e,
                                      const stats::BimodalUniform& broadcast_e2e_n5,
                                      const std::vector<double>& candidates_ms,
-                                     std::size_t replications, std::uint64_t seed);
+                                     std::size_t replications, std::uint64_t seed,
+                                     const ReplicationRunner& runner = default_runner());
 
 }  // namespace sanperf::core

@@ -1,7 +1,6 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
-#include <deque>
 #include <stdexcept>
 #include <utility>
 
@@ -28,17 +27,18 @@ struct DelaySamples {
   std::map<std::size_t, std::vector<double>> broadcast_ms;  ///< keyed by n
 };
 
-DelaySamples run_calibration_probes(const net::NetworkParams& network, const Scale& scale,
-                                    std::uint64_t seed, const ReplicationRunner& runner) {
-  const std::size_t shard_count = delay_probe_shards(scale.delay_probes);
+DelaySamples run_calibration_probes(const net::NetworkParams& network, std::size_t probes,
+                                    const std::vector<std::size_t>& ns, std::uint64_t seed,
+                                    const ReplicationRunner& runner) {
+  const std::size_t shard_count = delay_probe_shards(probes);
   ShardSpace space;
   space.add_group(shard_count, seed + 1, "probe");
-  for (const std::size_t n : scale.sim_ns) space.add_group(shard_count, seed + 2 + n, "probe");
+  for (const std::size_t n : ns) space.add_group(shard_count, seed + 2 + n, "probe");
 
   auto shards = runner.run_flat(space, [&](const ShardSpace::Task& t) {
-    const std::size_t count = delay_probe_shard_size(scale.delay_probes, t.index);
+    const std::size_t count = delay_probe_shard_size(probes, t.index);
     if (t.group == 0) return unicast_probe_shard(network, count, t.seed);
-    return broadcast_probe_shard(network, scale.sim_ns[t.group - 1], count, t.seed);
+    return broadcast_probe_shard(network, ns[t.group - 1], count, t.seed);
   });
 
   const auto concat = [](std::vector<double>& a, std::vector<double>& b) {
@@ -46,20 +46,22 @@ DelaySamples run_calibration_probes(const net::NetworkParams& network, const Sca
   };
   DelaySamples out;
   out.unicast_ms = tree_merge(std::move(shards[0]), concat, &runner);
-  for (std::size_t g = 0; g < scale.sim_ns.size(); ++g) {
-    out.broadcast_ms[scale.sim_ns[g]] = tree_merge(std::move(shards[g + 1]), concat, &runner);
+  for (std::size_t g = 0; g < ns.size(); ++g) {
+    out.broadcast_ms[ns[g]] = tree_merge(std::move(shards[g + 1]), concat, &runner);
   }
   return out;
 }
 
 }  // namespace
 
-PaperContext make_context(const Scale& scale, std::uint64_t seed) {
+PaperContext make_context(const Scale& scale, std::uint64_t seed,
+                          const ReplicationRunner& runner) {
   PaperContext ctx;
   ctx.scale = scale;
   ctx.seed = seed;
 
-  const auto samples = run_calibration_probes(ctx.network, scale, seed, *ctx.runner);
+  const auto samples =
+      run_calibration_probes(ctx.network, scale.delay_probes, scale.sim_ns, seed, runner);
   ctx.unicast_fit = stats::fit_bimodal_uniform(samples.unicast_ms);
   for (const auto& [n, delays] : samples.broadcast_ms) {
     ctx.broadcast_fits[n] = stats::fit_bimodal_uniform(delays);
@@ -67,9 +69,12 @@ PaperContext make_context(const Scale& scale, std::uint64_t seed) {
   return ctx;
 }
 
-Fig6Result run_fig6(const PaperContext& ctx) {
+Fig6Result run_fig6(const PaperContext& ctx) { return run_fig6(ctx, ctx.scale.sim_ns); }
+
+Fig6Result run_fig6(const PaperContext& ctx, const std::vector<std::size_t>& ns) {
   Fig6Result out;
-  auto samples = run_calibration_probes(ctx.network, ctx.scale, ctx.seed, *ctx.runner);
+  auto samples =
+      run_calibration_probes(ctx.network, ctx.scale.delay_probes, ns, ctx.seed, *ctx.runner);
   out.unicast_ms = std::move(samples.unicast_ms);
   out.unicast_fit = stats::fit_bimodal_uniform(out.unicast_ms);
   for (auto& [n, delays] : samples.broadcast_ms) {
@@ -79,23 +84,25 @@ Fig6Result run_fig6(const PaperContext& ctx) {
   return out;
 }
 
-std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
+std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) { return run_fig7a(ctx, ctx.scale.ns); }
+
+std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx, const std::vector<std::size_t>& ns) {
   // Flattened fan-out: every (n, execution) pair is one task, so small n
   // groups and large ones drain from the same pool batch.
   ShardSpace space;
-  for (const std::size_t n : ctx.scale.ns) {
+  for (const std::size_t n : ns) {
     space.add_group(ctx.scale.class1_executions, ctx.seed + 100 + n, "exec");
   }
   const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
-    return run_latency_execution(ctx.scale.ns[t.group], ctx.network, ctx.timers,
+    return run_latency_execution(ns[t.group], ctx.network, ctx.timers,
                                  /*initially_crashed=*/-1, t.index, t.seed);
   });
 
   std::vector<Fig7aRow> rows;
-  for (std::size_t g = 0; g < ctx.scale.ns.size(); ++g) {
+  for (std::size_t g = 0; g < ns.size(); ++g) {
     const auto meas = fold_latency_outcomes(outcomes[g]);
     Fig7aRow row;
-    row.n = ctx.scale.ns[g];
+    row.n = ns[g];
     row.latencies_ms = meas.latencies_ms;
     row.mean = meas.summary().mean_ci(0.90);
     row.undecided = meas.undecided;
@@ -104,34 +111,79 @@ std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx) {
   return rows;
 }
 
-Fig7bResult run_fig7b(const PaperContext& ctx) {
-  Fig7bResult out;
-  const auto meas = measure_latency(5, ctx.network, ctx.timers, -1, ctx.scale.class1_executions,
-                                    ctx.seed + 105, *ctx.runner);
-  out.measured_ms = meas.latencies_ms;
+const std::vector<double>& tsend_candidates() {
+  static const std::vector<double> candidates = {0.005, 0.010, 0.015, 0.020, 0.025, 0.035};
+  return candidates;
+}
 
-  const std::vector<double> candidates = {0.005, 0.010, 0.015, 0.020, 0.025, 0.035};
-  const stats::Ecdf measured_ecdf{out.measured_ms};
-  out.sweep = sweep_tsend(measured_ecdf, ctx.unicast_fit, ctx.broadcast_fits.at(5), candidates,
-                          ctx.scale.sim_replications, ctx.seed + 7);
+Fig7bResult run_fig7b(const PaperContext& ctx) { return run_fig7b(ctx, tsend_candidates()); }
 
+Fig7bResult run_fig7b(const PaperContext& ctx, const std::vector<double>& candidates) {
+  if (candidates.empty()) throw std::invalid_argument{"run_fig7b: no candidates"};
+  // One flattened space: group 0 is the n = 5 class-1 measurement, one
+  // further group per t_send candidate's class-1 SAN study. Seeds are the
+  // streams the nested measure_latency / sweep_tsend calls used, so the
+  // result is bit-identical to the pre-flattening driver (which also
+  // simulated every candidate twice -- once for the sweep, once for the
+  // CDFs; here each candidate runs once and both foldings share it).
+  struct Cell {
+    ExecOutcome exec;
+    std::optional<double> reward;
+  };
+
+  ConsensusStudyBank bank;
+  std::vector<const san::TransientStudy*> studies;
+  ShardSpace space;
+  space.add_group(ctx.scale.class1_executions, ctx.seed + 105, "exec");
   for (const double t_send : candidates) {
-    const auto transport = make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5), t_send);
-    const auto study =
-        simulate_class1(5, transport, ctx.scale.sim_replications, ctx.seed + 7, *ctx.runner);
-    out.sim_ms[t_send] = study.rewards;
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = 5;
+    cfg.transport = make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5), t_send);
+    studies.push_back(bank.add(cfg));
+    space.add_group(ctx.scale.sim_replications, ctx.seed + 7, "rep");
+  }
+
+  const auto cells = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+    Cell cell;
+    if (t.group == 0) {
+      cell.exec = run_latency_execution(5, ctx.network, ctx.timers, -1, t.index, t.seed);
+    } else {
+      cell.reward = studies[t.group - 1]->run_one(des::RandomEngine{t.seed});
+    }
+    return cell;
+  });
+
+  Fig7bResult out;
+  {
+    std::vector<ExecOutcome> outcomes;
+    outcomes.reserve(cells[0].size());
+    for (const Cell& c : cells[0]) outcomes.push_back(c.exec);
+    out.measured_ms = fold_latency_outcomes(outcomes).latencies_ms;
+  }
+
+  std::vector<std::vector<std::optional<double>>> rewards(candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    rewards[k].reserve(cells[k + 1].size());
+    for (const Cell& c : cells[k + 1]) rewards[k].push_back(c.reward);
+  }
+  out.sweep = fold_tsend_sweep(candidates, rewards, stats::Ecdf{out.measured_ms});
+  for (const TsendCandidate& cand : out.sweep.candidates) {
+    out.sim_ms[cand.t_send_ms] = cand.sim_latencies_ms;
   }
   return out;
 }
 
-std::vector<Table1Row> run_table1(const PaperContext& ctx) {
+std::vector<Table1Cell> run_table1_cells(const PaperContext& ctx,
+                                         const std::vector<std::size_t>& ns,
+                                         const std::vector<int>& crashed) {
   // One flattened space for the whole campaign: every (n, scenario,
   // execution) measurement task and every (n, scenario, replication) SAN
   // simulation task drains from a single batch. Per-task seeds reproduce
-  // the nested measure_latency / simulate_class* calls exactly.
+  // the nested measure_latency / simulate_class* calls exactly, and are
+  // independent per (n, scenario), so a restricted axis reproduces the
+  // matching cells of the full table.
   struct GroupDesc {
-    std::size_t n = 0;
-    int crashed = -1;                            ///< measurement scenario
+    std::size_t cell = 0;                        ///< index into the output cells
     const san::TransientStudy* study = nullptr;  ///< non-null for SAN groups
   };
   struct Cell {
@@ -139,80 +191,81 @@ std::vector<Table1Row> run_table1(const PaperContext& ctx) {
     std::optional<double> reward;
   };
 
-  // SAN studies for the calibrated n, built up front on the caller thread
-  // (a deque keeps the models address-stable under the studies' pointers).
-  struct SimGroup {
-    sanmodels::ConsensusSanModel built;
-    std::optional<san::TransientStudy> study;
-  };
-  std::deque<SimGroup> sims;
-  const auto add_sim = [&](std::size_t n, int crashed) {
-    sanmodels::ConsensusSanConfig cfg;
-    cfg.n = n;
-    cfg.transport = ctx.transport(n);
-    cfg.initially_crashed = crashed;
-    auto& sim = sims.emplace_back(SimGroup{sanmodels::build_consensus_san(cfg), std::nullopt});
-    sim.study.emplace(sim.built.model, sim.built.stop_predicate());
-    sim.study->set_time_limit(des::Duration::seconds(10));
-    return &*sim.study;
+  const auto meas_seed_base = [](int crash) -> std::uint64_t {
+    switch (crash) {
+      case -1: return 200;
+      case 0: return 300;
+      case 1: return 400;
+      default: throw std::invalid_argument{"run_table1_cells: crashed must be -1, 0 or 1"};
+    }
   };
 
+  ConsensusStudyBank bank;
   ShardSpace space;
   std::vector<GroupDesc> descs;
-  for (const std::size_t n : ctx.scale.ns) {
-    for (const auto& [crashed, base] :
-         {std::pair{-1, 200ULL}, std::pair{0, 300ULL}, std::pair{1, 400ULL}}) {
-      space.add_group(ctx.scale.class1_executions, ctx.seed + base + n, "exec");
-      descs.push_back(GroupDesc{n, crashed, nullptr});
-    }
-    if (ctx.broadcast_fits.contains(n)) {
-      for (const auto& [crashed, base] :
-           {std::pair{-1, 500ULL}, std::pair{0, 600ULL}, std::pair{1, 700ULL}}) {
-        space.add_group(ctx.scale.sim_replications, ctx.seed + base + n, "rep");
-        descs.push_back(GroupDesc{n, crashed, add_sim(n, crashed)});
+  std::vector<Table1Cell> cells_out;
+  for (const std::size_t n : ns) {
+    for (const int crash : crashed) {
+      cells_out.push_back(Table1Cell{n, crash, {}, std::nullopt});
+      const std::size_t cell_index = cells_out.size() - 1;
+
+      space.add_group(ctx.scale.class1_executions, ctx.seed + meas_seed_base(crash) + n, "exec");
+      descs.push_back(GroupDesc{cell_index, nullptr});
+      if (ctx.broadcast_fits.contains(n)) {
+        sanmodels::ConsensusSanConfig cfg;
+        cfg.n = n;
+        cfg.transport = ctx.transport(n);
+        cfg.initially_crashed = crash;
+        space.add_group(ctx.scale.sim_replications, ctx.seed + meas_seed_base(crash) + 300 + n,
+                        "rep");
+        descs.push_back(GroupDesc{cell_index, bank.add(cfg)});
       }
     }
   }
 
-  const auto cells = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+  const auto raw = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
     const GroupDesc& gd = descs[t.group];
     Cell cell;
     if (gd.study != nullptr) {
       cell.reward = gd.study->run_one(des::RandomEngine{t.seed});
     } else {
-      cell.exec = run_latency_execution(gd.n, ctx.network, ctx.timers, gd.crashed, t.index,
-                                        t.seed);
+      const Table1Cell& out_cell = cells_out[gd.cell];
+      cell.exec = run_latency_execution(out_cell.n, ctx.network, ctx.timers, out_cell.crashed,
+                                        t.index, t.seed);
     }
     return cell;
   });
 
   // Fold per group in index order: bit-identical to the sequential sweep.
-  const auto fold_meas = [&](std::size_t g) {
-    std::vector<ExecOutcome> outcomes;
-    outcomes.reserve(cells[g].size());
-    for (const Cell& c : cells[g]) outcomes.push_back(c.exec);
-    return fold_latency_outcomes(outcomes).summary().mean_ci(0.90);
-  };
-  const auto fold_sim = [&](std::size_t g) {
-    std::vector<std::optional<double>> rewards;
-    rewards.reserve(cells[g].size());
-    for (const Cell& c : cells[g]) rewards.push_back(c.reward);
-    return fold_study_rewards(rewards).summary.mean();
-  };
-
-  std::vector<Table1Row> rows;
-  std::size_t g = 0;
-  for (const std::size_t n : ctx.scale.ns) {
-    Table1Row row;
-    row.n = n;
-    row.meas_no_crash = fold_meas(g++);
-    row.meas_coord_crash = fold_meas(g++);
-    row.meas_part_crash = fold_meas(g++);
-    if (ctx.broadcast_fits.contains(n)) {
-      row.sim_no_crash = fold_sim(g++);
-      row.sim_coord_crash = fold_sim(g++);
-      row.sim_part_crash = fold_sim(g++);
+  for (std::size_t g = 0; g < descs.size(); ++g) {
+    Table1Cell& out_cell = cells_out[descs[g].cell];
+    if (descs[g].study != nullptr) {
+      std::vector<std::optional<double>> rewards;
+      rewards.reserve(raw[g].size());
+      for (const Cell& c : raw[g]) rewards.push_back(c.reward);
+      out_cell.sim = fold_study_rewards(rewards).summary.mean();
+    } else {
+      std::vector<ExecOutcome> outcomes;
+      outcomes.reserve(raw[g].size());
+      for (const Cell& c : raw[g]) outcomes.push_back(c.exec);
+      out_cell.meas = fold_latency_outcomes(outcomes).summary().mean_ci(0.90);
     }
+  }
+  return cells_out;
+}
+
+std::vector<Table1Row> run_table1(const PaperContext& ctx) {
+  const auto cells = run_table1_cells(ctx, ctx.scale.ns, {-1, 0, 1});
+  std::vector<Table1Row> rows;
+  for (std::size_t i = 0; i < cells.size(); i += 3) {
+    Table1Row row;
+    row.n = cells[i].n;
+    row.meas_no_crash = cells[i].meas;
+    row.meas_coord_crash = cells[i + 1].meas;
+    row.meas_part_crash = cells[i + 2].meas;
+    row.sim_no_crash = cells[i].sim;
+    row.sim_coord_crash = cells[i + 1].sim;
+    row.sim_part_crash = cells[i + 2].sim;
     rows.push_back(row);
   }
   return rows;
@@ -220,12 +273,18 @@ std::vector<Table1Row> run_table1(const PaperContext& ctx) {
 
 std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
                                                  const std::vector<std::size_t>& ns) {
+  return run_class3_measurements(ctx, ns, ctx.scale.timeouts_ms);
+}
+
+std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
+                                                 const std::vector<std::size_t>& ns,
+                                                 const std::vector<double>& timeouts_ms) {
   // Flattened (n, timeout, run) space: every class-3 run is one task, so
   // the whole Fig 8 / Fig 9a sweep drains from a single pool batch.
   ShardSpace space;
   std::vector<Class3Point> points;
   for (const std::size_t n : ns) {
-    for (const double timeout : ctx.scale.timeouts_ms) {
+    for (const double timeout : timeouts_ms) {
       space.add_group(ctx.scale.class3_runs,
                       ctx.seed + 1000 + 17 * n + static_cast<std::uint64_t>(timeout), "run");
       Class3Point pt;
@@ -249,7 +308,23 @@ std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
 
 std::vector<Fig9bPoint> run_fig9b(const PaperContext& ctx,
                                   const std::vector<Class3Point>& measurements) {
+  // Flattened driver-level fan-out: the conditional simulation branches --
+  // class 1 where the detector made no mistakes, deterministic plus
+  // exponential class-3 sojourns otherwise -- are decided up front from
+  // the measured QoS, so every replication of every branch of every point
+  // drains from one batch. Seeds match the nested simulate_class* calls.
+  struct GroupRef {
+    std::size_t row = 0;
+    bool both = false;  ///< class-1 degenerate: result feeds det and exp
+    bool exp = false;   ///< exponential-sojourn group
+  };
+
+  ConsensusStudyBank bank;
+  std::vector<const san::TransientStudy*> studies;
+  std::vector<GroupRef> refs;
+  ShardSpace space;
   std::vector<Fig9bPoint> out;
+
   for (const auto& pt : measurements) {
     if (!ctx.broadcast_fits.contains(pt.n)) continue;  // sim only where calibrated (n = 3, 5)
     Fig9bPoint row;
@@ -258,29 +333,52 @@ std::vector<Fig9bPoint> run_fig9b(const PaperContext& ctx,
     row.meas_ms = pt.meas.latency_ms.mean;
     row.qos_t_mr_ms = pt.meas.pooled_qos.t_mr_ms;
     row.qos_t_m_ms = pt.meas.pooled_qos.t_m_ms;
+    const std::size_t row_index = out.size();
+    out.push_back(row);
 
     const auto transport = ctx.transport(pt.n);
     const auto& qos = pt.meas.pooled_qos;
+    sanmodels::ConsensusSanConfig cfg;
+    cfg.n = pt.n;
+    cfg.transport = transport;
     if (!(qos.t_mr_ms > 0) || !(qos.t_m_ms > 0) || qos.t_m_ms >= qos.t_mr_ms) {
       // The detector made essentially no mistakes at this timeout: the
       // class-3 model degenerates to class 1.
-      const auto study =
-          simulate_class1(pt.n, transport, ctx.scale.sim_replications, ctx.seed + 9000, *ctx.runner);
-      row.sim_det_ms = study.summary.mean();
-      row.sim_exp_ms = row.sim_det_ms;
+      studies.push_back(bank.add(cfg));
+      space.add_group(ctx.scale.sim_replications, ctx.seed + 9000, "rep");
+      refs.push_back(GroupRef{row_index, /*both=*/true, /*exp=*/false});
     } else {
-      const auto det = fd::AbstractFdParams::from_qos(
-          qos, fd::AbstractFdParams::Sojourn::kDeterministic);
-      const auto exp = fd::AbstractFdParams::from_qos(
-          qos, fd::AbstractFdParams::Sojourn::kExponential);
-      row.sim_det_ms = simulate_class3(pt.n, transport, det, ctx.scale.sim_replications,
-                                       ctx.seed + 9100, *ctx.runner)
-                           .summary.mean();
-      row.sim_exp_ms = simulate_class3(pt.n, transport, exp, ctx.scale.sim_replications,
-                                       ctx.seed + 9200, *ctx.runner)
-                           .summary.mean();
+      auto det_cfg = cfg;
+      det_cfg.qos_fd =
+          fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kDeterministic);
+      studies.push_back(bank.add(det_cfg));
+      space.add_group(ctx.scale.sim_replications, ctx.seed + 9100, "rep");
+      refs.push_back(GroupRef{row_index, /*both=*/false, /*exp=*/false});
+
+      auto exp_cfg = cfg;
+      exp_cfg.qos_fd =
+          fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+      studies.push_back(bank.add(exp_cfg));
+      space.add_group(ctx.scale.sim_replications, ctx.seed + 9200, "rep");
+      refs.push_back(GroupRef{row_index, /*both=*/false, /*exp=*/true});
     }
-    out.push_back(row);
+  }
+
+  const auto rewards = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+    return studies[t.group]->run_one(des::RandomEngine{t.seed});
+  });
+
+  for (std::size_t g = 0; g < refs.size(); ++g) {
+    const double mean = fold_study_rewards(rewards[g]).summary.mean();
+    Fig9bPoint& row = out[refs[g].row];
+    if (refs[g].both) {
+      row.sim_det_ms = mean;
+      row.sim_exp_ms = mean;
+    } else if (refs[g].exp) {
+      row.sim_exp_ms = mean;
+    } else {
+      row.sim_det_ms = mean;
+    }
   }
   return out;
 }

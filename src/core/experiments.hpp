@@ -37,7 +37,11 @@ struct PaperContext {
 };
 
 /// Measures delay distributions and fits them (the shared calibration pass).
-[[nodiscard]] PaperContext make_context(const Scale& scale, std::uint64_t seed = kDefaultSeed);
+/// The calibration probes fan out over `runner` (results are identical for
+/// any thread count); the returned context keeps the default runner unless
+/// the caller re-points it.
+[[nodiscard]] PaperContext make_context(const Scale& scale, std::uint64_t seed = kDefaultSeed,
+                                        const ReplicationRunner& runner = default_runner());
 
 // --- Fig 6: end-to-end delay CDFs -----------------------------------------
 struct Fig6Result {
@@ -47,6 +51,10 @@ struct Fig6Result {
   std::map<std::size_t, stats::BimodalUniform> broadcast_fits;
 };
 [[nodiscard]] Fig6Result run_fig6(const PaperContext& ctx);
+/// Restricted broadcast-size axis (the scenario API's `n` axis); per-n
+/// results are independent, so a restriction reproduces the matching
+/// subset of the full run bit for bit.
+[[nodiscard]] Fig6Result run_fig6(const PaperContext& ctx, const std::vector<std::size_t>& ns);
 
 // --- Fig 7a: measured latency CDFs, class 1 --------------------------------
 struct Fig7aRow {
@@ -56,6 +64,8 @@ struct Fig7aRow {
   std::size_t undecided = 0;
 };
 [[nodiscard]] std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx);
+[[nodiscard]] std::vector<Fig7aRow> run_fig7a(const PaperContext& ctx,
+                                              const std::vector<std::size_t>& ns);
 
 // --- Fig 7b: simulated latency CDFs for t_send candidates, n = 5 ----------
 struct Fig7bResult {
@@ -63,7 +73,11 @@ struct Fig7bResult {
   TsendSweep sweep;
   std::map<double, std::vector<double>> sim_ms;  ///< keyed by t_send
 };
+/// The paper's candidate set {0.005 .. 0.035} ms.
+[[nodiscard]] const std::vector<double>& tsend_candidates();
 [[nodiscard]] Fig7bResult run_fig7b(const PaperContext& ctx);
+[[nodiscard]] Fig7bResult run_fig7b(const PaperContext& ctx,
+                                    const std::vector<double>& candidates);
 
 // --- Table 1: crash scenarios ----------------------------------------------
 struct Table1Row {
@@ -73,6 +87,21 @@ struct Table1Row {
 };
 [[nodiscard]] std::vector<Table1Row> run_table1(const PaperContext& ctx);
 
+/// One (n, crash scenario) cell pair of Table 1: the measurement, plus the
+/// SAN simulation where n is calibrated.
+struct Table1Cell {
+  std::size_t n = 0;
+  int crashed = -1;  ///< -1 none, 0 coordinator, 1 participant
+  stats::MeanCI meas;
+  std::optional<double> sim;
+};
+/// The whole (ns x crashed) campaign as one flattened space; cells come
+/// back in (n-major, scenario-minor) order. `crashed` entries must be in
+/// {-1, 0, 1}. Restrictions reproduce the matching cells of the full run.
+[[nodiscard]] std::vector<Table1Cell> run_table1_cells(const PaperContext& ctx,
+                                                       const std::vector<std::size_t>& ns,
+                                                       const std::vector<int>& crashed);
+
 // --- Fig 8 (QoS vs T) and Fig 9a (latency vs T): class-3 measurements -----
 struct Class3Point {
   std::size_t n = 0;
@@ -81,6 +110,9 @@ struct Class3Point {
 };
 [[nodiscard]] std::vector<Class3Point> run_class3_measurements(const PaperContext& ctx,
                                                                const std::vector<std::size_t>& ns);
+[[nodiscard]] std::vector<Class3Point> run_class3_measurements(
+    const PaperContext& ctx, const std::vector<std::size_t>& ns,
+    const std::vector<double>& timeouts_ms);
 
 // --- Fig 9b: measurements vs det/exp SAN simulation, n = 3, 5 -------------
 struct Fig9bPoint {

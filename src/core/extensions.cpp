@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
 
 #include "consensus/ct_consensus.hpp"
 #include "consensus/mr_consensus.hpp"
@@ -21,31 +22,30 @@ const char* to_string(Algorithm algorithm) {
   return "?";
 }
 
+ExecOutcome run_latency_execution_with(Algorithm algorithm, std::size_t n,
+                                       const net::NetworkParams& params,
+                                       const net::TimerModel& timers, int initially_crashed,
+                                       std::size_t k, std::uint64_t exec_seed) {
+  if (algorithm == Algorithm::kChandraToueg) {
+    return run_latency_execution(n, params, timers, initially_crashed, k, exec_seed);
+  }
+  return detail::run_one_consensus_execution<consensus::MrConsensus>(
+      n, params, timers, initially_crashed, k, exec_seed);
+}
+
 MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
                                      const net::NetworkParams& params,
                                      const net::TimerModel& timers, int initially_crashed,
                                      std::size_t executions, std::uint64_t seed,
                                      const ReplicationRunner& runner) {
-  if (algorithm == Algorithm::kChandraToueg) {
-    return measure_latency(n, params, timers, initially_crashed, executions, seed, runner);
+  if (initially_crashed >= static_cast<int>(n)) {
+    throw std::invalid_argument{"measure_latency_with: crashed id out of range"};
   }
   const des::SeedSplitter seeds{seed, "exec"};
-  const auto outcomes = runner.map(executions, [&](std::size_t k) {
-    return detail::run_one_consensus_execution<consensus::MrConsensus>(
-        n, params, timers, initially_crashed, k, seeds.stream_seed(k));
-  });
-
-  MeasuredLatency out;
-  out.latencies_ms.reserve(executions);
-  for (const detail::ExecOutcome& exec : outcomes) {
-    if (exec.latency_ms) {
-      out.latencies_ms.push_back(*exec.latency_ms);
-      out.rounds.push_back(exec.rounds);
-    } else {
-      ++out.undecided;
-    }
-  }
-  return out;
+  return fold_latency_outcomes(runner.map(executions, [&](std::size_t k) {
+    return run_latency_execution_with(algorithm, n, params, timers, initially_crashed, k,
+                                      seeds.stream_seed(k));
+  }));
 }
 
 ThroughputResult measure_throughput(std::size_t n, const net::NetworkParams& params,
@@ -97,51 +97,56 @@ ThroughputResult measure_throughput(std::size_t n, const net::NetworkParams& par
   return out;
 }
 
+std::vector<double> detection_time_trial(std::size_t n, const net::NetworkParams& params,
+                                         const net::TimerModel& timers, double timeout_ms,
+                                         std::uint64_t trial_seed) {
+  std::vector<double> samples;
+  runtime::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.seed = trial_seed;
+  runtime::Cluster cluster{cfg};
+  const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    cluster.process(pid).add_layer<fd::HeartbeatFd>(fd_params);
+  }
+
+  // Let the detectors settle, then crash a process at a phase-random time
+  // (uniform within one heartbeat period, so the crash is not aligned to
+  // the tick grid).
+  auto crash_rng = cluster.rng_stream("crash");
+  const runtime::HostId victim =
+      static_cast<runtime::HostId>(crash_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  const double crash_ms = 60.0 + crash_rng.uniform(0.0, 0.7 * timeout_ms + 10.0);
+  const auto crash_at = des::TimePoint::origin() + des::Duration::from_ms(crash_ms);
+  cluster.crash_at(victim, crash_at);
+
+  // Run long enough for every correct process to suspect the victim.
+  const auto deadline = crash_at + des::Duration::from_ms(3.0 * timeout_ms + 100.0);
+  cluster.run_until(deadline);
+
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    if (pid == victim) continue;
+    const auto& hb = cluster.process(pid).layer<fd::HeartbeatFd>();
+    const auto& history = hb.histories()[victim];
+    // Find the transition that starts the permanent suspicion: the last
+    // trust->suspect with no later suspect->trust.
+    if (!hb.is_suspected(victim) || history.transitions().empty()) continue;
+    const auto& final_tr = history.transitions().back();
+    if (!final_tr.to_suspect) continue;
+    samples.push_back((final_tr.at - crash_at).to_ms());
+  }
+  return samples;
+}
+
 DetectionTimeResult measure_detection_time(std::size_t n, const net::NetworkParams& params,
                                            const net::TimerModel& timers, double timeout_ms,
                                            std::size_t trials, std::uint64_t seed,
                                            const ReplicationRunner& runner) {
   const des::SeedSplitter seeds{seed, "trial"};
   const auto trial_samples = runner.map(trials, [&](std::size_t trial) {
-    std::vector<double> samples;
-    runtime::ClusterConfig cfg;
-    cfg.n = n;
-    cfg.network = params;
-    cfg.timers = timers;
-    cfg.seed = seeds.stream_seed(trial);
-    runtime::Cluster cluster{cfg};
-    const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      cluster.process(pid).add_layer<fd::HeartbeatFd>(fd_params);
-    }
-
-    // Let the detectors settle, then crash a process at a phase-random time
-    // (uniform within one heartbeat period, so the crash is not aligned to
-    // the tick grid).
-    auto crash_rng = cluster.rng_stream("crash");
-    const runtime::HostId victim =
-        static_cast<runtime::HostId>(crash_rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-    const double crash_ms = 60.0 + crash_rng.uniform(0.0, 0.7 * timeout_ms + 10.0);
-    const auto crash_at = des::TimePoint::origin() + des::Duration::from_ms(crash_ms);
-    cluster.crash_at(victim, crash_at);
-
-    // Run long enough for every correct process to suspect the victim.
-    const auto deadline =
-        crash_at + des::Duration::from_ms(3.0 * timeout_ms + 100.0);
-    cluster.run_until(deadline);
-
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-      if (pid == victim) continue;
-      const auto& hb = cluster.process(pid).layer<fd::HeartbeatFd>();
-      const auto& history = hb.histories()[victim];
-      // Find the transition that starts the permanent suspicion: the last
-      // trust->suspect with no later suspect->trust.
-      if (!hb.is_suspected(victim) || history.transitions().empty()) continue;
-      const auto& final_tr = history.transitions().back();
-      if (!final_tr.to_suspect) continue;
-      samples.push_back((final_tr.at - crash_at).to_ms());
-    }
-    return samples;
+    return detection_time_trial(n, params, timers, timeout_ms, seeds.stream_seed(trial));
   });
 
   // Fold in trial order: identical to the sequential loop.

@@ -26,6 +26,15 @@ enum class Algorithm {
 
 [[nodiscard]] const char* to_string(Algorithm algorithm);
 
+/// One isolated execution of the selected algorithm with an explicitly
+/// derived seed (the flat sharding unit of the comparative campaigns;
+/// seeds come from SeedSplitter{seed, "exec"}).
+[[nodiscard]] ExecOutcome run_latency_execution_with(Algorithm algorithm, std::size_t n,
+                                                     const net::NetworkParams& params,
+                                                     const net::TimerModel& timers,
+                                                     int initially_crashed, std::size_t k,
+                                                     std::uint64_t exec_seed);
+
 /// Like measure_latency, but with a selectable consensus algorithm.
 [[nodiscard]] MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
                                                    const net::NetworkParams& params,
@@ -55,6 +64,16 @@ struct DetectionTimeResult {
   std::vector<double> samples_ms;  ///< one per (trial, monitoring process)
   stats::SummaryStats summary;
 };
+
+/// One detection-time trial (the flat sharding unit of the T_D campaign):
+/// crash one process at a phase-random time and return, per correct
+/// process, the crash-to-permanent-suspicion delay. Seeds come from
+/// SeedSplitter{seed, "trial"}.
+[[nodiscard]] std::vector<double> detection_time_trial(std::size_t n,
+                                                       const net::NetworkParams& params,
+                                                       const net::TimerModel& timers,
+                                                       double timeout_ms,
+                                                       std::uint64_t trial_seed);
 
 /// Chen et al. detection time T_D: crash one process mid-run and measure,
 /// at every correct process, the time from the crash to the permanent

@@ -1,0 +1,54 @@
+// Internal: strict little parsers shared by the campaign layer (axis
+// overrides) and the ResultTable sinks. Every function validates the whole
+// token and throws std::invalid_argument naming `what` on garbage, so a
+// typo in a --set override or a corrupted CSV cell fails loudly.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sanperf::core::detail {
+
+inline double parse_real(std::string_view text, std::string_view what) {
+  const std::string owned{text};
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(owned.c_str(), &end);
+  // Out-of-range magnitudes (1e999) fail; literal "nan"/"inf" tokens pass
+  // so ResultTable cells round-trip (callers needing finite values check).
+  if (end == owned.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument{std::string{what} + ": bad real '" + owned + "'"};
+  }
+  return v;
+}
+
+inline std::int64_t parse_int(std::string_view text, std::string_view what) {
+  const std::string owned{text};
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(owned.c_str(), &end, 10);
+  if (end == owned.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument{std::string{what} + ": bad int '" + owned + "'"};
+  }
+  return v;
+}
+
+/// Splits on `sep`; "a,,b" yields three tokens, the middle one empty.
+inline std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace sanperf::core::detail

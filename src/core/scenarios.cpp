@@ -1,0 +1,623 @@
+// The built-in campaign registry: every paper artifact (Fig 6, 7a, 7b,
+// Table 1, Fig 8, 9a, 9b), the model ablations and the future-work
+// extensions, each re-expressed as a declarative ScenarioSpec over the
+// flattened ShardSpace fan-out. The per-figure logic lives in the typed
+// driver functions (experiments/extensions); the specs describe the axes,
+// the output schema, and the fold into a ResultTable.
+#include <cmath>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "core/extensions.hpp"
+#include "core/simulation.hpp"
+#include "stats/ecdf.hpp"
+
+namespace sanperf::core {
+
+namespace {
+
+using Value = ResultTable::Value;
+using ColumnType = ResultTable::ColumnType;
+
+Value real_or_null(double v) {
+  if (!std::isfinite(v)) return Value{};
+  return Value{v};
+}
+
+Value int_of(std::size_t v) { return Value{static_cast<std::int64_t>(v)}; }
+
+// --- Crash-scenario axis -----------------------------------------------------
+
+const std::vector<std::string>& crash_scenarios() {
+  static const std::vector<std::string> names = {"no-crash", "coordinator-crash",
+                                                 "participant-crash"};
+  return names;
+}
+
+int crashed_id(const std::string& scenario) {
+  if (scenario == "no-crash") return -1;
+  if (scenario == "coordinator-crash") return 0;
+  if (scenario == "participant-crash") return 1;
+  throw std::invalid_argument{"unknown crash scenario '" + scenario + "'"};
+}
+
+const std::string& crash_scenario_name(int crashed) {
+  return crash_scenarios().at(static_cast<std::size_t>(crashed + 1));
+}
+
+// --- Paper artifacts ---------------------------------------------------------
+
+ScenarioSpec fig6_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig6";
+  spec.description = "End-to-end delay CDFs of isolated unicasts/broadcasts + bimodal fits";
+  spec.notes =
+      "Paper reports unicast U[0.10,0.13]@0.80 + U[0.145,0.35]@0.20 (mean 0.1415 ms);\n"
+      "transmission time ~0.18 ms (Section 4).";
+  spec.needs_calibration = false;  // fig6 IS the calibration pass
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns)};
+  };
+  spec.columns = {{"kind", ColumnType::kString}, {"n", ColumnType::kInt},
+                  {"p1", ColumnType::kReal},     {"a1_ms", ColumnType::kReal},
+                  {"b1_ms", ColumnType::kReal},  {"a2_ms", ColumnType::kReal},
+                  {"b2_ms", ColumnType::kReal},  {"mean_ms", ColumnType::kReal},
+                  {"delay_ms", ColumnType::kSample}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const auto ns = run.grid.axis("n").size_values();
+    const auto fig6 = run_fig6(run.ctx, ns);
+    ResultTable table{"fig6", columns};
+    const auto add = [&](const std::string& kind, Value n, const stats::BimodalUniform& fit,
+                         std::vector<double> delays) {
+      table.add_row({kind, std::move(n), fit.p1, fit.a1, fit.b1, fit.a2, fit.b2, fit.mean(),
+                     SampleRef{std::move(delays)}});
+    };
+    add("unicast", Value{}, fig6.unicast_fit, fig6.unicast_ms);
+    for (const std::size_t n : ns) {
+      add("broadcast", int_of(n), fig6.broadcast_fits.at(n), fig6.broadcast_ms.at(n));
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec fig7a_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig7a";
+  spec.description = "Measured consensus latency CDFs, run class 1 (no failures/suspicions)";
+  spec.notes =
+      "Paper Section 5.2 measured means: 1.06, 1.43, 2.00, 2.62, 3.27 ms for\n"
+      "n = 3..11 (this emulated testbed runs ~0.5-0.7x those absolute values).";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.ns)};
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"paper_meas_ms", ColumnType::kReal},
+                  {"latency_ms", ColumnType::kMeanCI},
+                  {"undecided", ColumnType::kInt},
+                  {"latencies_ms", ColumnType::kSample}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const auto rows = run_fig7a(run.ctx, run.grid.axis("n").size_values());
+    ResultTable table{"fig7a", columns};
+    for (const auto& row : rows) {
+      Value paper{};
+      for (const auto& p : paper_table1()) {
+        if (p.n == row.n) paper = real_or_null(p.meas_no_crash);
+      }
+      table.add_row({int_of(row.n), std::move(paper), row.mean, int_of(row.undecided),
+                     SampleRef{row.latencies_ms}});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec fig7b_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig7b";
+  spec.description = "t_send sweep: simulated latency CDFs (n = 5) vs the measured CDF";
+  spec.notes =
+      "The sweep selects t_send by two-sample KS distance; the paper selects\n"
+      "0.025 ms visually and the emulator's ground truth is 0.025 ms.";
+  spec.needs_calibration = true;
+  spec.axes = [](const Scale&) {
+    return std::vector<ParamAxis>{ParamAxis::reals("t_send_ms", tsend_candidates())};
+  };
+  spec.columns = {{"kind", ColumnType::kString},     {"t_send_ms", ColumnType::kReal},
+                  {"ks_distance", ColumnType::kReal}, {"mean_ms", ColumnType::kReal},
+                  {"selected", ColumnType::kInt},     {"latencies_ms", ColumnType::kSample}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const auto result = run_fig7b(run.ctx, run.grid.axis("t_send_ms").real_values());
+    ResultTable table{"fig7b", columns};
+    table.add_row({std::string{"measured"}, Value{}, Value{},
+                   stats::summarize(result.measured_ms).mean(), Value{},
+                   SampleRef{result.measured_ms}});
+    for (const auto& cand : result.sweep.candidates) {
+      table.add_row({std::string{"simulated"}, cand.t_send_ms, cand.ks_distance,
+                     cand.sim_mean_ms,
+                     Value{static_cast<std::int64_t>(
+                         cand.t_send_ms == result.sweep.best_t_send_ms ? 1 : 0)},
+                     SampleRef{cand.sim_latencies_ms}});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec table1_spec() {
+  ScenarioSpec spec;
+  spec.name = "table1";
+  spec.description = "Crash-scenario latency: measurements (n = 3..11) vs SAN sim (n = 3, 5)";
+  spec.notes =
+      "Paper Section 5.3: a coordinator crash always increases latency; a\n"
+      "participant crash decreases it for n >= 5, while for n = 3 the\n"
+      "measurements increase (unicast ordering) and the simulation -- whose\n"
+      "broadcast is a single message -- shows a decrease instead.";
+  spec.needs_calibration = true;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.ns),
+                                  ParamAxis::strings("scenario", crash_scenarios())};
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"scenario", ColumnType::kString},
+                  {"paper_meas_ms", ColumnType::kReal},
+                  {"meas_ms", ColumnType::kMeanCI},
+                  {"paper_sim_ms", ColumnType::kReal},
+                  {"sim_ms", ColumnType::kReal}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    std::vector<int> crashed;
+    for (const auto& s : run.grid.axis("scenario").string_values()) {
+      crashed.push_back(crashed_id(s));
+    }
+    const auto cells = run_table1_cells(run.ctx, run.grid.axis("n").size_values(), crashed);
+    ResultTable table{"table1", columns};
+    for (const auto& cell : cells) {
+      Value paper_meas{};
+      Value paper_sim{};
+      for (const auto& p : paper_table1()) {
+        if (p.n != cell.n) continue;
+        const double meas = cell.crashed == -1  ? p.meas_no_crash
+                            : cell.crashed == 0 ? p.meas_coord
+                                                : p.meas_part;
+        const double sim = cell.crashed == -1  ? p.sim_no_crash
+                           : cell.crashed == 0 ? p.sim_coord
+                                               : p.sim_part;
+        paper_meas = real_or_null(meas);
+        paper_sim = real_or_null(sim);
+      }
+      table.add_row({int_of(cell.n), crash_scenario_name(cell.crashed), std::move(paper_meas),
+                     cell.meas, std::move(paper_sim),
+                     cell.sim ? Value{*cell.sim} : Value{}});
+    }
+    return table;
+  };
+  return spec;
+}
+
+/// fig8 and fig9a render the same class-3 campaign (QoS vs T, latency vs
+/// T), so they share one run body differing only in the fold.
+ScenarioSpec class3_spec(bool qos_view) {
+  ScenarioSpec spec;
+  spec.name = qos_view ? "fig8" : "fig9a";
+  spec.description = qos_view
+                         ? "Heartbeat FD QoS (T_MR, T_M) vs timeout T, class-3 measurements"
+                         : "Consensus latency vs timeout T, class-3 measurements";
+  spec.notes = qos_view
+                   ? "Paper Fig 8: T_MR increases with T and blows up past T ~ 30 ms\n"
+                     "(> 190 ms at T = 40); T_M stays irregular but bounded (< 12 ms)."
+                   : "Paper Fig 9a: latency decreases in T, starting very high where\n"
+                     "wrong suspicions are frequent.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.ns),
+                                  ParamAxis::reals("timeout_ms", scale.timeouts_ms)};
+  };
+  if (qos_view) {
+    spec.columns = {{"n", ColumnType::kInt},        {"timeout_ms", ColumnType::kReal},
+                    {"t_mr_ms", ColumnType::kMeanCI}, {"t_m_ms", ColumnType::kMeanCI},
+                    {"qos_pairs", ColumnType::kInt},  {"undecided", ColumnType::kInt}};
+  } else {
+    spec.columns = {{"n", ColumnType::kInt},
+                    {"timeout_ms", ColumnType::kReal},
+                    {"latency_ms", ColumnType::kMeanCI},
+                    {"undecided", ColumnType::kInt},
+                    {"latencies_ms", ColumnType::kSample}};
+  }
+  spec.run = [qos_view, columns = spec.columns](const ScenarioRun& run) {
+    const auto points = run_class3_measurements(run.ctx, run.grid.axis("n").size_values(),
+                                                run.grid.axis("timeout_ms").real_values());
+    ResultTable table{qos_view ? "fig8" : "fig9a", columns};
+    for (const auto& pt : points) {
+      if (qos_view) {
+        const bool quiet = pt.meas.pooled_qos.pairs_used == 0;
+        table.add_row({int_of(pt.n), pt.timeout_ms, quiet ? Value{} : Value{pt.meas.t_mr_ms},
+                       quiet ? Value{} : Value{pt.meas.t_m_ms},
+                       int_of(pt.meas.pooled_qos.pairs_used), int_of(pt.meas.undecided)});
+      } else {
+        table.add_row({int_of(pt.n), pt.timeout_ms, pt.meas.latency_ms,
+                       int_of(pt.meas.undecided), SampleRef{pt.meas.all_latencies_ms}});
+      }
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec fig9b_spec() {
+  ScenarioSpec spec;
+  spec.name = "fig9b";
+  spec.description = "Latency vs timeout: measurements vs SAN sim (det/exp FD sojourns)";
+  spec.notes =
+      "Paper Fig 9b: the SAN model matches at large T (good QoS) and\n"
+      "diverges when wrong suspicions are frequent, because the model\n"
+      "assumes independent failure detectors.";
+  spec.needs_calibration = true;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns),
+                                  ParamAxis::reals("timeout_ms", scale.timeouts_ms)};
+  };
+  spec.columns = {{"n", ColumnType::kInt},          {"timeout_ms", ColumnType::kReal},
+                  {"meas_ms", ColumnType::kReal},   {"sim_det_ms", ColumnType::kReal},
+                  {"sim_exp_ms", ColumnType::kReal}, {"t_mr_ms", ColumnType::kReal},
+                  {"t_m_ms", ColumnType::kReal}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const auto points = run_class3_measurements(run.ctx, run.grid.axis("n").size_values(),
+                                                run.grid.axis("timeout_ms").real_values());
+    const auto rows = run_fig9b(run.ctx, points);
+    ResultTable table{"fig9b", columns};
+    for (const auto& row : rows) {
+      table.add_row({int_of(row.n), row.timeout_ms, row.meas_ms, row.sim_det_ms, row.sim_exp_ms,
+                     row.qos_t_mr_ms, row.qos_t_m_ms});
+    }
+    return table;
+  };
+  return spec;
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+ScenarioSpec ablation_broadcast_spec() {
+  ScenarioSpec spec;
+  spec.name = "ablation_broadcast";
+  spec.description = "SAN ablation: broadcast-as-one-message vs unicast-sized frame";
+  spec.notes =
+      "The single-message broadcast (paper model) charges the medium for the\n"
+      "whole fan-out at once; shrinking it to one unicast quantifies how much\n"
+      "latency the simplification attributes to the proposal step. Neither\n"
+      "variant reproduces the measured n=3 participant-crash anomaly -- that\n"
+      "needs per-destination ordering, which only the emulator exhibits.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale&) {
+    return std::vector<ParamAxis>{ParamAxis::ints("n", {3, 5}),
+                                  ParamAxis::strings("scenario", crash_scenarios())};
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"scenario", ColumnType::kString},
+                  {"bcast_single_ms", ColumnType::kReal},
+                  {"bcast_unicast_ms", ColumnType::kReal},
+                  {"delta_pct", ColumnType::kReal}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    // Flattened (grid point x variant x replication) space; per-variant
+    // offsets (11+n paper-like, 12+n unicast-frame) and the 400-replication
+    // budget come from the original ablation harness, rebased on ctx.seed
+    // so --seed yields independent replications.
+    constexpr std::size_t kReps = 400;
+    ConsensusStudyBank bank;
+    std::vector<const san::TransientStudy*> studies;
+    ShardSpace space;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const std::size_t n = point.get_size("n");
+      const int crashed = crashed_id(point.get_string("scenario"));
+      for (const bool unicast_frame : {false, true}) {
+        auto transport = sanmodels::TransportParams::nominal(n);
+        if (unicast_frame) transport.frame_broadcast = transport.frame_unicast;
+        sanmodels::ConsensusSanConfig cfg;
+        cfg.n = n;
+        cfg.transport = transport;
+        cfg.initially_crashed = crashed;
+        // The original harness ran these studies at the 60 s default limit.
+        studies.push_back(bank.add(cfg, des::Duration::seconds(60)));
+        space.add_group(kReps, run.ctx.seed + (unicast_frame ? 12 : 11) + n, "rep");
+      }
+    }
+    const auto rewards = run.ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      return studies[t.group]->run_one(des::RandomEngine{t.seed});
+    });
+
+    ResultTable table{"ablation_broadcast", columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const double a = fold_study_rewards(rewards[2 * p]).summary.mean();
+      const double b = fold_study_rewards(rewards[2 * p + 1]).summary.mean();
+      table.add_row({point.get_int("n"), point.get_string("scenario"), a, b,
+                     100.0 * (a - b) / a});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec ablation_fd_spec() {
+  ScenarioSpec spec;
+  spec.name = "ablation_fd_correlation";
+  spec.description = "SAN ablation: independent-FD assumption with matched measured QoS";
+  spec.notes =
+      "Expected shape (paper Section 5.4): sim/meas near 1 at large T, a\n"
+      "clear divergence at small T where wrong suspicions are frequent and\n"
+      "correlated in reality but independent in the model.";
+  spec.needs_calibration = true;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns),
+                                  ParamAxis::reals("timeout_ms", {2, 5, 10, 20, 40})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},          {"timeout_ms", ColumnType::kReal},
+                  {"meas_ms", ColumnType::kReal},   {"sim_ms", ColumnType::kReal},
+                  {"sim_over_meas", ColumnType::kReal}, {"t_mr_ms", ColumnType::kReal},
+                  {"t_m_ms", ColumnType::kReal}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto ns = run.grid.axis("n").size_values();
+    const auto timeouts = run.grid.axis("timeout_ms").real_values();
+
+    // Batch 1: the class-3 measurement campaign, one group per grid point.
+    ShardSpace meas_space;
+    struct Point {
+      std::size_t n = 0;
+      double timeout_ms = 0;
+    };
+    std::vector<Point> points;
+    for (const std::size_t n : ns) {
+      for (const double timeout : timeouts) {
+        meas_space.add_group(ctx.scale.class3_runs,
+                             ctx.seed + 31 * n + static_cast<std::uint64_t>(timeout), "run");
+        points.push_back(Point{n, timeout});
+      }
+    }
+    auto runs = ctx.runner->run_flat(meas_space, [&](const ShardSpace::Task& t) {
+      const Point& pt = points[t.group];
+      return measure_class3_run(pt.n, ctx.network, ctx.timers, pt.timeout_ms,
+                                ctx.scale.class3_executions, t.seed);
+    });
+    std::vector<Class3Aggregate> aggs;
+    aggs.reserve(points.size());
+    for (auto& shard : runs) aggs.push_back(fold_class3_runs(std::move(shard)));
+
+    // Batch 2: matched-QoS simulations; the branch (class 1 when the
+    // detector made no mistakes, exponential-sojourn class 3 otherwise)
+    // depends only on batch 1's fold.
+    ConsensusStudyBank bank;
+    std::vector<const san::TransientStudy*> studies;
+    ShardSpace sim_space;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const auto& qos = aggs[p].pooled_qos;
+      sanmodels::ConsensusSanConfig cfg;
+      cfg.n = points[p].n;
+      cfg.transport = ctx.transport(points[p].n);
+      if (qos.pairs_used == 0 || !(qos.t_m_ms > 0) || qos.t_m_ms >= qos.t_mr_ms) {
+        sim_space.add_group(ctx.scale.sim_replications, ctx.seed + 51, "rep");
+      } else {
+        cfg.qos_fd =
+            fd::AbstractFdParams::from_qos(qos, fd::AbstractFdParams::Sojourn::kExponential);
+        sim_space.add_group(ctx.scale.sim_replications, ctx.seed + 52, "rep");
+      }
+      studies.push_back(bank.add(cfg));
+    }
+    const auto rewards = ctx.runner->run_flat(sim_space, [&](const ShardSpace::Task& t) {
+      return studies[t.group]->run_one(des::RandomEngine{t.seed});
+    });
+
+    ResultTable table{"ablation_fd_correlation", columns};
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      const double meas_mean = aggs[p].latency_ms.mean;
+      const double sim_mean = fold_study_rewards(rewards[p]).summary.mean();
+      const bool have_qos = aggs[p].pooled_qos.pairs_used > 0;
+      table.add_row({int_of(points[p].n), points[p].timeout_ms, meas_mean, sim_mean,
+                     meas_mean > 0 ? Value{sim_mean / meas_mean} : Value{0.0},
+                     have_qos ? Value{aggs[p].pooled_qos.t_mr_ms} : Value{},
+                     have_qos ? Value{aggs[p].pooled_qos.t_m_ms} : Value{}});
+    }
+    return table;
+  };
+  return spec;
+}
+
+// --- Extensions (the paper's declared future work) ---------------------------
+
+ScenarioSpec ext_algorithms_spec() {
+  ScenarioSpec spec;
+  spec.name = "ext_algorithms";
+  spec.description = "Chandra-Toueg vs Mostefaoui-Raynal latency, failure-free and crashed";
+  spec.notes =
+      "Failure-free, MR's two communication steps beat CT's three at every n.\n"
+      "Under a coordinator crash the picture inverts and widens with n: MR\n"
+      "burns a full all-to-all round on bottoms before recovering. Neither\n"
+      "algorithm dominates -- the workload decides.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{
+        ParamAxis::sizes("n", scale.ns),
+        ParamAxis::strings("scenario", {"no-crash", "coordinator-crash"})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},      {"scenario", ColumnType::kString},
+                  {"ct_ms", ColumnType::kMeanCI}, {"mr_ms", ColumnType::kMeanCI},
+                  {"mr_over_ct", ColumnType::kReal}, {"winner", ColumnType::kString}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    // Two groups (CT, MR) per grid point, both on the (seed + 3n, "exec")
+    // streams the comparative harness always used.
+    ShardSpace space;
+    std::vector<std::pair<Algorithm, std::size_t>> groups;  ///< algorithm, grid point
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const std::size_t n = run.grid.point(p).get_size("n");
+      for (const Algorithm alg : {Algorithm::kChandraToueg, Algorithm::kMostefaouiRaynal}) {
+        space.add_group(ctx.scale.class1_executions, ctx.seed + 3 * n, "exec");
+        groups.emplace_back(alg, p);
+      }
+    }
+    const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      const auto [alg, p] = groups[t.group];
+      const auto point = run.grid.point(p);
+      return run_latency_execution_with(alg, point.get_size("n"), ctx.network, timers,
+                                        crashed_id(point.get_string("scenario")), t.index,
+                                        t.seed);
+    });
+
+    ResultTable table{"ext_algorithms", columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto ct = fold_latency_outcomes(outcomes[2 * p]).summary();
+      const auto mr = fold_latency_outcomes(outcomes[2 * p + 1]).summary();
+      table.add_row({point.get_int("n"), point.get_string("scenario"), ct.mean_ci(),
+                     mr.mean_ci(), mr.mean() / ct.mean(),
+                     std::string{mr.mean() < ct.mean() ? "MR" : "CT"}});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec ext_throughput_spec() {
+  ScenarioSpec spec;
+  spec.name = "ext_throughput";
+  spec.description = "Back-to-back consensus throughput vs the isolated-latency bound";
+  spec.notes =
+      "Back-to-back executions interfere -- the decision broadcast and\n"
+      "round-2 estimates of execution k contend with execution k+1 on the\n"
+      "hub -- so per-execution latency roughly doubles and throughput lands\n"
+      "well below the isolated-latency bound.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.ns)};
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"isolated_ms", ColumnType::kReal},
+                  {"b2b_latency_ms", ColumnType::kMeanCI},
+                  {"throughput_per_s", ColumnType::kReal},
+                  {"bound_pct", ColumnType::kReal},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    const auto ns = run.grid.axis("n").size_values();
+    // Per n: a flat group of isolated executions plus a single-task group
+    // holding the (inherently sequential) back-to-back run.
+    struct Cell {
+      ExecOutcome exec;
+      std::optional<ThroughputResult> tput;
+    };
+    ShardSpace space;
+    for (const std::size_t n : ns) {
+      space.add_group(ctx.scale.class1_executions / 2, ctx.seed + 5 * n, "exec");
+      // The b2b task seeds its cluster directly with ctx.seed + n below;
+      // declaring the same value here keeps the space self-describing.
+      space.add_group(1, ctx.seed + n, "b2b");
+    }
+    const auto cells = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      const std::size_t n = ns[t.group / 2];
+      Cell cell;
+      if (t.group % 2 == 0) {
+        cell.exec = run_latency_execution(n, ctx.network, timers, -1, t.index, t.seed);
+      } else {
+        // One long emulation, seeded directly (not via the splitter) as the
+        // original extension harness did.
+        cell.tput = measure_throughput(n, ctx.network, timers, ctx.scale.class1_executions,
+                                       ctx.seed + n);
+      }
+      return cell;
+    });
+
+    ResultTable table{"ext_throughput", columns};
+    for (std::size_t g = 0; g < ns.size(); ++g) {
+      std::vector<ExecOutcome> outcomes;
+      for (const Cell& c : cells[2 * g]) outcomes.push_back(c.exec);
+      const double iso = fold_latency_outcomes(outcomes).summary().mean();
+      const ThroughputResult& tput = *cells[2 * g + 1][0].tput;
+      const double bound = iso > 0 ? 1000.0 / iso : 0;
+      table.add_row({int_of(ns[g]), iso, tput.latency_ci, tput.per_second,
+                     bound > 0 ? Value{100.0 * tput.per_second / bound} : Value{},
+                     int_of(tput.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec ext_detection_spec() {
+  ScenarioSpec spec;
+  spec.name = "ext_detection_time";
+  spec.description = "Chen et al. detection time T_D of the heartbeat failure detector";
+  spec.notes =
+      "Detection takes roughly one timeout after the last heartbeat\n"
+      "(T_D <~ Th + T), stretched by the 10 ms timer quantisation at small T\n"
+      "and by scheduler stalls in the tail.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale&) {
+    return std::vector<ParamAxis>{ParamAxis::ints("n", {5}),
+                                  ParamAxis::reals("timeout_ms", {10, 20, 40, 100})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},       {"timeout_ms", ColumnType::kReal},
+                  {"heartbeat_ms", ColumnType::kReal}, {"mean_ms", ColumnType::kReal},
+                  {"p95_ms", ColumnType::kReal}, {"bound_ms", ColumnType::kReal},
+                  {"samples", ColumnType::kInt}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const std::size_t trials = ctx.scale.class3_runs * 10;
+    ShardSpace space;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      space.add_group(trials, ctx.seed + 77, "trial");
+    }
+    const auto trial_samples = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      const auto point = run.grid.point(t.group);
+      return detection_time_trial(point.get_size("n"), ctx.network, ctx.timers,
+                                  point.get_real("timeout_ms"), t.seed);
+    });
+
+    ResultTable table{"ext_detection_time", columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const double timeout = point.get_real("timeout_ms");
+      std::vector<double> samples;
+      stats::SummaryStats summary;
+      for (const auto& shard : trial_samples[p]) {
+        for (const double x : shard) {
+          samples.push_back(x);
+          summary.add(x);
+        }
+      }
+      const bool empty = samples.empty();
+      table.add_row({point.get_int("n"), timeout, 0.7 * timeout,
+                     empty ? Value{} : Value{summary.mean()},
+                     empty ? Value{} : Value{stats::Ecdf{samples}.quantile(0.95)},
+                     0.7 * timeout + timeout, int_of(samples.size())});
+    }
+    return table;
+  };
+  return spec;
+}
+
+}  // namespace
+
+const CampaignRegistry& CampaignRegistry::builtin() {
+  static const CampaignRegistry registry = [] {
+    CampaignRegistry r;
+    r.add(fig6_spec());
+    r.add(fig7a_spec());
+    r.add(fig7b_spec());
+    r.add(table1_spec());
+    r.add(class3_spec(/*qos_view=*/true));   // fig8
+    r.add(class3_spec(/*qos_view=*/false));  // fig9a
+    r.add(fig9b_spec());
+    r.add(ablation_broadcast_spec());
+    r.add(ablation_fd_spec());
+    r.add(ext_algorithms_spec());
+    r.add(ext_throughput_spec());
+    r.add(ext_detection_spec());
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace sanperf::core

@@ -2,6 +2,14 @@
 
 namespace sanperf::core {
 
+const san::TransientStudy* ConsensusStudyBank::add(const sanmodels::ConsensusSanConfig& cfg,
+                                                   des::Duration time_limit) {
+  auto& entry = entries_.emplace_back(Entry{sanmodels::build_consensus_san(cfg), std::nullopt});
+  entry.study.emplace(entry.built.model, entry.built.stop_predicate());
+  entry.study->set_time_limit(time_limit);
+  return &*entry.study;
+}
+
 san::StudyResult simulate_latency(const sanmodels::ConsensusSanModel& model,
                                   std::size_t replications, std::uint64_t seed,
                                   const ReplicationRunner& runner) {

@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 
 #include "core/replication.hpp"
 #include "fd/qos.hpp"
@@ -10,6 +12,26 @@
 #include "sanmodels/consensus_model.hpp"
 
 namespace sanperf::core {
+
+/// Builds consensus SAN studies up front on the caller thread and keeps
+/// them address-stable, so a flattened campaign space can mix simulation
+/// groups (tasks calling study->run_one) with measurement groups in one
+/// ReplicationRunner::run_flat batch.
+class ConsensusStudyBank {
+ public:
+  /// Builds the model and its study; the returned pointer stays valid for
+  /// the bank's lifetime. The 10 s default bounds every paper scenario
+  /// (pathological class-3 settings can spin through rounds for a while).
+  const san::TransientStudy* add(const sanmodels::ConsensusSanConfig& cfg,
+                                 des::Duration time_limit = des::Duration::seconds(10));
+
+ private:
+  struct Entry {
+    sanmodels::ConsensusSanModel built;
+    std::optional<san::TransientStudy> study;
+  };
+  std::deque<Entry> entries_;  ///< deque keeps models address-stable
+};
 
 /// Runs a latency study on a built consensus SAN: replications of the time
 /// from all-propose (t = 0) to the first decision. Replications fan out

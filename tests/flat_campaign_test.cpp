@@ -11,6 +11,7 @@
 #include "core/experiments.hpp"
 #include "core/measurement.hpp"
 #include "core/replication.hpp"
+#include "core/simulation.hpp"
 #include "des/random.hpp"
 #include "net/params.hpp"
 #include "stats/ecdf.hpp"
@@ -245,6 +246,100 @@ TEST(FlatDeterminism, Class3MeasurementsIdenticalAt1And4Threads) {
     EXPECT_EQ(pts1[i].meas.all_latencies_ms, pts4[i].meas.all_latencies_ms);
     EXPECT_EQ(pts1[i].meas.undecided, pts4[i].meas.undecided);
     EXPECT_EQ(pts1[i].meas.pooled_qos.t_mr_ms, pts4[i].meas.pooled_qos.t_mr_ms);
+  }
+}
+
+TEST(FlatDeterminism, Fig7bIdenticalAt1And4Threads) {
+  const core::ReplicationRunner one{1};
+  const core::ReplicationRunner four{4};
+  auto ctx = core::make_context(tiny_scale(), 81);
+  ctx.timers = net::TimerModel::ideal();
+
+  ctx.runner = &one;
+  const auto r1 = core::run_fig7b(ctx);
+  ctx.runner = &four;
+  const auto r4 = core::run_fig7b(ctx);
+
+  EXPECT_EQ(r1.measured_ms, r4.measured_ms);  // bit-identical
+  EXPECT_EQ(r1.sim_ms, r4.sim_ms);
+  EXPECT_EQ(r1.sweep.best_t_send_ms, r4.sweep.best_t_send_ms);
+  ASSERT_EQ(r1.sweep.candidates.size(), r4.sweep.candidates.size());
+  for (std::size_t i = 0; i < r1.sweep.candidates.size(); ++i) {
+    EXPECT_EQ(r1.sweep.candidates[i].ks_distance, r4.sweep.candidates[i].ks_distance);
+    EXPECT_EQ(r1.sweep.candidates[i].sim_mean_ms, r4.sweep.candidates[i].sim_mean_ms);
+    EXPECT_EQ(r1.sweep.candidates[i].sim_latencies_ms, r4.sweep.candidates[i].sim_latencies_ms);
+  }
+}
+
+TEST(FlatDeterminism, FlattenedFig7bMatchesNestedCampaigns) {
+  // The single-space fig7b driver must reproduce what the nested
+  // measure_latency + per-candidate simulate_class1 calls produced before
+  // the flattening: same seeds, same folds, same bits.
+  auto ctx = core::make_context(tiny_scale(), 82);
+  ctx.timers = net::TimerModel::ideal();
+  const auto result = core::run_fig7b(ctx);
+
+  const auto meas = core::measure_latency(5, ctx.network, ctx.timers, -1,
+                                          ctx.scale.class1_executions, ctx.seed + 105);
+  EXPECT_EQ(result.measured_ms, meas.latencies_ms);
+
+  for (const auto& [t_send, sims] : result.sim_ms) {
+    const auto transport = core::make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5),
+                                                t_send);
+    const auto study = core::simulate_class1(5, transport, ctx.scale.sim_replications,
+                                             ctx.seed + 7);
+    EXPECT_EQ(sims, study.rewards) << "t_send=" << t_send;
+  }
+}
+
+TEST(FlatDeterminism, SweepTsendIdenticalAt1And4ThreadsAndMatchesNested) {
+  const core::ReplicationRunner one{1};
+  const core::ReplicationRunner four{4};
+  const auto ctx = core::make_context(tiny_scale(), 83);
+  const auto meas = core::measure_latency(5, ctx.network, net::TimerModel::ideal(), -1,
+                                          ctx.scale.class1_executions, 584);
+  const stats::Ecdf measured{meas.latencies_ms};
+  const std::vector<double> candidates = {0.005, 0.025, 0.035};
+
+  const auto s1 = core::sweep_tsend(measured, ctx.unicast_fit, ctx.broadcast_fits.at(5),
+                                    candidates, 16, 59, one);
+  const auto s4 = core::sweep_tsend(measured, ctx.unicast_fit, ctx.broadcast_fits.at(5),
+                                    candidates, 16, 59, four);
+  EXPECT_EQ(s1.best_t_send_ms, s4.best_t_send_ms);
+  ASSERT_EQ(s1.candidates.size(), s4.candidates.size());
+  for (std::size_t i = 0; i < s1.candidates.size(); ++i) {
+    EXPECT_EQ(s1.candidates[i].ks_distance, s4.candidates[i].ks_distance);
+    EXPECT_EQ(s1.candidates[i].sim_latencies_ms, s4.candidates[i].sim_latencies_ms);
+    // The flattened sweep reproduces the nested per-candidate study.
+    const auto transport = core::make_transport(ctx.unicast_fit, ctx.broadcast_fits.at(5),
+                                                candidates[i]);
+    const auto study = core::simulate_class1(5, transport, 16, 59);
+    EXPECT_EQ(s1.candidates[i].sim_latencies_ms, study.rewards);
+    EXPECT_EQ(s1.candidates[i].sim_mean_ms, study.summary.mean());
+  }
+}
+
+TEST(FlatDeterminism, Fig9bIdenticalAt1And4Threads) {
+  const core::ReplicationRunner one{1};
+  const core::ReplicationRunner four{4};
+  auto ctx = core::make_context(tiny_scale(), 84);
+
+  ctx.runner = &one;
+  const auto pts1 = core::run_class3_measurements(ctx, ctx.scale.sim_ns);
+  const auto rows1 = core::run_fig9b(ctx, pts1);
+  ctx.runner = &four;
+  const auto pts4 = core::run_class3_measurements(ctx, ctx.scale.sim_ns);
+  const auto rows4 = core::run_fig9b(ctx, pts4);
+
+  ASSERT_EQ(rows1.size(), rows4.size());
+  ASSERT_GT(rows1.size(), 0u);
+  for (std::size_t i = 0; i < rows1.size(); ++i) {
+    EXPECT_EQ(rows1[i].n, rows4[i].n);
+    EXPECT_EQ(rows1[i].timeout_ms, rows4[i].timeout_ms);
+    EXPECT_EQ(rows1[i].meas_ms, rows4[i].meas_ms);  // bit-identical
+    EXPECT_EQ(rows1[i].sim_det_ms, rows4[i].sim_det_ms);
+    EXPECT_EQ(rows1[i].sim_exp_ms, rows4[i].sim_exp_ms);
+    EXPECT_GT(rows1[i].sim_det_ms, 0.0);
   }
 }
 
