@@ -11,6 +11,7 @@
 // bit-identical results at any thread count.
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -21,6 +22,7 @@
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "faults/plan.hpp"
 #include "stats/ecdf.hpp"
 
 namespace {
@@ -33,14 +35,47 @@ int usage(std::ostream& os, int code) {
         "  sanperf run <scenario> [--set axis=v1[,v2...]]... [--threads N]\n"
         "              [--scale quick|default|full] [--seed S]\n"
         "              [--format text|csv|json] [--out FILE]\n"
+        "              [--fault-plan plan.json]\n"
+        "  sanperf run --all|--match <glob> --out-dir DIR [run options]\n"
         "  sanperf diff <expected.csv> <actual.csv> [--tol REL]\n"
         "  sanperf help\n"
         "\n"
         "Scenario axes are restricted with --set (e.g. --set n=3,5 --set\n"
         "timeout_ms=10); restricted runs reproduce the matching subset of the\n"
-        "full grid bit for bit. SANPERF_SCALE / SANPERF_THREADS are honoured\n"
-        "when the flags are absent.\n";
+        "full grid bit for bit. --fault-plan injects the JSON fault plan into\n"
+        "fault-aware scenarios in place of their axis-derived plans. --all /\n"
+        "--match batch every (matching) registered scenario, writing one file\n"
+        "per scenario into --out-dir (--set applies where the axis exists).\n"
+        "SANPERF_SCALE / SANPERF_THREADS are honoured when flags are absent.\n";
   return code;
+}
+
+/// Minimal glob: `*` any run, `?` any one char, everything else literal.
+bool glob_match(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return text.empty();
+  if (pattern.front() == '*') {
+    for (std::size_t skip = 0; skip <= text.size(); ++skip) {
+      if (glob_match(pattern.substr(1), text.substr(skip))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern.front() != '?' && pattern.front() != text.front()) return false;
+  return glob_match(pattern.substr(1), text.substr(1));
+}
+
+core::RunOptions with_known_axes(const core::ScenarioSpec& spec, const core::RunOptions& base) {
+  // Batch runs share one --set list across scenarios with different axes:
+  // apply each override only where the axis exists.
+  core::RunOptions options = base;
+  options.axis_overrides.clear();
+  const auto axes = spec.axes(base.scale);
+  for (const auto& [name, csv] : base.axis_overrides) {
+    for (const auto& axis : axes) {
+      if (axis.name() == name) options.axis_overrides.emplace(name, csv);
+    }
+  }
+  return options;
 }
 
 core::Scale parse_scale(const std::string& name) {
@@ -59,7 +94,7 @@ std::string axis_domain(const core::ParamAxis& axis) {
 }
 
 int cmd_list(const core::Scale& scale) {
-  const auto& registry = core::CampaignRegistry::builtin();
+  const auto& registry = core::CampaignRegistry::global();
   core::print_banner(std::cout, "Registered scenarios (scale: " + scale.name() + ")");
   for (const auto& spec : registry.specs()) {
     std::cout << spec.name << "\n    " << spec.description << "\n";
@@ -117,18 +152,40 @@ void render_text(std::ostream& os, const core::ScenarioSpec& spec,
   if (!spec.notes.empty()) os << "\n" << spec.notes << "\n";
 }
 
+/// Renders `table` in `format` ("text" needs the spec + scale for notes).
+std::string render(const core::ScenarioSpec& spec, const core::ResultTable& table,
+                   const core::Scale& scale, const std::string& format) {
+  std::ostringstream rendered;
+  if (format == "csv") {
+    table.write_csv(rendered);
+  } else if (format == "json") {
+    table.write_json(rendered);
+    rendered << "\n";
+  } else {
+    render_text(rendered, spec, table, scale);
+  }
+  return rendered.str();
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::cerr << "sanperf run: missing scenario name\n";
     return usage(std::cerr, 2);
   }
-  const std::string name = args[0];
+  std::string name;
+  std::size_t first_flag = 0;
+  if (args[0].rfind("--", 0) != 0) {
+    name = args[0];
+    first_flag = 1;
+  }
   core::RunOptions options;
-  std::string format = "text";
+  std::string format;
   std::optional<std::string> out_path;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> match;
   std::unique_ptr<core::ReplicationRunner> runner;
 
-  for (std::size_t i = 1; i < args.size(); ++i) {
+  for (std::size_t i = first_flag; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) {
@@ -159,13 +216,77 @@ int cmd_run(const std::vector<std::string>& args) {
       }
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--all") {
+      match = "*";
+    } else if (arg == "--match") {
+      match = next();
+    } else if (arg == "--fault-plan") {
+      const std::string& path = next();
+      std::ifstream file{path};
+      if (!file) throw std::invalid_argument{"cannot open fault plan '" + path + "'"};
+      std::ostringstream text;
+      text << file.rdbuf();
+      options.fault_plan = faults::FaultPlan::from_json(text.str());
     } else {
       std::cerr << "sanperf run: unknown option '" << arg << "'\n";
       return usage(std::cerr, 2);
     }
   }
 
-  const auto& registry = core::CampaignRegistry::builtin();
+  const auto& registry = core::CampaignRegistry::global();
+
+  // Batch mode: every registered scenario matching the glob, one file each.
+  if (match) {
+    if (!name.empty()) {
+      std::cerr << "sanperf run: give either a scenario name or --all/--match\n";
+      return usage(std::cerr, 2);
+    }
+    if (!out_dir) {
+      std::cerr << "sanperf run: --all/--match needs --out-dir\n";
+      return usage(std::cerr, 2);
+    }
+    if (out_path) {
+      std::cerr << "sanperf run: --out is for a single scenario (batch mode writes one file "
+                   "per scenario into --out-dir)\n";
+      return usage(std::cerr, 2);
+    }
+    if (format.empty()) format = "csv";
+    std::filesystem::create_directories(*out_dir);
+    const char* ext = format == "json" ? ".json" : format == "csv" ? ".csv" : ".txt";
+    std::size_t ran = 0;
+    for (const auto& spec : registry.specs()) {
+      if (!glob_match(*match, spec.name)) continue;
+      const auto path = std::filesystem::path{*out_dir} / (spec.name + ext);
+      const core::ResultTable table = registry.run(spec, with_known_axes(spec, options));
+      std::ofstream file{path};
+      if (!file) {
+        std::cerr << "sanperf run: cannot open '" << path.string() << "' for writing\n";
+        return 1;
+      }
+      file << render(spec, table, options.scale, format);
+      std::cout << "wrote " << spec.name << ": " << table.row_count() << " rows to "
+                << path.string() << "\n";
+      ++ran;
+    }
+    if (ran == 0) {
+      std::cerr << "sanperf run: no scenario matches '" << *match << "'\n";
+      return 2;
+    }
+    std::cout << ran << " scenario(s) written to " << *out_dir << "\n";
+    return 0;
+  }
+
+  if (name.empty()) {
+    std::cerr << "sanperf run: missing scenario name\n";
+    return usage(std::cerr, 2);
+  }
+  if (out_dir) {
+    std::cerr << "sanperf run: --out-dir is for --all/--match (use --out for one scenario)\n";
+    return usage(std::cerr, 2);
+  }
+  if (format.empty()) format = "text";
   const core::ScenarioSpec* spec = registry.find(name);
   if (spec == nullptr) {
     std::cerr << "sanperf run: unknown scenario '" << name << "'; registered:\n";
@@ -174,26 +295,17 @@ int cmd_run(const std::vector<std::string>& args) {
   }
 
   const core::ResultTable table = registry.run(*spec, options);
-
-  std::ostringstream rendered;
-  if (format == "csv") {
-    table.write_csv(rendered);
-  } else if (format == "json") {
-    table.write_json(rendered);
-    rendered << "\n";
-  } else {
-    render_text(rendered, *spec, table, options.scale);
-  }
+  const std::string rendered = render(*spec, table, options.scale, format);
   if (out_path) {
     std::ofstream file{*out_path};
     if (!file) {
       std::cerr << "sanperf run: cannot open '" << *out_path << "' for writing\n";
       return 1;
     }
-    file << rendered.str();
+    file << rendered;
     std::cout << "wrote " << table.row_count() << " rows to " << *out_path << "\n";
   } else {
-    std::cout << rendered.str();
+    std::cout << rendered;
   }
   return 0;
 }

@@ -67,13 +67,19 @@ core::ScenarioSpec crash_sweep_spec() {
   return spec;
 }
 
+// 4. Self-registration: the static registrar appends the spec to
+// CampaignRegistry::global() during this translation unit's initialisation
+// -- an out-of-tree scenario linked into any binary (this example, a
+// plugin, a rebuilt CLI) shows up next to the built-in specs without
+// editing scenarios.cpp. The in-tree fault scenarios register the same way.
+SANPERF_REGISTER_SCENARIO(crash_sweep_spec);
+
 }  // namespace
 
 int main() {
-  // Register next to the built-in specs (a real project would register
-  // into its own registry or extend builtin() in scenarios.cpp).
-  core::CampaignRegistry registry;
-  registry.add(crash_sweep_spec());
+  const auto& registry = core::CampaignRegistry::global();
+  std::cout << "registered scenarios (builtin + self-registered):\n";
+  for (const auto& spec : registry.specs()) std::cout << "  " << spec.name << "\n";
 
   core::RunOptions options;
   options.scale = core::Scale::quick();

@@ -46,6 +46,11 @@ class CtConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
+  /// Warm restart: consensus state is volatile, so a rebooted process
+  /// forgets every in-flight instance and rejoins passively -- it takes
+  /// part in instances proposed after the restart, and learns old
+  /// decisions only through DECIDE messages (never re-reporting them).
+  void on_restart() override { instances_.clear(); }
 
   /// Starts instance `cid` with this process's initial value.
   void propose(std::int32_t cid, std::int64_t value);

@@ -36,6 +36,9 @@ class MrConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
+  /// Warm restart: volatile-state loss, exactly as CtConsensus models it
+  /// (the rebooted process rejoins only instances proposed afterwards).
+  void on_restart() override { instances_.clear(); }
 
   void propose(std::int32_t cid, std::int64_t value);
 

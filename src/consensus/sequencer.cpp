@@ -19,9 +19,10 @@ std::vector<ExecutionResult> ConsensusSequencer::run() {
   };
   std::vector<FirstDecision> first(cfg_.executions);
 
+  // Register on every process, crashed or not: a host down at arm time may
+  // warm-restart mid-run (fault injection) and its decisions must count.
   for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cluster_->n()); ++pid) {
     auto& proc = cluster_->process(pid);
-    if (proc.crashed()) continue;
     proc.layer<CtConsensus>().set_decide_callback([&first](const DecisionEvent& ev) {
       if (ev.cid < 0 || static_cast<std::size_t>(ev.cid) >= first.size()) return;
       auto& slot = first[static_cast<std::size_t>(ev.cid)];
@@ -40,13 +41,16 @@ std::vector<ExecutionResult> ConsensusSequencer::run() {
     const des::TimePoint t0 = next_start;
 
     // Schedule the proposes: each process starts within the NTP window.
+    // Liveness is checked when the propose fires, not here -- a host that
+    // warm-restarts between the scheduling instant and t0 must take part
+    // (it coordinates round 1 of every instance, and the others trust it
+    // again by then). Crash-free runs draw and schedule identically.
     for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cluster_->n()); ++pid) {
       auto& proc = cluster_->process(pid);
-      if (proc.crashed()) continue;
       const double skew = skew_rng.uniform(-cfg_.ntp_skew.to_ms(), cfg_.ntp_skew.to_ms());
       const des::TimePoint start = t0 + des::Duration::from_ms(std::max(0.0, skew));
       cluster_->sim().schedule_at(start, [&proc, cid] {
-        proc.layer<CtConsensus>().propose(cid, 1000 + proc.id());
+        if (!proc.crashed()) proc.layer<CtConsensus>().propose(cid, 1000 + proc.id());
       });
     }
 

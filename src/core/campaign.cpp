@@ -251,7 +251,8 @@ ResultTable CampaignRegistry::run(const ScenarioSpec& spec, const RunOptions& op
     ctx.seed = options.seed;
   }
   ctx.runner = &runner;
-  return spec.run(ScenarioRun{ctx, grid(spec, options.scale, options.axis_overrides)});
+  return spec.run(ScenarioRun{ctx, grid(spec, options.scale, options.axis_overrides),
+                              options.fault_plan ? &*options.fault_plan : nullptr});
 }
 
 ResultTable CampaignRegistry::run(std::string_view name, const RunOptions& options) const {

@@ -24,6 +24,7 @@
 #include "core/experiments.hpp"
 #include "core/replication.hpp"
 #include "core/result_table.hpp"
+#include "faults/plan.hpp"
 
 namespace sanperf::core {
 
@@ -116,9 +117,13 @@ class ParamGrid {
 /// Everything a scenario's run function receives: the (calibrated)
 /// context -- whose runner fans the flattened task lists out -- and the
 /// effective grid (default axes, restricted by any --set overrides).
+/// `fault_plan` carries an explicit --fault-plan override; fault-aware
+/// scenarios use it in place of their axis-derived plan, everything else
+/// ignores it.
 struct ScenarioRun {
   const PaperContext& ctx;
   ParamGrid grid;
+  const faults::FaultPlan* fault_plan = nullptr;
 };
 
 /// A declaratively described experiment.
@@ -145,6 +150,9 @@ struct RunOptions {
   const ReplicationRunner* runner = nullptr;
   /// Axis overrides: name -> comma-separated value list (--set n=3,5).
   std::map<std::string, std::string> axis_overrides;
+  /// Explicit fault plan (--fault-plan plan.json); fault-aware scenarios
+  /// run it in place of their axis-derived plans.
+  std::optional<faults::FaultPlan> fault_plan;
 };
 
 class CampaignRegistry {
@@ -172,8 +180,40 @@ class CampaignRegistry {
   /// extensions.
   [[nodiscard]] static const CampaignRegistry& builtin();
 
+  /// The process-wide registry the CLI serves: the builtin specs plus
+  /// everything self-registered through register_scenario (the fault
+  /// scenarios, out-of-tree specs). Defined in scenarios.cpp so linking
+  /// any registry user pulls in the builtin registrations.
+  [[nodiscard]] static CampaignRegistry& global();
+
+  /// Appends a spec to global(). Callable from static initialisers -- the
+  /// SANPERF_REGISTER_SCENARIO macro wraps it -- so a scenario in any
+  /// linked translation unit appears in `sanperf list` without editing
+  /// scenarios.cpp.
+  static void register_scenario(ScenarioSpec spec) { global().add(std::move(spec)); }
+
  private:
   std::vector<ScenarioSpec> specs_;
 };
+
+/// Static-initialisation hook for self-registering scenarios:
+///
+///   core::ScenarioSpec my_spec();                 // factory
+///   SANPERF_REGISTER_SCENARIO(my_spec);           // file scope
+///
+/// Caveat of static registration from a static library: the translation
+/// unit must be pulled into the link (reference any of its symbols, or
+/// register from a TU that is linked anyway, e.g. the binary's own).
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(ScenarioSpec (*make)()) {
+    CampaignRegistry::register_scenario(make());
+  }
+};
+
+#define SANPERF_REGISTER_SCENARIO(make)                              \
+  [[maybe_unused]] static const ::sanperf::core::ScenarioRegistrar   \
+      sanperf_scenario_registrar_##make {                            \
+    make                                                             \
+  }
 
 }  // namespace sanperf::core

@@ -10,6 +10,8 @@
 #include "core/campaign.hpp"
 #include "core/extensions.hpp"
 #include "core/simulation.hpp"
+#include "des/random.hpp"
+#include "faults/experiments.hpp"
 #include "stats/ecdf.hpp"
 
 namespace sanperf::core {
@@ -598,6 +600,294 @@ ScenarioSpec ext_detection_spec() {
   return spec;
 }
 
+// --- Fault-injection scenarios (src/faults) ----------------------------------
+
+/// The recovery scenarios fix the FD timeout at the paper's 10 ms operating
+/// point and strike 30% into the run, where the sequencer is in steady
+/// state.
+constexpr double kFaultTimeoutMs = 10.0;
+
+double fault_strike_ms(const Scale& scale) {
+  return 0.3 * static_cast<double>(scale.class3_executions) * 10.0;  // 10 ms separation
+}
+
+/// The window the before/during/after fold buckets against: the first
+/// windowed event of the plan (an override plan may be shaped differently
+/// from the axis-derived one; an event-free plan makes everything
+/// "before").
+std::pair<double, double> fold_window(const faults::FaultPlan& plan) {
+  for (const auto& event : plan.events()) {
+    if (event.kind == faults::FaultKind::kCrash ||
+        event.kind == faults::FaultKind::kPartition) {
+      return {event.at_ms, event.end_ms()};
+    }
+  }
+  return {faults::kForeverMs, faults::kForeverMs};
+}
+
+Value phase_ci(const MeasuredLatency& phase) {
+  if (phase.latencies_ms.empty()) return Value{};
+  return Value{phase.summary().mean_ci(0.90)};
+}
+
+/// crash_recovery_latency and partition_heal share one body: a class-3
+/// campaign (live heartbeat FD, sequenced executions) whose plan either
+/// crashes-and-recovers host 0 or splits {0} off and heals, folded into
+/// before / during / after latency per grid point.
+ScenarioSpec phased_fault_spec(bool partition_view) {
+  ScenarioSpec spec;
+  spec.name = partition_view ? "partition_heal" : "crash_recovery_latency";
+  spec.description =
+      partition_view
+          ? "Consensus latency across a network partition of {0} that heals"
+          : "Consensus latency across a crash + warm restart of host 0";
+  spec.notes =
+      partition_view
+          ? "Host 0 coordinates round 1 of every instance, so isolating it\n"
+            "forces a suspicion (~Th + T + tick) and a round-2 decision for\n"
+            "every execution the window covers; latency returns to baseline\n"
+            "once heartbeats flow again after the heal."
+          : "While host 0 is down its executions decide in round 2 after the\n"
+            "detection delay; the warm restart resets the TCP dead-peer state\n"
+            "and restarts the heartbeat loop, so the after-phase matches the\n"
+            "before-phase baseline.";
+  spec.needs_calibration = false;
+  const char* axis = partition_view ? "partition_ms" : "downtime_ms";
+  spec.axes = [axis](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns),
+                                  ParamAxis::reals(axis, {20, 60, 150})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},         {axis, ColumnType::kReal},
+                  {"before_ms", ColumnType::kMeanCI}, {"during_ms", ColumnType::kMeanCI},
+                  {"after_ms", ColumnType::kMeanCI},  {"during_execs", ColumnType::kInt},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [axis, partition_view, name = spec.name,
+              columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const double strike_ms = fault_strike_ms(ctx.scale);
+
+    // One plan per grid point (an explicit --fault-plan replaces them all).
+    std::vector<faults::FaultPlan> plans;
+    ShardSpace space;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const std::size_t n = point.get_size("n");
+      const double window_ms = point.get_real(axis);
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+      } else if (partition_view) {
+        plans.push_back(faults::FaultPlan{}.add(
+            faults::FaultPlan::partition({0}, strike_ms, window_ms)));
+      } else {
+        plans.push_back(faults::FaultPlan{}.add(
+            faults::FaultPlan::crash_recover(0, strike_ms, window_ms)));
+      }
+      // Scenario-name label + value-encoded point: distinct streams across
+      // the two phased scenarios and across grid points (restriction-
+      // stable; --set values resolve at 0.001 ms).
+      space.add_group(ctx.scale.class3_runs,
+                      des::derive_seed(ctx.seed, name,
+                                       1'000'000 * n +
+                                           static_cast<std::uint64_t>(
+                                               std::llround(1000.0 * window_ms))),
+                      "run");
+    }
+    const auto runs = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      const std::size_t n = run.grid.point(t.group).get_size("n");
+      return faults::run_fault_class3(n, ctx.network, ctx.timers, kFaultTimeoutMs,
+                                      ctx.scale.class3_executions, plans[t.group], t.seed);
+    });
+
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto [start_ms, end_ms] = fold_window(plans[p]);
+      faults::PhasedLatency phases;
+      for (const auto& one : runs[p]) {  // run order: the sequential fold
+        phases.merge(faults::split_by_window(one.executions, start_ms, end_ms));
+      }
+      const std::size_t undecided =
+          phases.before.undecided + phases.during.undecided + phases.after.undecided;
+      table.add_row({point.get_int("n"), point.get_real(axis), phase_ci(phases.before),
+                     phase_ci(phases.during), phase_ci(phases.after),
+                     int_of(phases.during.latencies_ms.size() + phases.during.undecided),
+                     int_of(undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec crash_recovery_spec() { return phased_fault_spec(/*partition_view=*/false); }
+ScenarioSpec partition_heal_spec() { return phased_fault_spec(/*partition_view=*/true); }
+
+ScenarioSpec lossy_consensus_spec() {
+  ScenarioSpec spec;
+  spec.name = "lossy_consensus";
+  spec.description = "CT vs MR latency and decision rate under probabilistic frame loss";
+  spec.notes =
+      "Loss hits CT's single proposal path harder than MR's all-to-all AUX\n"
+      "round: with static (never-suspecting) detectors a lost proposal can\n"
+      "strand a participant, while MR tolerates losses up to the majority.\n"
+      "At loss_pct = 0 both columns reproduce the loss-free baselines.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns),
+                                  ParamAxis::reals("loss_pct", {0, 1, 2, 5, 10}),
+                                  ParamAxis::strings("algorithm", {"ct", "mr"})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},           {"loss_pct", ColumnType::kReal},
+                  {"algorithm", ColumnType::kString}, {"latency_ms", ColumnType::kMeanCI},
+                  {"decided_pct", ColumnType::kReal}, {"undecided", ColumnType::kInt}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+
+    std::vector<faults::FaultPlan> plans;
+    ShardSpace space;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const std::size_t n = point.get_size("n");
+      const double pct = point.get_real("loss_pct");
+      faults::FaultPlan plan;
+      if (run.fault_plan != nullptr) {
+        plan = *run.fault_plan;
+      } else if (pct > 0) {
+        plan.add(faults::FaultPlan::loss(0, faults::kForeverMs, pct / 100.0));
+      }
+      plans.push_back(std::move(plan));
+      space.add_group(ctx.scale.class1_executions,
+                      des::derive_seed(
+                          ctx.seed, "lossy_consensus",
+                          1'000'000 * n +
+                              2 * static_cast<std::uint64_t>(std::llround(1000.0 * pct)) +
+                              (point.get_string("algorithm") == "mr" ? 1 : 0)),
+                      "exec");
+    }
+    const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      const auto point = run.grid.point(t.group);
+      const Algorithm alg = point.get_string("algorithm") == "mr"
+                                ? Algorithm::kMostefaouiRaynal
+                                : Algorithm::kChandraToueg;
+      return faults::run_fault_execution(alg, point.get_size("n"), ctx.network, timers,
+                                         plans[t.group], t.index, t.seed);
+    });
+
+    ResultTable table{"lossy_consensus", columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto meas = fold_latency_outcomes(outcomes[p]);
+      const std::size_t total = meas.latencies_ms.size() + meas.undecided;
+      table.add_row({point.get_int("n"), point.get_real("loss_pct"),
+                     point.get_string("algorithm"), phase_ci(meas),
+                     total > 0 ? Value{100.0 * static_cast<double>(meas.latencies_ms.size()) /
+                                       static_cast<double>(total)}
+                               : Value{},
+                     int_of(meas.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec slowdown_sweep_spec() {
+  ScenarioSpec spec;
+  spec.name = "slowdown_sweep";
+  spec.description = "Latency vs CPU (straggler host 0) and pipeline slowdown factors";
+  spec.notes =
+      "A slow coordinator CPU serialises the proposal fan-out, so latency\n"
+      "grows superlinearly in the factor at larger n; a slowed pipeline\n"
+      "stretches every frame's stack traversal uniformly and shifts the\n"
+      "whole distribution instead. Runs on the ablation network that splits\n"
+      "the bimodal medium service evenly between the exclusive wire and the\n"
+      "non-exclusive pipeline (the default attributes everything to the\n"
+      "wire, leaving the pipeline stage empty).";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    return std::vector<ParamAxis>{ParamAxis::sizes("n", scale.sim_ns),
+                                  ParamAxis::strings("resource", {"cpu", "pipeline"}),
+                                  ParamAxis::reals("factor", {1, 2, 4, 8})};
+  };
+  spec.columns = {{"n", ColumnType::kInt},          {"resource", ColumnType::kString},
+                  {"factor", ColumnType::kReal},    {"latency_ms", ColumnType::kMeanCI},
+                  {"vs_nominal", ColumnType::kReal}, {"undecided", ColumnType::kInt}};
+  spec.run = [columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+
+    // The ablation split: half the calibrated medium service moves into the
+    // non-exclusive pipeline stage, keeping the idle end-to-end delay while
+    // giving the pipeline-slowdown axis something to act on.
+    net::NetworkParams network = ctx.network;
+    const auto halve = [](const stats::BimodalUniform& d) {
+      return stats::BimodalUniform{d.p1, d.a1 / 2, d.b1 / 2, d.a2 / 2, d.b2 / 2};
+    };
+    network.wire_service = halve(ctx.network.wire_service);
+    network.pipeline_latency = network.wire_service;
+
+    std::vector<faults::FaultPlan> plans;
+    ShardSpace space;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const std::size_t n = point.get_size("n");
+      const double factor = point.get_real("factor");
+      const bool pipeline = point.get_string("resource") == "pipeline";
+      faults::FaultPlan plan;
+      if (run.fault_plan != nullptr) {
+        plan = *run.fault_plan;
+      } else if (factor != 1.0) {
+        plan.add(pipeline
+                     ? faults::FaultPlan::pipeline_slow(0, faults::kForeverMs, factor)
+                     : faults::FaultPlan::cpu_slow(0, 0, faults::kForeverMs, factor));
+      }
+      plans.push_back(std::move(plan));
+      space.add_group(ctx.scale.class1_executions,
+                      des::derive_seed(
+                          ctx.seed, "slowdown_sweep",
+                          1'000'000 * n +
+                              2 * static_cast<std::uint64_t>(std::llround(1000.0 * factor)) +
+                              (pipeline ? 1 : 0)),
+                      "exec");
+    }
+    const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
+      return faults::run_fault_execution(Algorithm::kChandraToueg,
+                                         run.grid.point(t.group).get_size("n"), network,
+                                         timers, plans[t.group], t.index, t.seed);
+    });
+
+    ResultTable table{"slowdown_sweep", columns};
+    std::vector<MeasuredLatency> folded;
+    folded.reserve(run.grid.size());
+    for (const auto& group : outcomes) folded.push_back(fold_latency_outcomes(group));
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      // Nominal baseline: the factor = 1 row of the same (n, resource), if
+      // the restriction kept it in the grid.
+      Value vs_nominal{};
+      for (std::size_t q = 0; q < run.grid.size(); ++q) {
+        const auto other = run.grid.point(q);
+        if (other.get_real("factor") == 1.0 && other.get_int("n") == point.get_int("n") &&
+            other.get_string("resource") == point.get_string("resource") &&
+            !folded[q].latencies_ms.empty() && !folded[p].latencies_ms.empty()) {
+          vs_nominal = Value{folded[p].summary().mean() / folded[q].summary().mean()};
+        }
+      }
+      table.add_row({point.get_int("n"), point.get_string("resource"), point.get_real("factor"),
+                     phase_ci(folded[p]), std::move(vs_nominal), int_of(folded[p].undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+// The fault scenarios self-register next to builtin() (same translation
+// unit, so any registry user links them in): the satellite registration
+// hook, exercised in-tree.
+SANPERF_REGISTER_SCENARIO(crash_recovery_spec);
+SANPERF_REGISTER_SCENARIO(partition_heal_spec);
+SANPERF_REGISTER_SCENARIO(lossy_consensus_spec);
+SANPERF_REGISTER_SCENARIO(slowdown_sweep_spec);
+
 }  // namespace
 
 const CampaignRegistry& CampaignRegistry::builtin() {
@@ -615,6 +905,20 @@ const CampaignRegistry& CampaignRegistry::builtin() {
     r.add(ext_algorithms_spec());
     r.add(ext_throughput_spec());
     r.add(ext_detection_spec());
+    return r;
+  }();
+  return registry;
+}
+
+CampaignRegistry& CampaignRegistry::global() {
+  // Seeded from builtin() on first use; register_scenario appends (the
+  // static registrars above run during this TU's initialisation, so the
+  // fault scenarios land right after the paper artifacts). Deliberately in
+  // this translation unit: any global()/builtin() user links the builtin
+  // specs and their registrars together.
+  static CampaignRegistry registry = [] {
+    CampaignRegistry r;
+    for (const ScenarioSpec& spec : builtin().specs()) r.add(spec);
     return r;
   }();
   return registry;

@@ -1,0 +1,175 @@
+#include "faults/experiments.hpp"
+
+#include <cmath>
+#include <optional>
+#include <set>
+#include <stdexcept>
+
+#include "consensus/ct_consensus.hpp"
+#include "consensus/mr_consensus.hpp"
+#include "faults/injector.hpp"
+#include "fd/failure_detector.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sanperf::faults {
+
+namespace {
+
+/// The fault-injected twin of core::detail::run_one_consensus_execution:
+/// byte-for-byte the same harness (skew model, proposal schedule, decision
+/// capture, deadline) with the crash handling generalised to a plan. Keep
+/// the two in lockstep -- the degenerate-plan bit-identicality test in
+/// tests/faults_test.cpp enforces it.
+template <typename ConsensusLayer>
+core::ExecOutcome run_one_fault_execution(std::size_t n, const net::NetworkParams& params,
+                                          const net::TimerModel& timers, const FaultPlan& plan,
+                                          std::size_t k, std::uint64_t exec_seed) {
+  runtime::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.seed = exec_seed;
+  runtime::Cluster cluster{cfg};
+  FaultInjector injector{cluster, plan};
+
+  std::set<runtime::HostId> suspected;
+  for (const HostId h : plan.initially_down()) suspected.insert(h);
+
+  std::optional<des::TimePoint> first_decide;
+  std::int32_t first_rounds = 0;
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    auto& proc = cluster.process(pid);
+    auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
+    auto& cons = proc.template add_layer<ConsensusLayer>(fd_layer);
+    cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
+      if (!first_decide || ev.at < *first_decide) {
+        first_decide = ev.at;
+        first_rounds = ev.round;
+      }
+    });
+  }
+  injector.arm();  // immediate crashes fire here, like crash_initially
+
+  // All correct processes propose at t0 (up to the emulated NTP skew).
+  const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
+  auto skew_rng = cluster.rng_stream("ntp-skew");
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    auto& proc = cluster.process(pid);
+    if (proc.crashed()) continue;
+    const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
+    cluster.sim().schedule_at(start, [&proc, k] {
+      proc.template layer<ConsensusLayer>().propose(static_cast<std::int32_t>(k),
+                                                    1 + proc.id());
+    });
+  }
+
+  const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
+  cluster.run_until([&] { return first_decide.has_value(); }, deadline);
+
+  core::ExecOutcome out;
+  if (first_decide) {
+    out.latency_ms = (*first_decide - t0).to_ms();
+    out.rounds = first_rounds;
+  }
+  return out;
+}
+
+}  // namespace
+
+core::ExecOutcome run_fault_execution(core::Algorithm algorithm, std::size_t n,
+                                      const net::NetworkParams& params,
+                                      const net::TimerModel& timers, const FaultPlan& plan,
+                                      std::size_t k, std::uint64_t exec_seed) {
+  switch (algorithm) {
+    case core::Algorithm::kChandraToueg:
+      return run_one_fault_execution<consensus::CtConsensus>(n, params, timers, plan, k,
+                                                             exec_seed);
+    case core::Algorithm::kMostefaouiRaynal:
+      return run_one_fault_execution<consensus::MrConsensus>(n, params, timers, plan, k,
+                                                             exec_seed);
+  }
+  throw std::invalid_argument{"run_fault_execution: unknown algorithm"};
+}
+
+core::MeasuredLatency measure_fault_latency(core::Algorithm algorithm, std::size_t n,
+                                            const net::NetworkParams& params,
+                                            const net::TimerModel& timers, const FaultPlan& plan,
+                                            std::size_t executions, std::uint64_t seed,
+                                            const core::ReplicationRunner& runner) {
+  const des::SeedSplitter seeds{seed, "exec"};
+  return core::fold_latency_outcomes(runner.map(executions, [&](std::size_t k) {
+    return run_fault_execution(algorithm, n, params, timers, plan, k, seeds.stream_seed(k));
+  }));
+}
+
+FaultClass3Run run_fault_class3(std::size_t n, const net::NetworkParams& params,
+                                const net::TimerModel& timers, double timeout_ms,
+                                std::size_t executions, const FaultPlan& plan,
+                                std::uint64_t seed) {
+  runtime::ClusterConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.seed = seed;
+  runtime::Cluster cluster{cfg};
+  FaultInjector injector{cluster, plan};
+
+  const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(timeout_ms);
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    auto& proc = cluster.process(pid);
+    auto& hb = proc.add_layer<fd::HeartbeatFd>(fd_params);
+    proc.add_layer<consensus::CtConsensus>(hb);
+  }
+  injector.arm();
+
+  consensus::SequencerConfig seq_cfg;
+  seq_cfg.executions = executions;
+  consensus::ConsensusSequencer seq{cluster, seq_cfg};
+
+  FaultClass3Run run;
+  run.executions = seq.run();
+
+  // QoS over the full experiment duration, all ordered pairs (crashed
+  // monitors contribute their frozen histories, as in the plain harness).
+  // A host crashed at t <= 0 and never recovered skipped on_start, so its
+  // detector has no histories to contribute.
+  std::vector<const fd::PairHistory*> histories;
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
+    const auto& hb = cluster.process(pid).layer<fd::HeartbeatFd>();
+    if (hb.histories().size() != n) continue;  // never started
+    for (runtime::HostId peer = 0; peer < static_cast<runtime::HostId>(n); ++peer) {
+      if (peer == pid) continue;
+      histories.push_back(&hb.histories()[peer]);
+    }
+  }
+  run.qos = fd::average_qos(histories, seq.experiment_end());
+  run.experiment_ms = seq.experiment_end().to_ms();
+  return run;
+}
+
+PhasedLatency split_by_window(const std::vector<consensus::ExecutionResult>& execs,
+                              double start_ms, double end_ms) {
+  PhasedLatency out;
+  // A window that never opens (start = inf, e.g. an event-free override
+  // plan) puts everything in "before".
+  const bool no_window = std::isinf(start_ms);
+  for (const auto& exec : execs) {
+    const double t0_ms = exec.t0.to_ms();
+    core::MeasuredLatency* bucket = &out.during;
+    if (t0_ms >= end_ms) {
+      bucket = &out.after;
+    } else if (no_window || (exec.decided() && exec.t_decide->to_ms() < start_ms)) {
+      bucket = &out.before;  // over before the fault opened
+    }
+    if (exec.decided()) {
+      bucket->latencies_ms.push_back(exec.latency_ms());
+      bucket->rounds.push_back(exec.rounds);
+    } else {
+      ++bucket->undecided;
+    }
+  }
+  return out;
+}
+
+}  // namespace sanperf::faults

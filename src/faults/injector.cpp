@@ -1,0 +1,108 @@
+#include "faults/injector.hpp"
+
+#include <stdexcept>
+
+namespace sanperf::faults {
+
+using FrameFate = net::ContentionNetwork::FrameFate;
+
+FaultInjector::FaultInjector(runtime::Cluster& cluster, FaultPlan plan)
+    : cluster_{&cluster}, plan_{std::move(plan)}, rng_{cluster.rng_stream("faults")} {
+  plan_.validate(cluster.n());
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error{"FaultInjector::arm: already armed"};
+  armed_ = true;
+
+  for (const FaultEvent& event : plan_.events()) {
+    // A window entirely before the start (negative at_ms, finite duration)
+    // has nothing left to apply -- and its end must not be scheduled in
+    // the simulator's past.
+    if (event.end_ms() <= 0) continue;
+    switch (event.kind) {
+      case FaultKind::kCrash: {
+        const auto host = static_cast<runtime::HostId>(event.host);
+        if (event.at_ms <= 0) {
+          // Eager, exactly like crash_initially: the process is down before
+          // any event (or RNG draw) happens, so a crash-at-0 plan is
+          // bit-identical to the paper's pre-crashed runs.
+          cluster_->process(host).crash();
+        } else {
+          cluster_->crash_at(host, des::TimePoint::origin() + des::Duration::from_ms(event.at_ms));
+        }
+        if (!event.permanent()) {
+          cluster_->recover_at(host,
+                               des::TimePoint::origin() + des::Duration::from_ms(event.end_ms()));
+        }
+        break;
+      }
+      case FaultKind::kCpuSlow:
+      case FaultKind::kPipelineSlow:
+        schedule_slowdown(event);
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kLoss:
+        break;  // time-driven through the frame filter below
+    }
+  }
+
+  if (plan_.filters_frames()) {
+    cluster_->network().set_frame_filter(
+        [this](const net::Packet& pkt) { return classify(pkt); });
+  }
+}
+
+FrameFate FaultInjector::classify(const net::Packet& pkt) {
+  const double now_ms = cluster_->now().to_ms();
+  // Partitions first (a switch drops before chance does), then every active
+  // loss window in plan order -- both the order and the per-frame draws are
+  // fixed by the DES event sequence, so results are thread-count-invariant.
+  if (plan_.partitioned_at(now_ms, pkt.src, pkt.dst)) {
+    ++partition_drops_;
+    return FrameFate::kDrop;
+  }
+  for (const FaultEvent& event : plan_.events()) {
+    if (event.kind != FaultKind::kLoss || !event.active_at(now_ms)) continue;
+    if (event.loss_p > 0 && rng_.bernoulli(event.loss_p)) {
+      ++frames_lost_;
+      return FrameFate::kDrop;
+    }
+    if (event.duplicate_p > 0 && rng_.bernoulli(event.duplicate_p)) {
+      ++frames_duplicated_;
+      return FrameFate::kDuplicate;
+    }
+  }
+  return FrameFate::kDeliver;
+}
+
+void FaultInjector::schedule_slowdown(const FaultEvent& event) {
+  // Both boundaries recompute the effective scale from the plan at the
+  // boundary instant, so overlapping windows compose correctly (a window's
+  // end cannot clobber another still-active window) and the result is
+  // independent of same-instant event ordering.
+  const bool pipeline = event.kind == FaultKind::kPipelineSlow;
+  const auto reapply = [this, pipeline] {
+    auto& network = cluster_->network();
+    const double now_ms = cluster_->now().to_ms();
+    if (pipeline) {
+      network.set_pipeline_scale(plan_.pipeline_scale_at(now_ms));
+      return;
+    }
+    for (HostId h = 0; h < static_cast<HostId>(cluster_->n()); ++h) {
+      network.set_cpu_scale(h, plan_.cpu_scale_at(now_ms, h));
+    }
+  };
+  if (event.at_ms <= 0) {
+    reapply();
+  } else {
+    cluster_->sim().schedule_at(des::TimePoint::origin() + des::Duration::from_ms(event.at_ms),
+                                reapply);
+  }
+  if (!event.permanent()) {
+    cluster_->sim().schedule_at(des::TimePoint::origin() + des::Duration::from_ms(event.end_ms()),
+                                reapply);
+  }
+}
+
+}  // namespace sanperf::faults

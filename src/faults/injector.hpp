@@ -1,0 +1,56 @@
+// Replays a FaultPlan on a runtime::Cluster.
+//
+// Crashes, recoveries and slowdown boundaries become DES events; partitions
+// and loss windows are enforced time-driven by the network's receiver-edge
+// frame filter, so frames in flight at a boundary see the state at their
+// own arrival instant. The injector draws from its own named RNG substream
+// ("faults", derived from the cluster seed) and only when a loss window is
+// active, so an armed injector with no loss events perturbs nothing: a run
+// under an empty plan -- or a plan of immediate crashes -- is bit-identical
+// to the corresponding plain run at any SANPERF_THREADS.
+#pragma once
+
+#include <cstdint>
+
+#include "des/random.hpp"
+#include "faults/plan.hpp"
+#include "runtime/cluster.hpp"
+
+namespace sanperf::faults {
+
+class FaultInjector {
+ public:
+  /// Validates `plan` against the cluster size. The injector must outlive
+  /// the cluster's run (the frame filter calls back into it).
+  FaultInjector(runtime::Cluster& cluster, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the hooks and schedules the plan. Crashes at or before time
+  /// zero are applied eagerly (exactly like Cluster::crash_initially);
+  /// everything else is scheduled on the simulator. Call once, before the
+  /// cluster starts running.
+  void arm();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // Introspection for tests / scenario notes.
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+  [[nodiscard]] std::uint64_t frames_duplicated() const { return frames_duplicated_; }
+  [[nodiscard]] std::uint64_t partition_drops() const { return partition_drops_; }
+
+ private:
+  [[nodiscard]] net::ContentionNetwork::FrameFate classify(const net::Packet& pkt);
+  void schedule_slowdown(const FaultEvent& event);
+
+  runtime::Cluster* cluster_;
+  FaultPlan plan_;
+  des::RandomEngine rng_;
+  bool armed_ = false;
+  std::uint64_t frames_lost_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
+  std::uint64_t partition_drops_ = 0;
+};
+
+}  // namespace sanperf::faults

@@ -1,0 +1,257 @@
+#include "faults/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+
+namespace sanperf::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLoss: return "loss";
+    case FaultKind::kCpuSlow: return "cpu_slow";
+    case FaultKind::kPipelineSlow: return "pipeline_slow";
+  }
+  return "?";
+}
+
+FaultKind fault_kind_from_string(std::string_view text) {
+  if (text == "crash") return FaultKind::kCrash;
+  if (text == "partition") return FaultKind::kPartition;
+  if (text == "loss") return FaultKind::kLoss;
+  if (text == "cpu_slow") return FaultKind::kCpuSlow;
+  if (text == "pipeline_slow") return FaultKind::kPipelineSlow;
+  throw std::invalid_argument{"FaultPlan: unknown fault kind '" + std::string{text} + "'"};
+}
+
+FaultEvent FaultPlan::crash(int host, double at_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.at_ms = at_ms;
+  e.host = host;
+  return e;
+}
+
+FaultEvent FaultPlan::crash_recover(int host, double at_ms, double downtime_ms) {
+  FaultEvent e = crash(host, at_ms);
+  e.duration_ms = downtime_ms;
+  return e;
+}
+
+FaultEvent FaultPlan::partition(std::vector<HostId> group, double at_ms, double heal_after_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.at_ms = at_ms;
+  e.duration_ms = heal_after_ms;
+  e.group = std::move(group);
+  return e;
+}
+
+FaultEvent FaultPlan::loss(double at_ms, double duration_ms, double loss_p, double duplicate_p) {
+  FaultEvent e;
+  e.kind = FaultKind::kLoss;
+  e.at_ms = at_ms;
+  e.duration_ms = duration_ms;
+  e.loss_p = loss_p;
+  e.duplicate_p = duplicate_p;
+  return e;
+}
+
+FaultEvent FaultPlan::cpu_slow(int host, double at_ms, double duration_ms, double factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kCpuSlow;
+  e.at_ms = at_ms;
+  e.duration_ms = duration_ms;
+  e.host = host;
+  e.factor = factor;
+  return e;
+}
+
+FaultEvent FaultPlan::pipeline_slow(double at_ms, double duration_ms, double factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kPipelineSlow;
+  e.at_ms = at_ms;
+  e.duration_ms = duration_ms;
+  e.factor = factor;
+  return e;
+}
+
+namespace {
+
+[[noreturn]] void bad_event(std::size_t index, const std::string& what) {
+  throw std::invalid_argument{"FaultPlan: event " + std::to_string(index) + ": " + what};
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t n) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (std::isnan(e.at_ms)) bad_event(i, "at_ms is NaN");
+    if (std::isnan(e.duration_ms) || !(e.duration_ms > 0)) {
+      bad_event(i, "duration_ms must be > 0 (kForeverMs for permanent)");
+    }
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (e.host < 0 || static_cast<std::size_t>(e.host) >= n) {
+          bad_event(i, "crash host out of range");
+        }
+        break;
+      case FaultKind::kPartition: {
+        if (e.group.empty()) bad_event(i, "partition group is empty");
+        std::vector<char> seen(n, 0);
+        for (const HostId h : e.group) {
+          if (h >= n) bad_event(i, "partition host out of range");
+          if (seen[h]) bad_event(i, "partition host repeated");
+          seen[h] = 1;
+        }
+        if (e.group.size() >= n) bad_event(i, "partition group covers every host");
+        break;
+      }
+      case FaultKind::kLoss:
+        if (!(e.loss_p >= 0) || e.loss_p > 1) bad_event(i, "loss_p outside [0, 1]");
+        if (!(e.duplicate_p >= 0) || e.duplicate_p > 1) {
+          bad_event(i, "duplicate_p outside [0, 1]");
+        }
+        if (e.loss_p == 0 && e.duplicate_p == 0) bad_event(i, "loss window with p = 0");
+        break;
+      case FaultKind::kCpuSlow:
+        if (e.host >= static_cast<int>(n)) bad_event(i, "cpu_slow host out of range");
+        [[fallthrough]];
+      case FaultKind::kPipelineSlow:
+        if (!(e.factor > 0)) bad_event(i, "factor must be > 0");
+        break;
+    }
+  }
+}
+
+std::vector<HostId> FaultPlan::initially_down() const {
+  std::vector<HostId> down;
+  for (const FaultEvent& e : events_) {
+    // Crashed at or before the start, and still down when it happens: a
+    // crash whose recovery also predates the start never shows.
+    if (e.kind != FaultKind::kCrash || e.at_ms > 0 || e.end_ms() <= 0) continue;
+    const auto h = static_cast<HostId>(e.host);
+    if (std::find(down.begin(), down.end(), h) == down.end()) down.push_back(h);
+  }
+  std::sort(down.begin(), down.end());
+  return down;
+}
+
+bool FaultPlan::partitioned_at(double now_ms, HostId a, HostId b) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kPartition || !e.active_at(now_ms)) continue;
+    const bool a_in = std::find(e.group.begin(), e.group.end(), a) != e.group.end();
+    const bool b_in = std::find(e.group.begin(), e.group.end(), b) != e.group.end();
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+double FaultPlan::cpu_scale_at(double now_ms, HostId host) const {
+  double scale = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kCpuSlow || !e.active_at(now_ms)) continue;
+    if (e.host < 0 || static_cast<HostId>(e.host) == host) scale = e.factor;
+  }
+  return scale;
+}
+
+double FaultPlan::pipeline_scale_at(double now_ms) const {
+  double scale = 1.0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kPipelineSlow && e.active_at(now_ms)) scale = e.factor;
+  }
+  return scale;
+}
+
+bool FaultPlan::filters_frames() const {
+  return std::any_of(events_.begin(), events_.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kPartition || e.kind == FaultKind::kLoss;
+  });
+}
+
+// --- JSON --------------------------------------------------------------------
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream os;
+  os << "{\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    os << (i == 0 ? "" : ",") << "{\"kind\":\"" << to_string(e.kind) << "\",\"at_ms\":"
+       << core::detail::json_exact(e.at_ms);
+    if (!e.permanent()) os << ",\"duration_ms\":" << core::detail::json_exact(e.duration_ms);
+    if (e.kind == FaultKind::kCrash ||
+        (e.kind == FaultKind::kCpuSlow && e.host >= 0)) {
+      os << ",\"host\":" << e.host;
+    }
+    if (e.kind == FaultKind::kPartition) {
+      os << ",\"group\":[";
+      for (std::size_t g = 0; g < e.group.size(); ++g) {
+        os << (g == 0 ? "" : ",") << e.group[g];
+      }
+      os << ']';
+    }
+    if (e.kind == FaultKind::kLoss) {
+      os << ",\"loss_p\":" << core::detail::json_exact(e.loss_p);
+      if (e.duplicate_p > 0) {
+        os << ",\"duplicate_p\":" << core::detail::json_exact(e.duplicate_p);
+      }
+    }
+    if (e.kind == FaultKind::kCpuSlow || e.kind == FaultKind::kPipelineSlow) {
+      os << ",\"factor\":" << core::detail::json_exact(e.factor);
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  using core::detail::JsonParser;
+  const auto root = JsonParser{text, "FaultPlan::from_json"}.parse();
+  const auto* events = JsonParser::field(root, "events");
+  if (events == nullptr || !events->array) {
+    throw std::invalid_argument{"FaultPlan::from_json: missing \"events\" array"};
+  }
+  const auto number = [](const JsonParser::JsonValue* v, double fallback) {
+    if (v == nullptr) return fallback;
+    if (!v->number) throw std::invalid_argument{"FaultPlan::from_json: expected a number"};
+    return *v->number;
+  };
+
+  FaultPlan plan;
+  for (const auto& ev : events->array.value()) {
+    const auto* kind = JsonParser::field(ev, "kind");
+    if (kind == nullptr || !kind->string) {
+      throw std::invalid_argument{"FaultPlan::from_json: event without a \"kind\""};
+    }
+    FaultEvent e;
+    e.kind = fault_kind_from_string(*kind->string);
+    e.at_ms = number(JsonParser::field(ev, "at_ms"), 0.0);
+    e.duration_ms = number(JsonParser::field(ev, "duration_ms"), kForeverMs);
+    e.host = static_cast<int>(number(JsonParser::field(ev, "host"), -1.0));
+    e.loss_p = number(JsonParser::field(ev, "loss_p"), 0.0);
+    e.duplicate_p = number(JsonParser::field(ev, "duplicate_p"), 0.0);
+    e.factor = number(JsonParser::field(ev, "factor"), 1.0);
+    if (const auto* group = JsonParser::field(ev, "group"); group != nullptr) {
+      if (!group->array) {
+        throw std::invalid_argument{"FaultPlan::from_json: \"group\" must be an array"};
+      }
+      for (const auto& h : *group->array) {
+        const double id = number(&h, -1.0);
+        if (id < 0) throw std::invalid_argument{"FaultPlan::from_json: negative group host"};
+        e.group.push_back(static_cast<HostId>(id));
+      }
+    }
+    plan.add(std::move(e));
+  }
+  return plan;
+}
+
+}  // namespace sanperf::faults

@@ -1,0 +1,131 @@
+// Declarative fault plans (SimGrid-style host/link availability profiles,
+// adapted to the paper's emulated cluster).
+//
+// A FaultPlan is an ordered schedule of typed FaultEvents -- host crashes
+// (with optional warm recovery), network partitions that heal, windows of
+// probabilistic message loss/duplication, and CPU / pipeline slowdown
+// intervals -- described independently of any protocol code. The
+// FaultInjector replays a plan on a runtime::Cluster through DES-scheduled
+// hooks; plans round-trip through JSON (the ResultTable-style mini-parser)
+// so campaign scenarios and the `sanperf run --fault-plan plan.json` CLI
+// share one schema.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sanperf::faults {
+
+/// Same underlying type as net::HostId / runtime::HostId; spelled out so
+/// this header (which core/campaign.hpp exposes) stays dependency-free.
+using HostId = std::uint32_t;
+
+/// Open-ended duration: a permanent crash, a partition that never heals, a
+/// slowdown that lasts the whole run.
+inline constexpr double kForeverMs = std::numeric_limits<double>::infinity();
+
+enum class FaultKind : std::uint8_t {
+  kCrash,         ///< host crash at `at_ms`; warm restart after `duration_ms`
+  kPartition,     ///< `group` vs the rest cannot exchange frames
+  kLoss,          ///< probabilistic frame loss / duplication window
+  kCpuSlow,       ///< host CPU service times stretched by `factor`
+  kPipelineSlow,  ///< protocol-stack pipeline latency stretched by `factor`
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] FaultKind fault_kind_from_string(std::string_view text);
+
+/// One scheduled fault. Fields beyond (kind, at_ms, duration_ms) apply only
+/// to the kinds documented on them; the rest keep their defaults.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Schedule time. <= 0 means "before the simulation starts" (the
+  /// degenerate single-crash plan reproducing the paper's Table 1).
+  double at_ms = 0;
+  /// Window length (partition/loss/slowdown) or downtime before the warm
+  /// restart (crash). kForeverMs = permanent / open-ended.
+  double duration_ms = kForeverMs;
+  /// Crash / cpu-slow target host; -1 on kCpuSlow means every host.
+  int host = -1;
+  /// Partition: the hosts on one side (the rest form the other side).
+  std::vector<HostId> group;
+  /// Loss window: per-frame drop and duplication probabilities.
+  double loss_p = 0;
+  double duplicate_p = 0;
+  /// Slowdown multiplier (> 1 slows, 1 restores nominal service times).
+  double factor = 1.0;
+
+  [[nodiscard]] bool permanent() const { return duration_ms == kForeverMs; }
+  /// End of the window / downtime (kForeverMs-safe).
+  [[nodiscard]] double end_ms() const { return permanent() ? kForeverMs : at_ms + duration_ms; }
+  [[nodiscard]] bool active_at(double now_ms) const {
+    return now_ms >= at_ms && now_ms < end_ms();
+  }
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events) : events_{std::move(events)} {}
+
+  // Event builders (the common shapes, so plans read declaratively).
+  [[nodiscard]] static FaultEvent crash(int host, double at_ms);
+  [[nodiscard]] static FaultEvent crash_recover(int host, double at_ms, double downtime_ms);
+  [[nodiscard]] static FaultEvent partition(std::vector<HostId> group, double at_ms,
+                                            double heal_after_ms);
+  [[nodiscard]] static FaultEvent loss(double at_ms, double duration_ms, double loss_p,
+                                       double duplicate_p = 0);
+  [[nodiscard]] static FaultEvent cpu_slow(int host, double at_ms, double duration_ms,
+                                           double factor);
+  [[nodiscard]] static FaultEvent pipeline_slow(double at_ms, double duration_ms, double factor);
+
+  FaultPlan& add(FaultEvent event) {
+    events_.push_back(std::move(event));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Throws std::invalid_argument on an event that cannot apply to an
+  /// n-host cluster (host out of range, probability outside [0, 1],
+  /// factor <= 0, empty or full partition group, negative duration).
+  void validate(std::size_t n) const;
+
+  /// Hosts with a crash scheduled at or before the start -- the set a
+  /// class-2 static failure detector pre-suspects (a crash-at-0 plan is
+  /// then bit-identical to the paper's crash_initially runs).
+  [[nodiscard]] std::vector<HostId> initially_down() const;
+
+  /// True when some active partition separates a and b at `now_ms`.
+  [[nodiscard]] bool partitioned_at(double now_ms, HostId a, HostId b) const;
+
+  /// Effective service-time scales at `now_ms`: the factor of the last
+  /// active matching slowdown event in plan order, 1.0 when none is. The
+  /// injector recomputes these at every window boundary, so overlapping
+  /// windows cannot clobber each other on reset.
+  [[nodiscard]] double cpu_scale_at(double now_ms, HostId host) const;
+  [[nodiscard]] double pipeline_scale_at(double now_ms) const;
+
+  /// True when any loss window or partition is scheduled (whether the
+  /// injector needs the receiver-edge frame filter at all).
+  [[nodiscard]] bool filters_frames() const;
+
+  // JSON round-trip: {"events":[{"kind":"crash","at_ms":0,"host":0}, ...]}.
+  // Writers omit defaulted fields; omitted duration_ms reads back as
+  // permanent. Doubles print with %.17g, so plans round-trip bit-exactly.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static FaultPlan from_json(const std::string& text);
+
+  bool operator==(const FaultPlan&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace sanperf::faults

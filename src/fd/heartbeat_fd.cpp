@@ -7,6 +7,7 @@ void HeartbeatFd::on_start() {
   suspected_.assign(n, 0);
   last_msg_.assign(n, process().now());
   history_.assign(n, PairHistory{});
+  known_incarnation_.assign(n, 0);
   for (HostId peer = 0; peer < static_cast<HostId>(n); ++peer) {
     if (peer == process().id()) continue;
     arm_check(peer, process().now() + params_.timeout);
@@ -48,6 +49,19 @@ void HeartbeatFd::on_message(const runtime::Message& m) {
   if (stopped_) return;
   const HostId peer = m.from;
   if (peer == process().id()) return;
+  if (m.incarnation > known_incarnation_[peer]) {
+    // The peer crashed and warm-restarted since its last message. If the
+    // downtime beat the timeout, the crash was never suspected: surface it
+    // as an instantaneous suspect->trust blip so layers above re-evaluate
+    // the peer (it lost its volatile state even though it looks alive).
+    // The trust half is restored by the common path below.
+    known_incarnation_[peer] = m.incarnation;
+    if (!suspected_[peer]) {
+      suspected_[peer] = 1;
+      history_[peer].record(process().now(), /*to_suspect=*/true);
+      notify(peer, true);
+    }
+  }
   // Any message from `peer` counts (heartbeat or application message).
   last_msg_[peer] = process().now();
   if (suspected_[peer]) {
@@ -58,6 +72,31 @@ void HeartbeatFd::on_message(const runtime::Message& m) {
 }
 
 void HeartbeatFd::on_crash() { stopped_ = true; }
+
+void HeartbeatFd::on_restart() {
+  stopped_ = false;
+  const std::size_t n = process().n();
+  const des::TimePoint now = process().now();
+  // A host crashed before the cluster started never ran on_start: initialise
+  // from scratch. Otherwise keep the histories (QoS estimation spans the
+  // whole experiment) but reset the volatile monitoring state.
+  if (suspected_.size() != n) suspected_.assign(n, 0);
+  if (history_.size() != n) history_.assign(n, PairHistory{});
+  if (known_incarnation_.size() != n) known_incarnation_.assign(n, 0);
+  last_msg_.assign(n, now);
+  for (HostId peer = 0; peer < static_cast<HostId>(n); ++peer) {
+    if (peer == process().id()) continue;
+    if (suspected_[peer]) {
+      // The restarted monitor trusts everyone afresh; record the transition
+      // so the history keeps alternating (and QoS sees the suspicion end).
+      suspected_[peer] = 0;
+      history_[peer].record(now, /*to_suspect=*/false);
+      notify(peer, false);
+    }
+    arm_check(peer, now + params_.timeout);
+  }
+  send_heartbeat_round();
+}
 
 bool HeartbeatFd::is_suspected(HostId peer) const {
   return peer < suspected_.size() && suspected_[peer] != 0;

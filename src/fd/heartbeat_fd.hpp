@@ -43,6 +43,12 @@ class HeartbeatFd : public runtime::Layer, public FailureDetector {
   void on_start() override;
   void on_message(const runtime::Message& m) override;
   void on_crash() override;
+  /// Warm restart: the monitor comes back trusting everyone with a fresh
+  /// reception clock (last_msg = now, never pre-crash timestamps -- a
+  /// stale value would fire an instant wrong suspicion), re-arms its
+  /// wake-ups and resumes heartbeating. Histories survive, with
+  /// suspect->trust transitions recorded for peers suspected at the crash.
+  void on_restart() override;
 
   [[nodiscard]] bool is_suspected(HostId peer) const override;
   void add_listener(SuspicionListener listener) override {
@@ -69,6 +75,12 @@ class HeartbeatFd : public runtime::Layer, public FailureDetector {
   std::vector<char> suspected_;             // per peer
   std::vector<des::TimePoint> last_msg_;    // per peer: last reception
   std::vector<PairHistory> history_;        // per peer
+  /// Highest sender incarnation seen per peer. A message carrying a newer
+  /// one reveals a crash + warm restart that completed faster than the
+  /// timeout could detect; the detector surfaces it as an instantaneous
+  /// suspect->trust blip so layers above re-evaluate the peer
+  /// (crash-recovery completeness).
+  std::vector<std::uint32_t> known_incarnation_;
   std::vector<SuspicionListener> listeners_;
   std::uint64_t heartbeats_sent_ = 0;
   bool stopped_ = false;

@@ -82,6 +82,7 @@ ContentionNetwork::ContentionNetwork(des::Simulator& sim, des::RandomEngine rng,
   cpus_.reserve(hosts);
   for (std::size_t i = 0; i < hosts; ++i) cpus_.emplace_back(sim);
   down_.assign(hosts, 0);
+  cpu_scale_.assign(hosts, 1.0);
 }
 
 des::Duration ContentionNetwork::sample(const stats::BimodalUniform& dist) {
@@ -116,7 +117,8 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
   }
 
   // Step 2: sender CPU.
-  cpus_[src].submit(des::Duration::from_ms(params_.send_cpu_ms), [this, pkt, wire, cls] {
+  cpus_[src].submit(des::Duration::from_ms(params_.send_cpu_ms * cpu_scale_[src]),
+                    [this, pkt, wire, cls] {
     if (!wire) {
       ++frames_dropped_;
       return;
@@ -126,19 +128,39 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
         cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
     medium_.submit(pkt->src, sample(wire_dist), [this, pkt] {
       // Non-exclusive pipeline latency: stack traversal overlaps freely.
-      sim_->schedule(sample(params_.pipeline_latency), [this, pkt] {
+      des::Duration pipeline = sample(params_.pipeline_latency);
+      if (pipeline_scale_ != 1.0) {
+        pipeline = des::Duration::from_ms(pipeline.to_ms() * pipeline_scale_);
+      }
+      sim_->schedule(pipeline, [this, pkt] {
         if (down_[pkt->dst]) {
           ++frames_dropped_;
           return;
         }
-        // Step 6: receiver CPU.
-        cpus_[pkt->dst].submit(des::Duration::from_ms(params_.recv_cpu_ms), [this, pkt] {
-          if (down_[pkt->dst]) {
-            ++frames_dropped_;
-            return;
-          }
-          if (deliver_) deliver_(*pkt);  // step 7
-        });
+        // Receiver edge: the fault-injection filter sees every frame that
+        // survived the medium -- partition and loss drop here, duplication
+        // pays the receiver CPU twice.
+        FrameFate fate = FrameFate::kDeliver;
+        if (filter_) fate = filter_(*pkt);
+        if (fate == FrameFate::kDrop) {
+          ++frames_dropped_;
+          ++frames_filtered_;
+          return;
+        }
+        const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
+        if (copies == 2) ++frames_duplicated_;
+        for (int c = 0; c < copies; ++c) {
+          // Step 6: receiver CPU.
+          cpus_[pkt->dst].submit(
+              des::Duration::from_ms(params_.recv_cpu_ms * cpu_scale_[pkt->dst]),
+              [this, pkt] {
+                if (down_[pkt->dst]) {
+                  ++frames_dropped_;
+                  return;
+                }
+                if (deliver_) deliver_(*pkt);  // step 7
+              });
+        }
       });
     });
   });
@@ -150,6 +172,36 @@ void ContentionNetwork::host_down(HostId h) {
   // The CPU abandons queued work; the job in service finishes occupying the
   // resource but its completion is suppressed.
   cpus_[h].drain(/*drop_in_service=*/true);
+}
+
+void ContentionNetwork::host_restart(HostId h) {
+  if (h >= cpus_.size()) {
+    throw std::invalid_argument{"ContentionNetwork::host_restart: bad host"};
+  }
+  down_[h] = 0;
+  // Reconnection resets the TCP dead-peer absorption in both directions, so
+  // the first post-recovery protocol frame of every pair reaches the wire
+  // again (and keeps doing so while the peer stays up).
+  if (!dead_pair_sent_.empty()) {
+    const std::size_t n = cpus_.size();
+    for (std::size_t other = 0; other < n; ++other) {
+      dead_pair_sent_[other * n + h] = 0;
+      dead_pair_sent_[h * n + other] = 0;
+    }
+  }
+}
+
+void ContentionNetwork::set_cpu_scale(HostId h, double scale) {
+  if (h >= cpus_.size()) throw std::invalid_argument{"ContentionNetwork::set_cpu_scale: bad host"};
+  if (!(scale > 0)) throw std::invalid_argument{"ContentionNetwork::set_cpu_scale: scale <= 0"};
+  cpu_scale_[h] = scale;
+}
+
+void ContentionNetwork::set_pipeline_scale(double scale) {
+  if (!(scale > 0)) {
+    throw std::invalid_argument{"ContentionNetwork::set_pipeline_scale: scale <= 0"};
+  }
+  pipeline_scale_ = scale;
 }
 
 }  // namespace sanperf::net

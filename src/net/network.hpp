@@ -123,13 +123,38 @@ class ContentionNetwork {
   /// occupancy; small datagrams (heartbeats) pay raw wire time only.
   enum class FrameClass { kProtocol, kSmall };
 
+  /// What the frame filter decides for a frame that survived the medium:
+  /// deliver it, drop it silently (partition / probabilistic loss), or
+  /// deliver it twice (datagram duplication).
+  enum class FrameFate { kDeliver, kDrop, kDuplicate };
+  /// Fault-injection hook, consulted once per frame at the receiver edge
+  /// (after the medium and pipeline, before the receiver CPU). The frame
+  /// has already paid its wire occupancy -- the hub does not know about
+  /// switch-level filtering or corrupted checksums.
+  using FrameFilter = std::function<FrameFate(const Packet&)>;
+  void set_frame_filter(FrameFilter filter) { filter_ = std::move(filter); }
+
   /// Starts a unicast transmission (step 1). `body` is delivered unchanged.
   void send(HostId src, HostId dst, std::any body, FrameClass cls = FrameClass::kProtocol);
 
   /// Marks a host as crashed: queued CPU work is discarded and future frames
   /// addressed to it vanish after their medium occupancy.
   void host_down(HostId h);
+  /// Warm restart of a crashed host: frames flow again and the per-pair
+  /// TCP dead-peer absorption state is reset in both directions (the
+  /// restarted host re-establishes its connections).
+  void host_restart(HostId h);
   [[nodiscard]] bool host_up(HostId h) const { return !down_.at(h); }
+
+  /// Service-time scaling hooks (fault injection). `scale` multiplies the
+  /// CPU occupancy of frames submitted at `h` from now on (in-service and
+  /// queued jobs keep the service time fixed at enqueue); 1.0 restores the
+  /// nominal cost bit-exactly.
+  void set_cpu_scale(HostId h, double scale);
+  [[nodiscard]] double cpu_scale(HostId h) const { return cpu_scale_.at(h); }
+  /// Multiplies the non-exclusive pipeline latency of every frame.
+  void set_pipeline_scale(double scale);
+  [[nodiscard]] double pipeline_scale() const { return pipeline_scale_; }
 
   [[nodiscard]] std::size_t hosts() const { return cpus_.size(); }
   [[nodiscard]] const NetworkParams& params() const { return params_; }
@@ -137,6 +162,8 @@ class ContentionNetwork {
   // Introspection for tests / ablation benches.
   [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
+  [[nodiscard]] std::uint64_t frames_filtered() const { return frames_filtered_; }
+  [[nodiscard]] std::uint64_t frames_duplicated() const { return frames_duplicated_; }
   [[nodiscard]] des::Duration medium_busy_time() const { return medium_.busy_time(); }
   [[nodiscard]] const FifoServer& cpu(HostId h) const { return cpus_.at(h); }
   [[nodiscard]] const HubMedium& medium() const { return medium_; }
@@ -151,9 +178,14 @@ class ContentionNetwork {
   HubMedium medium_;
   std::vector<char> down_;
   std::vector<char> dead_pair_sent_;  // lazily sized n*n; see dead_peer_absorption
+  std::vector<double> cpu_scale_;     // per-host CPU service-time multiplier
+  double pipeline_scale_ = 1.0;
+  FrameFilter filter_;
   std::function<void(const Packet&)> deliver_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_filtered_ = 0;
+  std::uint64_t frames_duplicated_ = 0;
 };
 
 }  // namespace sanperf::net

@@ -27,6 +27,10 @@ void Cluster::crash_at(HostId id, des::TimePoint at) {
   sim_.schedule_at(at, [this, id] { processes_.at(id)->crash(); });
 }
 
+void Cluster::recover_at(HostId id, des::TimePoint at) {
+  sim_.schedule_at(at, [this, id] { processes_.at(id)->restart(); });
+}
+
 void Cluster::start_processes() {
   if (started_) return;
   started_ = true;

@@ -36,6 +36,8 @@ class Cluster {
   void crash_initially(HostId id);
   /// Schedules a crash at an absolute simulated time.
   void crash_at(HostId id, des::TimePoint at);
+  /// Schedules a warm restart of a crashed process (see Process::restart).
+  void recover_at(HostId id, des::TimePoint at);
 
   /// Calls every process's on_start layers (idempotent) and runs events
   /// until `deadline`, the given predicate, or queue exhaustion.

@@ -41,6 +41,11 @@ struct Message {
   std::int64_t value = 0;  ///< proposed/decided value
   std::int32_t ts = 0;     ///< estimate timestamp (last adopted round)
   std::uint64_t probe_id = 0;         ///< delay-probe correlation id
+  /// Sender's reboot count, stamped by Process::send. A monitor seeing a
+  /// higher incarnation than it knew learns the peer crashed and recovered
+  /// since the last message -- the crash-recovery completeness hook for
+  /// failure detection (0 for never-restarted processes).
+  std::uint32_t incarnation = 0;
   des::TimePoint sent_at;             ///< stamped by Process::send
 
   [[nodiscard]] std::string to_string() const;

@@ -14,6 +14,7 @@ void Process::send(Message m, HostId dst) {
   if (dst == id_) throw std::invalid_argument{"Process::send: self-send goes through the layer"};
   m.from = id_;
   m.to = dst;
+  m.incarnation = static_cast<std::uint32_t>(epoch_);
   m.sent_at = sim_->now();
   ++sent_;
   const auto cls = m.kind == MsgKind::kHeartbeat ? net::ContentionNetwork::FrameClass::kSmall
@@ -29,23 +30,31 @@ void Process::broadcast(Message m) {
 }
 
 TimerId Process::set_timer(des::Duration delay, std::function<void()> fn) {
-  return sim_->schedule(delay, [this, fn = std::move(fn)] {
-    if (!crashed_) fn();
+  return sim_->schedule(delay, [this, epoch = epoch_, fn = std::move(fn)] {
+    if (!crashed_ && epoch == epoch_) fn();
   });
 }
 
 TimerId Process::set_os_timer(des::Duration delay, std::function<void()> fn) {
   const des::TimePoint actual = net::quantize_timer(timers_, sim_->now() + delay, rng_);
-  return sim_->schedule_at(actual, [this, fn = std::move(fn)] {
-    if (!crashed_) fn();
+  return sim_->schedule_at(actual, [this, epoch = epoch_, fn = std::move(fn)] {
+    if (!crashed_ && epoch == epoch_) fn();
   });
 }
 
 void Process::crash() {
   if (crashed_) return;
   crashed_ = true;
+  ++epoch_;  // kill every armed timer, across any future restart
   net_->host_down(id_);
   for (auto& l : layers_) l->on_crash();
+}
+
+void Process::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_->host_restart(id_);
+  for (auto& l : layers_) l->on_restart();
 }
 
 void Process::deliver(const Message& m) {

@@ -30,6 +30,11 @@ class Layer {
   virtual void on_message(const Message& m) = 0;
   /// Called when the hosting process crashes.
   virtual void on_crash() {}
+  /// Called on a warm restart after a crash (fault injection). The default
+  /// keeps the layer's state untouched; layers holding volatile protocol
+  /// state or running timer loops override it to re-initialise -- all
+  /// timers armed before the crash are dead by then (see Process::crash).
+  virtual void on_restart() {}
 
   [[nodiscard]] Process& process() const { return *process_; }
 
@@ -88,7 +93,15 @@ class Process {
   bool cancel_timer(TimerId id) { return sim_->cancel(id); }
 
   /// Crash-stop: the process stops sending, receiving and firing timers.
+  /// Every timer armed before the crash is permanently dead (epoch guard),
+  /// even if the process is later restarted.
   void crash();
+
+  /// Warm restart after a crash: the host rejoins the network (frames flow
+  /// and the TCP dead-peer state resets), and every layer's on_restart runs
+  /// bottom-up. Pre-crash timers stay dead; pre-crash layer state survives
+  /// unless the layer's on_restart discards it. No-op on a live process.
+  void restart();
 
   /// Entry point used by the cluster when a packet reaches this host.
   void deliver(const Message& m);
@@ -107,6 +120,10 @@ class Process {
   net::TimerModel timers_;
   std::vector<std::unique_ptr<Layer>> layers_;
   bool crashed_ = false;
+  /// Bumped on every crash: timers capture the epoch they were armed in and
+  /// fire only if it still matches, so a warm restart cannot resurrect
+  /// pre-crash timer chains (stale heartbeat rounds, stale FD wake-ups).
+  std::uint64_t epoch_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
 };

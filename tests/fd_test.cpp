@@ -263,5 +263,82 @@ TEST(HeartbeatFdTest, QosPipelineOnRealHistories) {
   EXPECT_LT(q->t_m_ms, 1.0);
 }
 
+// --------------------------------------------------------------------------
+// Warm restart (fault injection)
+// --------------------------------------------------------------------------
+
+TEST(HeartbeatFdTest, WarmRestartResumesMonitoringWithoutStaleTimestamps) {
+  auto cluster = make_fd_cluster(3, 10.0);
+  cluster.crash_at(2, des::TimePoint::origin() + des::Duration::from_ms(50));
+  cluster.recover_at(2, des::TimePoint::origin() + des::Duration::from_ms(120));
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(120));
+  const auto hb_at_restart = cluster.process(2).layer<HeartbeatFd>().heartbeats_sent();
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(300));
+
+  for (HostId i = 0; i < 2; ++i) {
+    const auto& hb = cluster.process(i).layer<HeartbeatFd>();
+    // The downtime shows as one suspect interval, cleared by the first
+    // post-recovery heartbeat.
+    EXPECT_FALSE(hb.is_suspected(2));
+    const auto& h = hb.histories()[2];
+    ASSERT_EQ(h.transitions().size(), 2u);
+    EXPECT_TRUE(h.transitions()[0].to_suspect);
+    EXPECT_GE(h.transitions()[1].at.to_ms(), 120.0);
+    EXPECT_LE(h.transitions()[1].at.to_ms(), 120.0 + 7.0 + 1.0);  // first heartbeat
+  }
+  // The restarted monitor's own clock started fresh: no stale last-message
+  // timestamps, so it never wrongly suspected the live peers...
+  const auto& hb2 = cluster.process(2).layer<HeartbeatFd>();
+  EXPECT_TRUE(hb2.histories()[0].transitions().empty());
+  EXPECT_TRUE(hb2.histories()[1].transitions().empty());
+  // ...and its heartbeat loop is running again (pre-crash chains stay dead).
+  EXPECT_GT(hb2.heartbeats_sent(), hb_at_restart + 10);
+}
+
+TEST(HeartbeatFdTest, RebootFasterThanTimeoutSurfacesAsIncarnationBlip) {
+  // Downtime 2 ms << timeout 10 ms: the timeout can never detect the
+  // crash, but the restarted host's messages carry a higher incarnation,
+  // so monitors record an instantaneous suspect -> trust blip (and notify
+  // listeners) instead of silently trusting a peer that lost its state.
+  auto cluster = make_fd_cluster(3, 10.0);
+  std::vector<std::pair<HostId, bool>> events;
+  cluster.run_until(des::TimePoint::origin());
+  cluster.process(0).layer<HeartbeatFd>().add_listener(
+      [&](HostId peer, bool suspected) { events.emplace_back(peer, suspected); });
+  cluster.crash_at(2, des::TimePoint::origin() + des::Duration::from_ms(50));
+  cluster.recover_at(2, des::TimePoint::origin() + des::Duration::from_ms(52));
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(100));
+
+  const auto& h = cluster.process(0).layer<HeartbeatFd>().histories()[2];
+  ASSERT_EQ(h.transitions().size(), 2u);
+  EXPECT_TRUE(h.transitions()[0].to_suspect);
+  EXPECT_FALSE(h.transitions()[1].to_suspect);
+  EXPECT_EQ(h.transitions()[0].at, h.transitions()[1].at);  // zero-width blip
+  EXPECT_GE(h.transitions()[0].at.to_ms(), 52.0);           // the first reboot message
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<HostId, bool>{2, true}));
+  EXPECT_EQ(events[1], (std::pair<HostId, bool>{2, false}));
+  EXPECT_FALSE(cluster.process(0).layer<HeartbeatFd>().is_suspected(2));
+}
+
+TEST(HeartbeatFdTest, RestartWhileSuspectingKeepsHistoryAlternating) {
+  // Monitor 0 suspects the crashed 1, then 0 itself crashes and restarts:
+  // the restart must close the open suspicion (suspect -> trust at the
+  // restart instant) so later transitions keep alternating.
+  auto cluster = make_fd_cluster(2, 10.0);
+  cluster.crash_at(1, des::TimePoint::origin() + des::Duration::from_ms(20));
+  cluster.crash_at(0, des::TimePoint::origin() + des::Duration::from_ms(60));
+  cluster.recover_at(0, des::TimePoint::origin() + des::Duration::from_ms(80));
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(200));
+
+  const auto& h = cluster.process(0).layer<HeartbeatFd>().histories()[1];
+  ASSERT_GE(h.transitions().size(), 3u);
+  EXPECT_TRUE(h.transitions()[0].to_suspect);                    // the crash of 1
+  EXPECT_FALSE(h.transitions()[1].to_suspect);                   // closed at restart
+  EXPECT_DOUBLE_EQ(h.transitions()[1].at.to_ms(), 80.0);
+  EXPECT_TRUE(h.transitions()[2].to_suspect);                    // 1 is still down
+  EXPECT_TRUE(cluster.process(0).layer<HeartbeatFd>().is_suspected(1));
+}
+
 }  // namespace
 }  // namespace sanperf::fd

@@ -371,5 +371,105 @@ TEST(FrameClassTest, SmallFramesToDeadHostAlwaysEmitted) {
   EXPECT_EQ(netw.medium().frames_served(), 3u);
 }
 
+// --------------------------------------------------------------------------
+// Warm restart and fault-injection hooks
+// --------------------------------------------------------------------------
+
+TEST(HostRestartTest, RearmsReceiverCpuAndResetsDeadPairState) {
+  // Regression: before host_restart existed, protocol frames towards a
+  // once-crashed host were absorbed by the stale dead-pair state forever,
+  // and nothing could re-enable the receiver CPU.
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{28}, fixed_delay_params(), 2};
+  int delivered = 0;
+  netw.set_deliver([&](const Packet&) { ++delivered; });
+
+  netw.host_down(1);
+  for (int i = 0; i < 3; ++i) netw.send(0, 1, std::any{});  // 1 wire + 2 absorbed
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  const auto cpu_jobs_down = netw.cpu(1).jobs_served();
+
+  netw.host_restart(1);
+  EXPECT_TRUE(netw.host_up(1));
+  for (int i = 0; i < 2; ++i) netw.send(0, 1, std::any{});
+  sim.run();
+  EXPECT_EQ(delivered, 2);  // both post-recovery frames reach the process
+  EXPECT_EQ(netw.cpu(1).jobs_served(), cpu_jobs_down + 2);  // CPU serves again
+  EXPECT_EQ(netw.medium().frames_served(), 3u);  // 1 dead + 2 live on the wire
+}
+
+TEST(HostRestartTest, CrashWhileReceiverBusySuppressesOnlyThatJob) {
+  // The job in service when the host crashes still occupies the CPU but its
+  // delivery is suppressed; a job submitted after the restart completes.
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{29}, fixed_delay_params(), 2};
+  int delivered = 0;
+  netw.set_deliver([&](const Packet&) { ++delivered; });
+  netw.send(0, 1, std::any{});
+  // Crash host 1 while its receive is in service (delivery at 0.140 ms).
+  sim.schedule(des::Duration::from_ms(0.130), [&] { netw.host_down(1); });
+  sim.schedule(des::Duration::from_ms(0.135), [&] { netw.host_restart(1); });
+  sim.schedule(des::Duration::from_ms(0.200), [&] { netw.send(0, 1, std::any{}); });
+  sim.run();
+  EXPECT_EQ(delivered, 1);  // in-service job dropped, post-restart one lands
+}
+
+TEST(ServiceScaleTest, CpuScaleStretchesEndToEndDelay) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{30}, fixed_delay_params(), 2};
+  std::vector<double> delays;
+  netw.set_deliver([&](const Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
+  netw.send(0, 1, std::any{});
+  sim.run();
+  netw.set_cpu_scale(0, 4.0);  // sender side only
+  netw.send(0, 1, std::any{});
+  sim.run();
+  netw.set_cpu_scale(0, 1.0);
+  netw.send(0, 1, std::any{});
+  sim.run();
+  ASSERT_EQ(delays.size(), 3u);
+  EXPECT_NEAR(delays[0], 0.025 + 0.09 + 0.025, 1e-9);
+  EXPECT_NEAR(delays[1], 0.100 + 0.09 + 0.025, 1e-9);  // 4x send CPU
+  EXPECT_NEAR(delays[2], delays[0], 1e-12);  // scale 1.0 restores the bits
+}
+
+TEST(ServiceScaleTest, PipelineScaleStretchesStackTraversal) {
+  des::Simulator sim;
+  NetworkParams params = fixed_delay_params();
+  params.pipeline_latency = {1.0, 0.2, 0.2, 0.0, 0.0};
+  ContentionNetwork netw{sim, des::RandomEngine{31}, params, 2};
+  std::vector<double> delays;
+  netw.set_deliver([&](const Packet& pkt) { delays.push_back((sim.now() - pkt.sent_at).to_ms()); });
+  netw.send(0, 1, std::any{});
+  sim.run();
+  netw.set_pipeline_scale(3.0);
+  netw.send(0, 1, std::any{});
+  sim.run();
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_NEAR(delays[1] - delays[0], 2 * 0.2, 1e-9);
+  EXPECT_THROW(netw.set_pipeline_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(netw.set_cpu_scale(0, -1.0), std::invalid_argument);
+}
+
+TEST(FrameFilterTest, DropAndDuplicateAtReceiverEdge) {
+  des::Simulator sim;
+  ContentionNetwork netw{sim, des::RandomEngine{32}, fixed_delay_params(), 3};
+  int delivered = 0;
+  netw.set_deliver([&](const Packet&) { ++delivered; });
+  // Drop everything to host 1, duplicate everything to host 2.
+  netw.set_frame_filter([](const Packet& pkt) {
+    if (pkt.dst == 1) return ContentionNetwork::FrameFate::kDrop;
+    return ContentionNetwork::FrameFate::kDuplicate;
+  });
+  netw.send(0, 1, std::any{});
+  netw.send(0, 2, std::any{});
+  sim.run();
+  EXPECT_EQ(delivered, 2);  // the duplicated frame lands twice
+  EXPECT_EQ(netw.frames_filtered(), 1u);
+  EXPECT_EQ(netw.frames_duplicated(), 1u);
+  EXPECT_EQ(netw.medium().frames_served(), 2u);  // dropped frame paid the wire
+}
+
 }  // namespace
 }  // namespace sanperf::net

@@ -184,6 +184,58 @@ TEST(ProcessTest, CrashStopsDeliveryTimersAndSends) {
   EXPECT_TRUE(r0.received.empty());
 }
 
+TEST(ProcessTest, RestartRejoinsAndRunsOnRestartHooks) {
+  Cluster cluster{test_config(2)};
+  auto& r0 = cluster.process(0).add_layer<RecorderLayer>();
+  struct RestartLayer : RecorderLayer {
+    void on_restart() override { ++restarts; }
+    int restarts = 0;
+  };
+  auto& r1 = cluster.process(1).add_layer<RestartLayer>();
+  cluster.run_until(des::TimePoint::origin());
+
+  cluster.crash_at(1, des::TimePoint::origin() + des::Duration::from_ms(1));
+  cluster.recover_at(1, des::TimePoint::origin() + des::Duration::from_ms(5));
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(10));
+  EXPECT_FALSE(cluster.process(1).crashed());
+  EXPECT_EQ(r1.restarts, 1);
+
+  // Traffic flows again in both directions after the warm restart.
+  Message m;
+  m.kind = MsgKind::kApp;
+  cluster.process(0).send(m, 1);
+  cluster.process(1).send(m, 0);
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(20));
+  EXPECT_EQ(r1.received.size(), 1u);
+  EXPECT_EQ(r0.received.size(), 1u);
+  // Restarting a live process is a no-op.
+  cluster.process(1).restart();
+  EXPECT_EQ(r1.restarts, 1);
+}
+
+TEST(ProcessTest, PreCrashTimersStayDeadAcrossRestart) {
+  // Regression for the warm-restart aliasing bug: a timer armed before the
+  // crash must not fire after the recovery (it belongs to the dead epoch),
+  // while timers armed after the restart work normally.
+  Cluster cluster{test_config(2)};
+  cluster.process(0).add_layer<RecorderLayer>();
+  cluster.process(1).add_layer<RecorderLayer>();
+  cluster.run_until(des::TimePoint::origin());
+
+  int stale_fired = 0;
+  int fresh_fired = 0;
+  cluster.process(1).set_timer(des::Duration::from_ms(8), [&] { ++stale_fired; });
+  cluster.process(1).set_os_timer(des::Duration::from_ms(9), [&] { ++stale_fired; });
+  cluster.crash_at(1, des::TimePoint::origin() + des::Duration::from_ms(2));
+  cluster.recover_at(1, des::TimePoint::origin() + des::Duration::from_ms(4));
+  cluster.sim().schedule_at(des::TimePoint::origin() + des::Duration::from_ms(5), [&] {
+    cluster.process(1).set_timer(des::Duration::from_ms(1), [&] { ++fresh_fired; });
+  });
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(20));
+  EXPECT_EQ(stale_fired, 0);  // both pre-crash timers died with their epoch
+  EXPECT_EQ(fresh_fired, 1);
+}
+
 TEST(ProcessTest, LayerLookupByType) {
   Cluster cluster{test_config(2)};
   auto& rec = cluster.process(0).add_layer<RecorderLayer>();
