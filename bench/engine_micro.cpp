@@ -9,6 +9,7 @@
 #include "consensus/ct_consensus.hpp"
 #include "core/measurement.hpp"
 #include "core/replication.hpp"
+#include "core/workload.hpp"
 #include "des/event_queue.hpp"
 #include "des/simulator.hpp"
 #include "fd/failure_detector.hpp"
@@ -186,6 +187,68 @@ void BM_FlatCampaignSan(benchmark::State& state) {
 }
 BENCHMARK(BM_FlatCampaignSan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// The amortisation claim behind the workload engine: one persistent
+// cluster streaming 256 isolated instances (10 ms separation, the
+// sequencer regime) vs the legacy approach of 256 fresh clusters. Same
+// instance count, same isolation; the delta is construction overhead
+// (processes, network, RNG substreams, layer stacks).
+void BM_WorkloadEnginePersistent(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.timers = net::TimerModel::ideal();
+  cfg.seed = 42;
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kBurst;
+  spec.separation_ms = 10.0;
+  spec.warmup = 0;
+  spec.measured = 256;
+  for (auto _ : state) {
+    const auto res = core::run_workload(cfg, spec);
+    benchmark::DoNotOptimize(res.stats.mean_latency_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WorkloadEnginePersistent)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadEngineFreshClusters(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const des::SeedSplitter seeds{42, "exec"};
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t k = 0; k < 256; ++k) {
+      const auto out = core::run_latency_execution(n, net::NetworkParams::defaults(),
+                                                   net::TimerModel::ideal(), -1, k,
+                                                   seeds.stream_seed(k));
+      if (out.latency_ms) acc += *out.latency_ms;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_WorkloadEngineFreshClusters)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// The open-loop stream at a saturating offered load: the regime the
+// load_latency_sweep scenario measures (overlapping instances, queueing).
+void BM_WorkloadEngineOpenLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.timers = net::TimerModel::ideal();
+  cfg.seed = 42;
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 600;
+  spec.warmup = 16;
+  spec.measured = 240;
+  for (auto _ : state) {
+    const auto res = core::run_workload(cfg, spec);
+    benchmark::DoNotOptimize(res.stats.delivered_per_s);
+  }
+  state.SetItemsProcessed(state.iterations() * 240);
+}
+BENCHMARK(BM_WorkloadEngineOpenLoop)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
 void BM_SanModelBuild(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -20,6 +20,8 @@ std::int32_t CtConsensus::majority() const {
 }
 
 void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
+  gc_.sweep(instances_);
+  if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
   if (inst.started) throw std::logic_error{"CtConsensus: instance already proposed"};
   inst.started = true;
@@ -173,6 +175,7 @@ void CtConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
     dec.value = value;
     process().broadcast(dec);
   }
+  gc_.mark(cid);  // terminal: collected at the next entry-point sweep
 }
 
 void CtConsensus::on_message(const Message& m) {
@@ -187,6 +190,8 @@ void CtConsensus::on_message(const Message& m) {
       return;  // not a consensus message
   }
 
+  gc_.sweep(instances_);
+  if (gc_.collected(m.cid)) return;  // stale traffic for a collected instance
   Instance& inst = instance(m.cid);
   if (inst.decided) return;
 
@@ -237,6 +242,7 @@ void CtConsensus::on_suspicion(HostId peer, bool suspected) {
 }
 
 bool CtConsensus::has_decided(std::int32_t cid) const {
+  if (gc_.collected(cid)) return true;
   const auto it = instances_.find(cid);
   return it != instances_.end() && it->second.decided;
 }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 
+#include "consensus/instance_gc.hpp"
 #include "fd/failure_detector.hpp"
 #include "runtime/process.hpp"
 
@@ -81,6 +82,21 @@ class CtConsensus : public runtime::Layer {
   /// metric stops at the first decision anyway.
   void set_relay_decide(bool relay) { relay_decide_ = relay; }
 
+  /// When enabled, an instance's state is discarded once this process has
+  /// decided it (and handled the decide broadcast), so a long stream of
+  /// instances runs in O(in-flight) memory instead of O(stream length).
+  /// Late messages for a collected instance are ignored exactly as they
+  /// were for a decided one; has_decided stays true for collected cids, but
+  /// decision()/rounds_used() no longer answer for them -- workloads that
+  /// query decisions after the run keep it off (the default).
+  void set_gc_decided(bool on) { gc_.enable(on); }
+  /// Instances currently holding state (streams with GC keep this bounded
+  /// by the in-flight window).
+  [[nodiscard]] std::size_t active_instances() const { return instances_.size(); }
+  /// High-water mark of active_instances over the layer's lifetime.
+  [[nodiscard]] std::size_t peak_active_instances() const { return peak_active_; }
+  [[nodiscard]] std::uint64_t instances_collected() const { return gc_.collected_count(); }
+
  private:
   enum class Phase : std::uint8_t {
     kIdle,            ///< not started
@@ -123,7 +139,11 @@ class CtConsensus : public runtime::Layer {
   [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
   [[nodiscard]] std::int32_t majority() const;
 
-  Instance& instance(std::int32_t cid) { return instances_[cid]; }
+  Instance& instance(std::int32_t cid) {
+    Instance& inst = instances_[cid];
+    if (instances_.size() > peak_active_) peak_active_ = instances_.size();
+    return inst;
+  }
   void advance_round(std::int32_t cid, Instance& inst);
   void record_estimate(std::int32_t cid, Instance& inst, std::int32_t round, std::int64_t value,
                        std::int32_t ts);
@@ -136,6 +156,8 @@ class CtConsensus : public runtime::Layer {
 
   FailureDetector* fd_;
   std::map<std::int32_t, Instance> instances_;
+  detail::InstanceGc gc_;
+  std::size_t peak_active_ = 0;
   std::function<void(const DecisionEvent&)> on_decide_;
   Stats stats_;
   bool relay_decide_ = false;

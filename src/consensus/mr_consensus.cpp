@@ -19,6 +19,8 @@ std::int32_t MrConsensus::majority() const {
 }
 
 void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
+  gc_.sweep(instances_);
+  if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
   if (inst.started) throw std::logic_error{"MrConsensus: instance already proposed"};
   inst.started = true;
@@ -124,12 +126,15 @@ void MrConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
     dec.value = value;
     process().broadcast(dec);
   }
+  gc_.mark(cid);  // terminal: collected at the next entry-point sweep
 }
 
 void MrConsensus::on_message(const Message& m) {
   if (m.kind != MsgKind::kCoordEst && m.kind != MsgKind::kAux && m.kind != MsgKind::kDecide) {
     return;
   }
+  gc_.sweep(instances_);
+  if (gc_.collected(m.cid)) return;  // stale traffic for a collected instance
   Instance& inst = instance(m.cid);
   if (inst.decided) return;
 
@@ -174,6 +179,7 @@ void MrConsensus::on_suspicion(HostId peer, bool suspected) {
 }
 
 bool MrConsensus::has_decided(std::int32_t cid) const {
+  if (gc_.collected(cid)) return true;
   const auto it = instances_.find(cid);
   return it != instances_.end() && it->second.decided;
 }

@@ -26,6 +26,7 @@
 #include <map>
 
 #include "consensus/ct_consensus.hpp"  // DecisionEvent, FailureDetector
+#include "consensus/instance_gc.hpp"
 #include "runtime/process.hpp"
 
 namespace sanperf::consensus {
@@ -50,6 +51,13 @@ class MrConsensus : public runtime::Layer {
     on_decide_ = std::move(cb);
   }
   void set_relay_decide(bool relay) { relay_decide_ = relay; }
+
+  /// Decided-instance garbage collection; identical contract to
+  /// CtConsensus::set_gc_decided.
+  void set_gc_decided(bool on) { gc_.enable(on); }
+  [[nodiscard]] std::size_t active_instances() const { return instances_.size(); }
+  [[nodiscard]] std::size_t peak_active_instances() const { return peak_active_; }
+  [[nodiscard]] std::uint64_t instances_collected() const { return gc_.collected_count(); }
 
   struct Stats {
     std::uint64_t rounds_entered = 0;
@@ -89,7 +97,11 @@ class MrConsensus : public runtime::Layer {
   [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
   [[nodiscard]] std::int32_t majority() const;
 
-  Instance& instance(std::int32_t cid) { return instances_[cid]; }
+  Instance& instance(std::int32_t cid) {
+    Instance& inst = instances_[cid];
+    if (instances_.size() > peak_active_) peak_active_ = instances_.size();
+    return inst;
+  }
   void advance_round(std::int32_t cid, Instance& inst);
   void send_aux(std::int32_t cid, Instance& inst, bool bottom, std::int64_t value);
   void maybe_conclude(std::int32_t cid, Instance& inst);
@@ -98,6 +110,8 @@ class MrConsensus : public runtime::Layer {
 
   FailureDetector* fd_;
   std::map<std::int32_t, Instance> instances_;
+  detail::InstanceGc gc_;
+  std::size_t peak_active_ = 0;
   std::function<void(const DecisionEvent&)> on_decide_;
   Stats stats_;
   bool relay_decide_ = false;

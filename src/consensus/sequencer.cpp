@@ -1,82 +1,10 @@
 #include "consensus/sequencer.hpp"
 
-#include <algorithm>
-
 namespace sanperf::consensus {
 
-ConsensusSequencer::ConsensusSequencer(runtime::Cluster& cluster, SequencerConfig cfg)
-    : cluster_{&cluster}, cfg_{cfg} {}
-
-std::vector<ExecutionResult> ConsensusSequencer::run() {
-  std::vector<ExecutionResult> results;
-  results.reserve(cfg_.executions);
-
-  // One shared first-decision slot per instance, filled by the per-process
-  // decide callbacks.
-  struct FirstDecision {
-    std::optional<des::TimePoint> at;
-    std::int32_t rounds = 0;
-  };
-  std::vector<FirstDecision> first(cfg_.executions);
-
-  // Register on every process, crashed or not: a host down at arm time may
-  // warm-restart mid-run (fault injection) and its decisions must count.
-  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cluster_->n()); ++pid) {
-    auto& proc = cluster_->process(pid);
-    proc.layer<CtConsensus>().set_decide_callback([&first](const DecisionEvent& ev) {
-      if (ev.cid < 0 || static_cast<std::size_t>(ev.cid) >= first.size()) return;
-      auto& slot = first[static_cast<std::size_t>(ev.cid)];
-      if (!slot.at || ev.at < *slot.at) {
-        slot.at = ev.at;
-        slot.rounds = ev.round;
-      }
-    });
-  }
-
-  auto skew_rng = cluster_->rng_stream("ntp-skew");
-  des::TimePoint next_start = cluster_->now() + cfg_.separation;
-
-  for (std::size_t k = 0; k < cfg_.executions; ++k) {
-    const auto cid = static_cast<std::int32_t>(k);
-    const des::TimePoint t0 = next_start;
-
-    // Schedule the proposes: each process starts within the NTP window.
-    // Liveness is checked when the propose fires, not here -- a host that
-    // warm-restarts between the scheduling instant and t0 must take part
-    // (it coordinates round 1 of every instance, and the others trust it
-    // again by then). Crash-free runs draw and schedule identically.
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cluster_->n()); ++pid) {
-      auto& proc = cluster_->process(pid);
-      const double skew = skew_rng.uniform(-cfg_.ntp_skew.to_ms(), cfg_.ntp_skew.to_ms());
-      const des::TimePoint start = t0 + des::Duration::from_ms(std::max(0.0, skew));
-      cluster_->sim().schedule_at(start, [&proc, cid] {
-        if (!proc.crashed()) proc.layer<CtConsensus>().propose(cid, 1000 + proc.id());
-      });
-    }
-
-    const des::TimePoint deadline = t0 + cfg_.instance_timeout;
-    cluster_->run_until([&] { return first[k].at.has_value(); }, deadline);
-
-    ExecutionResult res;
-    res.cid = cid;
-    res.t0 = t0;
-    res.t_decide = first[k].at;
-    res.rounds = first[k].rounds;
-    results.push_back(res);
-
-    // Next start: the configured separation, pushed back when a slow
-    // execution would otherwise overlap.
-    des::TimePoint earliest = t0 + cfg_.separation;
-    if (first[k].at) {
-      earliest = std::max(earliest, *first[k].at + cfg_.settle_gap);
-    } else {
-      earliest = std::max(earliest, cluster_->now() + cfg_.settle_gap);
-    }
-    next_start = earliest;
-  }
-
-  experiment_end_ = cluster_->now();
-  return results;
-}
+// The two shipped instantiations: Chandra-Toueg (every paper campaign) and
+// Mostefaoui-Raynal (comparative class-3 studies).
+template class ConsensusSequencerT<CtConsensus>;
+template class ConsensusSequencerT<MrConsensus>;
 
 }  // namespace sanperf::consensus

@@ -13,6 +13,10 @@ Scale Scale::quick() {
   s.class3_executions = 50;
   s.ns = {3, 5, 7};
   s.timeouts_ms = {1, 5, 10, 20, 40, 100};
+  s.workload_warmup = 15;
+  s.workload_instances = 120;
+  s.offered_loads_per_s = {100, 300, 600, 900};
+  s.client_counts = {1, 4, 16};
   s.name_ = "quick";
   return s;
 }
@@ -30,8 +34,20 @@ Scale Scale::full() {
   s.sim_replications = 5000;
   s.class3_runs = 20;
   s.class3_executions = 1000;
+  s.workload_warmup = 200;
+  s.workload_instances = 2000;
+  s.offered_loads_per_s = {50, 100, 200, 300, 400, 600, 800, 1000, 1200, 1500};
+  s.client_counts = {1, 2, 4, 8, 16, 32};
   s.name_ = "full";
   return s;
+}
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kChandraToueg: return "Chandra-Toueg";
+    case Algorithm::kMostefaouiRaynal: return "Mostefaoui-Raynal";
+  }
+  return "?";
 }
 
 Scale Scale::from_env() {

@@ -20,6 +20,15 @@ struct Scale {
   std::vector<std::size_t> sim_ns = {3, 5};  ///< the paper simulates n = 3, 5
   std::vector<double> timeouts_ms = {1, 2, 3, 5, 7, 10, 15, 20, 30, 40, 70, 100};
 
+  // Steady-state workload-engine knobs (core/workload.hpp).
+  std::size_t workload_warmup = 50;      ///< stream instances truncated as warm-up
+  std::size_t workload_instances = 400;  ///< measured instances per stream
+  /// Open-loop offered-load grid (instances/s); spans past the n = 5
+  /// saturation knee so the load-latency sweep shows the blow-up.
+  std::vector<double> offered_loads_per_s = {100, 200, 400, 600, 800, 1100};
+  /// Closed-loop client-count grid.
+  std::vector<std::size_t> client_counts = {1, 2, 4, 8, 16};
+
   [[nodiscard]] static Scale quick();
   [[nodiscard]] static Scale defaults();
   [[nodiscard]] static Scale full();  ///< the paper's sample sizes
@@ -31,6 +40,15 @@ struct Scale {
  private:
   std::string name_ = "default";
 };
+
+/// Consensus algorithms available for comparative studies (the paper's
+/// Section 6: "we will analyze alternative protocols and compare").
+enum class Algorithm {
+  kChandraToueg,      ///< the paper's algorithm
+  kMostefaouiRaynal,  ///< the natural <>S comparator
+};
+
+[[nodiscard]] const char* to_string(Algorithm algorithm);
 
 /// Paper constants.
 inline constexpr double kTsendMs = 0.025;                    // Section 5.2

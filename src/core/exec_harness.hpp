@@ -1,8 +1,12 @@
 // Internal: one isolated consensus execution on a fresh emulated cluster,
-// parameterised on the consensus layer. Shared by the class-1/2 measurement
-// campaign (Chandra-Toueg) and the algorithm-comparison extension
-// (Mostefaoui-Raynal) so the harness -- skew model, proposal schedule,
-// decision capture, deadline -- cannot diverge between them.
+// parameterised on the consensus layer and an optional fault plan. This is
+// the single harness behind the class-1/2 measurement campaign
+// (Chandra-Toueg), the algorithm-comparison extension (Mostefaoui-Raynal)
+// and the fault-injected campaigns, so the harness -- skew model, proposal
+// schedule, decision capture, deadline -- cannot diverge between them.
+// With `plan == nullptr` the draws are byte-identical to the historic
+// plain harness; a degenerate crash-at-0 plan is bit-identical to the
+// crash_initially path (tests/faults_test.cpp enforces both).
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,8 @@
 #include <set>
 
 #include "core/measurement.hpp"
+#include "faults/injector.hpp"
+#include "faults/plan.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/params.hpp"
 #include "runtime/cluster.hpp"
@@ -23,7 +29,8 @@ using ExecOutcome = ::sanperf::core::ExecOutcome;
 template <typename ConsensusLayer>
 ExecOutcome run_one_consensus_execution(std::size_t n, const net::NetworkParams& params,
                                         const net::TimerModel& timers, int initially_crashed,
-                                        std::size_t k, std::uint64_t exec_seed) {
+                                        std::size_t k, std::uint64_t exec_seed,
+                                        const faults::FaultPlan* plan = nullptr) {
   // Independent executions: a fresh cluster per run keeps them perfectly
   // isolated (the cluster equivalent of the paper's 10 ms separation).
   runtime::ClusterConfig cfg;
@@ -32,8 +39,15 @@ ExecOutcome run_one_consensus_execution(std::size_t n, const net::NetworkParams&
   cfg.timers = timers;
   cfg.seed = exec_seed;
   runtime::Cluster cluster{cfg};
+  std::optional<faults::FaultInjector> injector;
+  if (plan != nullptr) injector.emplace(cluster, *plan);
 
+  // The static detector pre-suspects every host down at the start: the
+  // explicitly crashed one and everything the plan crashes at t <= 0.
   std::set<runtime::HostId> suspected;
+  if (plan != nullptr) {
+    for (const faults::HostId h : plan->initially_down()) suspected.insert(h);
+  }
   if (initially_crashed >= 0) suspected.insert(static_cast<runtime::HostId>(initially_crashed));
 
   std::optional<des::TimePoint> first_decide;
@@ -49,6 +63,7 @@ ExecOutcome run_one_consensus_execution(std::size_t n, const net::NetworkParams&
       }
     });
   }
+  if (injector) injector->arm();  // immediate crashes fire here...
   if (initially_crashed >= 0) {
     cluster.crash_initially(static_cast<runtime::HostId>(initially_crashed));
   }

@@ -1,36 +1,24 @@
 #include "core/extensions.hpp"
 
-#include <algorithm>
-#include <optional>
 #include <stdexcept>
 
-#include "consensus/ct_consensus.hpp"
-#include "consensus/mr_consensus.hpp"
-#include "consensus/sequencer.hpp"
-#include "core/exec_harness.hpp"
-#include "fd/failure_detector.hpp"
+#include "core/workload.hpp"
 #include "fd/heartbeat_fd.hpp"
 #include "runtime/cluster.hpp"
 
 namespace sanperf::core {
 
-const char* to_string(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kChandraToueg: return "Chandra-Toueg";
-    case Algorithm::kMostefaouiRaynal: return "Mostefaoui-Raynal";
-  }
-  return "?";
-}
-
 ExecOutcome run_latency_execution_with(Algorithm algorithm, std::size_t n,
                                        const net::NetworkParams& params,
                                        const net::TimerModel& timers, int initially_crashed,
                                        std::size_t k, std::uint64_t exec_seed) {
-  if (algorithm == Algorithm::kChandraToueg) {
-    return run_latency_execution(n, params, timers, initially_crashed, k, exec_seed);
-  }
-  return detail::run_one_consensus_execution<consensus::MrConsensus>(
-      n, params, timers, initially_crashed, k, exec_seed);
+  WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.algorithm = algorithm;
+  cfg.initially_crashed = initially_crashed;
+  return run_one_shot(cfg, k, exec_seed);
 }
 
 MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
@@ -46,55 +34,6 @@ MeasuredLatency measure_latency_with(Algorithm algorithm, std::size_t n,
     return run_latency_execution_with(algorithm, n, params, timers, initially_crashed, k,
                                       seeds.stream_seed(k));
   }));
-}
-
-ThroughputResult measure_throughput(std::size_t n, const net::NetworkParams& params,
-                                    const net::TimerModel& timers, std::size_t executions,
-                                    std::uint64_t seed) {
-  runtime::ClusterConfig cfg;
-  cfg.n = n;
-  cfg.network = params;
-  cfg.timers = timers;
-  cfg.seed = seed;
-  runtime::Cluster cluster{cfg};
-  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-    auto& proc = cluster.process(pid);
-    auto& fd_layer = proc.add_layer<fd::StaticFd>();
-    proc.add_layer<consensus::CtConsensus>(fd_layer);
-  }
-
-  // Back-to-back: no fixed separation; the next execution starts as soon as
-  // the previous one has decided (plus a minimal scheduling step).
-  consensus::SequencerConfig seq_cfg;
-  seq_cfg.executions = executions;
-  seq_cfg.separation = des::Duration::micros(1);
-  seq_cfg.settle_gap = des::Duration::micros(1);
-  consensus::ConsensusSequencer seq{cluster, seq_cfg};
-  const auto results = seq.run();
-
-  ThroughputResult out;
-  stats::BatchMeans batches{std::max<std::size_t>(1, executions / 20)};
-  std::optional<des::TimePoint> first_start;
-  des::TimePoint last_decide;
-  for (const auto& r : results) {
-    if (!first_start) first_start = r.t0;
-    if (!r.decided()) {
-      ++out.undecided;
-      continue;
-    }
-    ++out.executions;
-    out.latencies_ms.push_back(r.latency_ms());
-    batches.add(r.latency_ms());
-    last_decide = std::max(last_decide, *r.t_decide);
-  }
-  if (first_start && out.executions > 0) {
-    out.duration_ms = (last_decide - *first_start).to_ms();
-    if (out.duration_ms > 0) {
-      out.per_second = static_cast<double>(out.executions) / (out.duration_ms / 1000.0);
-    }
-  }
-  out.latency_ci = batches.mean_ci(0.90);
-  return out;
 }
 
 std::vector<double> detection_time_trial(std::size_t n, const net::NetworkParams& params,

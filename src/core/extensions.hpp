@@ -1,30 +1,22 @@
 // Extensions beyond the paper's evaluation, implementing its declared
 // future work (Section 6 / Section 2.3):
-//   * throughput of a sequence of consensus executions, where execution
-//     k+1 starts as soon as execution k has decided (so executions are NOT
-//     isolated and contention couples them);
+//   * comparative latency of alternative consensus protocols;
 //   * the failure-detector detection time T_D (the third Chen et al. QoS
 //     metric, defined in Section 3.4 but not measured by the paper).
+// The throughput extension (execution k+1 starts as soon as execution k
+// has decided) lives in core/workload.hpp now, as the degenerate
+// closed-loop workload with one client and zero think time.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/config.hpp"  // Algorithm
 #include "core/measurement.hpp"
 #include "net/params.hpp"
-#include "stats/batch_means.hpp"
 #include "stats/summary.hpp"
 
 namespace sanperf::core {
-
-/// Consensus algorithms available for comparative studies (the paper's
-/// Section 6: "we will analyze alternative protocols and compare").
-enum class Algorithm {
-  kChandraToueg,      ///< the paper's algorithm
-  kMostefaouiRaynal,  ///< the natural <>S comparator
-};
-
-[[nodiscard]] const char* to_string(Algorithm algorithm);
 
 /// One isolated execution of the selected algorithm with an explicitly
 /// derived seed (the flat sharding unit of the comparative campaigns;
@@ -44,21 +36,9 @@ enum class Algorithm {
                                                    const ReplicationRunner& runner =
                                                        default_runner());
 
-struct ThroughputResult {
-  double per_second = 0;        ///< decided executions per second
-  std::size_t executions = 0;   ///< decided executions
-  std::size_t undecided = 0;
-  double duration_ms = 0;       ///< first start to last decision
-  std::vector<double> latencies_ms;  ///< per-execution latency (back-to-back)
-  stats::MeanCI latency_ci;     ///< batch-means CI (executions correlate)
-};
-
-/// Runs `executions` back-to-back consensus executions (start k+1 at
-/// decision k) with static accurate detectors and reports throughput.
-[[nodiscard]] ThroughputResult measure_throughput(std::size_t n,
-                                                  const net::NetworkParams& params,
-                                                  const net::TimerModel& timers,
-                                                  std::size_t executions, std::uint64_t seed);
+// (The back-to-back throughput extension is now a degenerate closed-loop
+// workload -- one client, zero think time -- of core/workload.hpp; the
+// bespoke measure_throughput harness is gone.)
 
 struct DetectionTimeResult {
   std::vector<double> samples_ms;  ///< one per (trial, monitoring process)

@@ -7,7 +7,7 @@
 #include "consensus/ct_consensus.hpp"
 #include "consensus/sequencer.hpp"
 #include "core/config.hpp"
-#include "core/exec_harness.hpp"
+#include "core/workload.hpp"
 #include "des/simulator.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/heartbeat_fd.hpp"
@@ -127,8 +127,13 @@ stats::SummaryStats MeasuredLatency::summary() const {
 ExecOutcome run_latency_execution(std::size_t n, const net::NetworkParams& params,
                                   const net::TimerModel& timers, int initially_crashed,
                                   std::size_t k, std::uint64_t exec_seed) {
-  return detail::run_one_consensus_execution<consensus::CtConsensus>(
-      n, params, timers, initially_crashed, k, exec_seed);
+  // The workload engine's one-shot mode IS the historic harness.
+  WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.initially_crashed = initially_crashed;
+  return run_one_shot(cfg, k, exec_seed);
 }
 
 MeasuredLatency fold_latency_outcomes(const std::vector<ExecOutcome>& outcomes) {

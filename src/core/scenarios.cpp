@@ -10,6 +10,7 @@
 #include "core/campaign.hpp"
 #include "core/extensions.hpp"
 #include "core/simulation.hpp"
+#include "core/workload.hpp"
 #include "des/random.hpp"
 #include "faults/experiments.hpp"
 #include "stats/ecdf.hpp"
@@ -45,6 +46,12 @@ int crashed_id(const std::string& scenario) {
 
 const std::string& crash_scenario_name(int crashed) {
   return crash_scenarios().at(static_cast<std::size_t>(crashed + 1));
+}
+
+Algorithm algorithm_of(const std::string& name) {
+  if (name == "ct") return Algorithm::kChandraToueg;
+  if (name == "mr") return Algorithm::kMostefaouiRaynal;
+  throw std::invalid_argument{"unknown algorithm '" + name + "' (ct|mr)"};
 }
 
 // --- Paper artifacts ---------------------------------------------------------
@@ -505,10 +512,10 @@ ScenarioSpec ext_throughput_spec() {
     const auto timers = net::TimerModel::ideal();
     const auto ns = run.grid.axis("n").size_values();
     // Per n: a flat group of isolated executions plus a single-task group
-    // holding the (inherently sequential) back-to-back run.
+    // holding the (inherently sequential) back-to-back stream.
     struct Cell {
       ExecOutcome exec;
-      std::optional<ThroughputResult> tput;
+      std::optional<WorkloadResult> stream;
     };
     ShardSpace space;
     for (const std::size_t n : ns) {
@@ -523,10 +530,22 @@ ScenarioSpec ext_throughput_spec() {
       if (t.group % 2 == 0) {
         cell.exec = run_latency_execution(n, ctx.network, timers, -1, t.index, t.seed);
       } else {
-        // One long emulation, seeded directly (not via the splitter) as the
-        // original extension harness did.
-        cell.tput = measure_throughput(n, ctx.network, timers, ctx.scale.class1_executions,
-                                       ctx.seed + n);
+        // The back-to-back extension as its true shape: the degenerate
+        // closed-loop workload (one client, zero think time, no warm-up --
+        // the historic harness measured from the first execution). One
+        // persistent cluster, seeded directly as the bespoke harness was.
+        WorkloadConfig cfg;
+        cfg.n = n;
+        cfg.network = ctx.network;
+        cfg.timers = timers;
+        cfg.seed = ctx.seed + n;
+        WorkloadSpec stream;
+        stream.arrivals = ArrivalProcess::kClosedLoop;
+        stream.clients = 1;
+        stream.think_ms = 0;
+        stream.warmup = 0;
+        stream.measured = ctx.scale.class1_executions;
+        cell.stream = run_workload(cfg, stream);
       }
       return cell;
     });
@@ -536,10 +555,10 @@ ScenarioSpec ext_throughput_spec() {
       std::vector<ExecOutcome> outcomes;
       for (const Cell& c : cells[2 * g]) outcomes.push_back(c.exec);
       const double iso = fold_latency_outcomes(outcomes).summary().mean();
-      const ThroughputResult& tput = *cells[2 * g + 1][0].tput;
+      const WorkloadStats& tput = cells[2 * g + 1][0].stream->stats;
       const double bound = iso > 0 ? 1000.0 / iso : 0;
-      table.add_row({int_of(ns[g]), iso, tput.latency_ci, tput.per_second,
-                     bound > 0 ? Value{100.0 * tput.per_second / bound} : Value{},
+      table.add_row({int_of(ns[g]), iso, tput.latency_ci, tput.delivered_per_s,
+                     bound > 0 ? Value{100.0 * tput.delivered_per_s / bound} : Value{},
                      int_of(tput.undecided)});
     }
     return table;
@@ -766,10 +785,8 @@ ScenarioSpec lossy_consensus_spec() {
     }
     const auto outcomes = ctx.runner->run_flat(space, [&](const ShardSpace::Task& t) {
       const auto point = run.grid.point(t.group);
-      const Algorithm alg = point.get_string("algorithm") == "mr"
-                                ? Algorithm::kMostefaouiRaynal
-                                : Algorithm::kChandraToueg;
-      return faults::run_fault_execution(alg, point.get_size("n"), ctx.network, timers,
+      return faults::run_fault_execution(algorithm_of(point.get_string("algorithm")),
+                                         point.get_size("n"), ctx.network, timers,
                                          plans[t.group], t.index, t.seed);
     });
 
@@ -879,6 +896,255 @@ ScenarioSpec slowdown_sweep_spec() {
   };
   return spec;
 }
+
+// --- Workload-engine scenarios (core/workload.hpp) ---------------------------
+
+/// Restriction-stable per-grid-point seed for a workload stream: derived
+/// from the point's value-encoded label, so a --set-restricted grid
+/// reproduces the matching subset of the full grid bit for bit.
+std::uint64_t workload_point_seed(std::uint64_t seed, const std::string& scenario,
+                                  const ParamPoint& point) {
+  return des::derive_seed(seed, scenario + "|" + point.label());
+}
+
+/// The workload-size axes every stream scenario carries: single-valued by
+/// default (the Scale presets), overridable -- and sweepable -- with
+/// --set warmup=... / --set instances=...
+std::vector<ParamAxis> workload_size_axes(const Scale& scale) {
+  return {ParamAxis::sizes("warmup", {scale.workload_warmup}),
+          ParamAxis::sizes("instances", {scale.workload_instances})};
+}
+
+Value latency_ci_cell(const WorkloadStats& stats) {
+  if (stats.decided == 0) return Value{};
+  return Value{stats.latency_ci};
+}
+
+ScenarioSpec load_latency_sweep_spec() {
+  ScenarioSpec spec;
+  spec.name = "load_latency_sweep";
+  spec.description = "Steady-state latency vs offered load (open-loop Poisson), CT vs MR";
+  spec.notes =
+      "The Fig 8 blow-up shape with utilisation in place of the FD timeout:\n"
+      "latency sits at the isolated baseline at low load, climbs through\n"
+      "queueing as the offered load approaches the hub's service capacity,\n"
+      "and blows up past the knee (delivered_per_s saturates below\n"
+      "offered_per_s there). MR saturates earlier at equal n: Theta(n^2)\n"
+      "AUX frames per instance fill the medium sooner than CT's Theta(n).";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{
+        ParamAxis::sizes("n", scale.sim_ns),
+        ParamAxis::strings("algorithm", {"ct", "mr"}),
+        ParamAxis::reals("offered_per_s", scale.offered_loads_per_s)};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"algorithm", ColumnType::kString},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"delivered_per_s", ColumnType::kReal},
+                  {"latency_ms", ColumnType::kMeanCI},
+                  {"p95_ms", ColumnType::kReal},
+                  {"peak_inflight", ColumnType::kInt},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    // One persistent-cluster stream per grid point; points fan out over the
+    // runner (each stream is one sequential DES run, pure in its seed).
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = timers;
+      cfg.algorithm = algorithm_of(point.get_string("algorithm"));
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      return run_workload(cfg, stream);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const WorkloadStats& stats = results[p].stats;
+      table.add_row({point.get_int("n"), point.get_string("algorithm"),
+                     point.get_real("offered_per_s"), stats.delivered_per_s,
+                     latency_ci_cell(stats),
+                     stats.decided > 0 ? Value{stats.p95_latency_ms} : Value{},
+                     int_of(results[p].peak_active_instances), int_of(stats.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec closed_loop_clients_spec() {
+  ScenarioSpec spec;
+  spec.name = "closed_loop_clients";
+  spec.description = "Closed-loop client sweep: delivered throughput and latency vs clients";
+  spec.notes =
+      "One client reproduces the back-to-back extension and is already\n"
+      "near the hub's capacity (zero think time). Adding clients therefore\n"
+      "buys no throughput -- interleaved instances pay more per-frame\n"
+      "contention, so delivered_per_s falls below the 1-client rate\n"
+      "(vs_one_client < 1) while per-instance latency grows roughly\n"
+      "linearly in the client count: the closed-loop saturation plateau,\n"
+      "approached from below.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
+                                ParamAxis::sizes("clients", scale.client_counts),
+                                ParamAxis::reals("think_ms", {0})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"clients", ColumnType::kInt},
+                  {"think_ms", ColumnType::kReal},
+                  {"delivered_per_s", ColumnType::kReal},
+                  {"vs_one_client", ColumnType::kReal},
+                  {"latency_ms", ColumnType::kMeanCI},
+                  {"p95_ms", ColumnType::kReal},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = timers;
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kClosedLoop;
+      stream.clients = point.get_size("clients");
+      stream.think_ms = point.get_real("think_ms");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      return run_workload(cfg, stream);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const WorkloadStats& stats = results[p].stats;
+      // Scaling baseline: the clients = 1 row agreeing with this one on
+      // every other axis (n, think_ms, warmup, instances -- stream-length
+      // sweeps must not mix baselines), if the restriction kept it.
+      Value vs_one{};
+      for (std::size_t q = 0; q < run.grid.size(); ++q) {
+        const auto other = run.grid.point(q);
+        if (other.get_int("clients") == 1 && other.get_int("n") == point.get_int("n") &&
+            other.get_real("think_ms") == point.get_real("think_ms") &&
+            other.get_size("warmup") == point.get_size("warmup") &&
+            other.get_size("instances") == point.get_size("instances") &&
+            results[q].stats.delivered_per_s > 0) {
+          vs_one = Value{stats.delivered_per_s / results[q].stats.delivered_per_s};
+        }
+      }
+      table.add_row({point.get_int("n"), point.get_int("clients"), point.get_real("think_ms"),
+                     stats.delivered_per_s, std::move(vs_one), latency_ci_cell(stats),
+                     stats.decided > 0 ? Value{stats.p95_latency_ms} : Value{},
+                     int_of(stats.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec crash_under_load_spec() {
+  ScenarioSpec spec;
+  spec.name = "crash_under_load";
+  spec.description = "Open-loop stream with a crash + warm restart of host 0 mid-stream";
+  spec.notes =
+      "Host 0 coordinates round 1 of every instance, so its downtime shows\n"
+      "as a latency transient: the instances in flight at the crash pay the\n"
+      "full detection delay (~Th + T + tick), later during-window instances\n"
+      "only the round-2 detour, and the stream returns to the before-phase\n"
+      "baseline once the warm restart re-earns trust. Unlike the isolated\n"
+      "crash_recovery_latency runs, arrivals keep coming during the outage,\n"
+      "so the backlog drains through contention after recovery.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
+                                ParamAxis::reals("downtime_ms", {20, 60, 150}),
+                                ParamAxis::reals("offered_per_s", {200})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"downtime_ms", ColumnType::kReal},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"before_ms", ColumnType::kMeanCI},
+                  {"during_ms", ColumnType::kMeanCI},
+                  {"after_ms", ColumnType::kMeanCI},
+                  {"during_execs", ColumnType::kInt},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    // Plans stay alive across the fan-out; one per grid point (an explicit
+    // --fault-plan replaces them all).
+    std::vector<faults::FaultPlan> plans;
+    std::vector<WorkloadSpec> streams;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      // Strike 40% into the measured window, where the stream is past its
+      // warm-up and still leaves room for the after-phase baseline.
+      const double strike_ms =
+          stream.start_ms + 1000.0 *
+                                (static_cast<double>(stream.warmup) +
+                                 0.4 * static_cast<double>(stream.measured)) /
+                                stream.offered_per_s;
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+      } else {
+        plans.push_back(faults::FaultPlan{}.add(
+            faults::FaultPlan::crash_recover(0, strike_ms, point.get_real("downtime_ms"))));
+      }
+      streams.push_back(stream);
+    }
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = ctx.timers;
+      cfg.heartbeat_timeout_ms = kFaultTimeoutMs;
+      cfg.fault_plan = &plans[p];
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      return run_workload(cfg, streams[p]);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto [start_ms, end_ms] = fold_window(plans[p]);
+      const PhasedWorkload phases = split_workload_by_window(results[p], start_ms, end_ms);
+      const std::size_t undecided =
+          phases.before.undecided + phases.during.undecided + phases.after.undecided;
+      table.add_row({point.get_int("n"), point.get_real("downtime_ms"),
+                     point.get_real("offered_per_s"), phase_ci(phases.before),
+                     phase_ci(phases.during), phase_ci(phases.after),
+                     int_of(phases.during.latencies_ms.size() + phases.during.undecided),
+                     int_of(undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+SANPERF_REGISTER_SCENARIO(load_latency_sweep_spec);
+SANPERF_REGISTER_SCENARIO(closed_loop_clients_spec);
+SANPERF_REGISTER_SCENARIO(crash_under_load_spec);
 
 // The fault scenarios self-register next to builtin() (same translation
 // unit, so any registry user links them in): the satellite registration

@@ -1,0 +1,348 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+#include "consensus/ct_consensus.hpp"
+#include "consensus/mr_consensus.hpp"
+#include "core/exec_harness.hpp"
+#include "faults/injector.hpp"
+#include "fd/failure_detector.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "runtime/cluster.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/ecdf.hpp"
+
+namespace sanperf::core {
+
+const char* to_string(ArrivalProcess arrivals) {
+  switch (arrivals) {
+    case ArrivalProcess::kBurst: return "burst";
+    case ArrivalProcess::kOpenLoop: return "open-loop";
+    case ArrivalProcess::kClosedLoop: return "closed-loop";
+  }
+  return "?";
+}
+
+MeasuredLatency WorkloadResult::measured_latency() const {
+  MeasuredLatency out;
+  for (std::size_t k = warmup; k < instances.size(); ++k) {
+    const InstanceRecord& rec = instances[k];
+    if (rec.decided()) {
+      out.latencies_ms.push_back(*rec.latency_ms);
+      out.rounds.push_back(rec.rounds);
+    } else {
+      ++out.undecided;
+    }
+  }
+  return out;
+}
+
+WorkloadStats fold_workload_stats(const std::vector<InstanceRecord>& instances,
+                                  std::size_t warmup, std::size_t batches) {
+  WorkloadStats out;
+  if (instances.size() <= warmup) return out;
+  const std::size_t measured = instances.size() - warmup;
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, measured / std::max<std::size_t>(1, batches));
+
+  stats::BatchMeans lat_batches{batch_size};
+  stats::BatchMeans rate_batches{1};  // per-batch rates are the observations
+  std::vector<double> lats;
+  lats.reserve(measured);
+
+  const double first_start = instances[warmup].start_ms;  // streams launch in cid order
+  double last_start = first_start;
+  double last_decide = 0;
+  bool any_decided = false;
+  // Throughput batches close at the latest decision they contain; the
+  // window boundaries are monotone, so a batch that falls entirely inside
+  // a straggler's shadow (zero marginal window) rolls its count into the
+  // next rate sample instead of being dropped -- every delivery is
+  // attributed to exactly one sample and the samples tile the span.
+  double window_start = first_start;
+  double batch_max_decide = first_start;
+  std::size_t in_batch = 0;
+  std::size_t window_count = 0;
+
+  for (std::size_t k = warmup; k < instances.size(); ++k) {
+    const InstanceRecord& rec = instances[k];
+    last_start = std::max(last_start, rec.start_ms);
+    if (!rec.decided()) {
+      ++out.undecided;
+      continue;
+    }
+    const double lat = *rec.latency_ms;
+    lats.push_back(lat);
+    lat_batches.add(lat);
+    const double decide = rec.decide_ms();
+    last_decide = std::max(last_decide, decide);
+    any_decided = true;
+    batch_max_decide = std::max(batch_max_decide, decide);
+    if (++in_batch == batch_size) {
+      window_count += batch_size;
+      const double window = batch_max_decide - window_start;
+      if (window > 0) {
+        rate_batches.add(1000.0 * static_cast<double>(window_count) / window);
+        window_start = batch_max_decide;
+        window_count = 0;
+      }
+      in_batch = 0;
+    }
+  }
+
+  out.decided = lats.size();
+  out.latency_ci = lat_batches.batches() > 0 ? lat_batches.mean_ci(0.90)
+                                             : stats::summarize(lats).mean_ci(0.90);
+  out.throughput_ci = rate_batches.mean_ci(0.90);
+  if (!lats.empty()) {
+    out.mean_latency_ms = stats::summarize(lats).mean();
+    out.p95_latency_ms = stats::Ecdf{lats}.quantile(0.95);
+  }
+  if (any_decided) {
+    out.duration_ms = last_decide - first_start;
+    if (out.duration_ms > 0) {
+      out.delivered_per_s = 1000.0 * static_cast<double>(out.decided) / out.duration_ms;
+    }
+  }
+  if (measured > 1 && last_start > first_start) {
+    out.offered_per_s = 1000.0 * static_cast<double>(measured - 1) / (last_start - first_start);
+  }
+  return out;
+}
+
+PhasedWorkload split_workload_by_window(const WorkloadResult& result, double start_ms,
+                                        double end_ms) {
+  PhasedWorkload out;
+  // A window that never opens (start = inf) puts everything in "before".
+  const bool no_window = std::isinf(start_ms);
+  for (std::size_t k = result.warmup; k < result.instances.size(); ++k) {
+    const InstanceRecord& rec = result.instances[k];
+    MeasuredLatency* bucket = &out.during;
+    if (rec.start_ms >= end_ms) {
+      bucket = &out.after;
+    } else if (no_window || (rec.decided() && rec.decide_ms() < start_ms)) {
+      bucket = &out.before;  // over before the fault opened
+    }
+    if (rec.decided()) {
+      bucket->latencies_ms.push_back(*rec.latency_ms);
+      bucket->rounds.push_back(rec.rounds);
+    } else {
+      ++bucket->undecided;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename ConsensusLayer>
+WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
+  if (spec.measured == 0) throw std::invalid_argument{"run_workload: measured == 0"};
+  if (spec.arrivals == ArrivalProcess::kOpenLoop && !(spec.offered_per_s > 0)) {
+    throw std::invalid_argument{"run_workload: open loop needs offered_per_s > 0"};
+  }
+  const std::size_t total = spec.warmup + spec.measured;
+
+  // The persistent cluster: built once, serving the whole stream.
+  runtime::ClusterConfig ccfg;
+  ccfg.n = cfg.n;
+  ccfg.network = cfg.network;
+  ccfg.timers = cfg.timers;
+  ccfg.seed = cfg.seed;
+  runtime::Cluster cluster{ccfg};
+  std::optional<faults::FaultInjector> injector;
+  if (cfg.fault_plan != nullptr) injector.emplace(cluster, *cfg.fault_plan);
+
+  std::set<runtime::HostId> suspected;
+  if (cfg.fault_plan != nullptr) {
+    for (const faults::HostId h : cfg.fault_plan->initially_down()) suspected.insert(h);
+  }
+  if (cfg.initially_crashed >= 0) {
+    suspected.insert(static_cast<runtime::HostId>(cfg.initially_crashed));
+  }
+
+  struct Slot {
+    des::TimePoint start;
+    std::optional<des::TimePoint> decided_at;
+    std::int32_t rounds = 0;
+    bool closed = false;  ///< first decision or give-up already handled
+  };
+  std::vector<Slot> slots(total);
+  std::size_t closed = 0;
+  std::int32_t next_cid = 0;
+  // Closed-loop continuation, installed below; null for the other modes.
+  std::function<void(std::int32_t)> on_closed;
+
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
+    auto& proc = cluster.process(pid);
+    fd::FailureDetector* fd_layer = nullptr;
+    if (cfg.heartbeat_timeout_ms) {
+      fd_layer = &proc.add_layer<fd::HeartbeatFd>(
+          fd::HeartbeatFdParams::from_timeout_ms(*cfg.heartbeat_timeout_ms));
+    } else {
+      fd_layer = &proc.add_layer<fd::StaticFd>(suspected);
+    }
+    auto& cons = proc.add_layer<ConsensusLayer>(*fd_layer);
+    cons.set_gc_decided(true);  // memory bounded by the in-flight window
+    cons.set_decide_callback([&slots, &closed, &on_closed](const consensus::DecisionEvent& ev) {
+      if (ev.cid < 0 || static_cast<std::size_t>(ev.cid) >= slots.size()) return;
+      Slot& slot = slots[static_cast<std::size_t>(ev.cid)];
+      if (slot.closed) return;
+      // Simulated time is monotone, so the first callback carries the
+      // globally first decision of the instance.
+      slot.closed = true;
+      slot.decided_at = ev.at;
+      slot.rounds = ev.round;
+      ++closed;
+      if (on_closed) on_closed(ev.cid);
+    });
+  }
+  if (injector) injector->arm();
+  if (cfg.initially_crashed >= 0) {
+    cluster.crash_initially(static_cast<runtime::HostId>(cfg.initially_crashed));
+  }
+
+  auto skew_rng = cluster.rng_stream("ntp-skew");
+  auto arrival_rng = cluster.rng_stream("arrivals");
+  des::Simulator& sim = cluster.sim();
+
+  // Launches instance `cid` at the current simulated time: every process
+  // draws its NTP skew now, and liveness is checked when the propose fires
+  // (exactly like the class-3 sequencer, so a host recovering in between
+  // takes part).
+  auto launch = [&](std::int32_t cid) {
+    Slot& slot = slots[static_cast<std::size_t>(cid)];
+    slot.start = sim.now();
+    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
+      auto& proc = cluster.process(pid);
+      const double skew = skew_rng.uniform(-spec.ntp_skew_ms, spec.ntp_skew_ms);
+      const des::TimePoint start = slot.start + des::Duration::from_ms(std::max(0.0, skew));
+      sim.schedule_at(start, [&proc, cid] {
+        if (!proc.crashed()) {
+          proc.layer<ConsensusLayer>().propose(cid, 1000 + proc.id());
+        }
+      });
+    }
+    sim.schedule_at(slot.start + des::Duration::from_ms(spec.instance_timeout_ms),
+                    [&slots, &closed, &on_closed, cid] {
+                      Slot& s = slots[static_cast<std::size_t>(cid)];
+                      if (s.closed) return;
+                      s.closed = true;  // give up: undecided
+                      ++closed;
+                      if (on_closed) on_closed(cid);
+                    });
+  };
+
+  const des::TimePoint stream_start =
+      des::TimePoint::origin() + des::Duration::from_ms(spec.start_ms);
+  double deadline_slack_ms = 0;  // mean inter-arrival headroom for open loop
+
+  // Arrivals are scheduled rolling (each one chains the next), so the event
+  // queue holds O(in-flight) entries, never the whole stream.
+  std::function<void()> fire;
+  switch (spec.arrivals) {
+    case ArrivalProcess::kBurst:
+      fire = [&] {
+        launch(next_cid++);
+        if (next_cid < static_cast<std::int32_t>(total)) {
+          sim.schedule(des::Duration::from_ms(spec.separation_ms), fire);
+        }
+      };
+      sim.schedule_at(stream_start, fire);
+      break;
+
+    case ArrivalProcess::kOpenLoop: {
+      const double mean_ms = 1000.0 / spec.offered_per_s;
+      deadline_slack_ms = mean_ms;
+      fire = [&, mean_ms] {
+        launch(next_cid++);
+        if (next_cid < static_cast<std::int32_t>(total)) {
+          sim.schedule(des::Duration::from_ms(arrival_rng.exponential_mean(mean_ms)), fire);
+        }
+      };
+      sim.schedule_at(stream_start + des::Duration::from_ms(arrival_rng.exponential_mean(mean_ms)),
+                      fire);
+      break;
+    }
+
+    case ArrivalProcess::kClosedLoop: {
+      const std::size_t clients = std::max<std::size_t>(1, spec.clients);
+      on_closed = [&](std::int32_t) {
+        // The client whose instance just closed thinks, then issues the
+        // next instance of the stream.
+        if (next_cid >= static_cast<std::int32_t>(total)) return;
+        const std::int32_t next = next_cid++;
+        sim.schedule(des::Duration::from_ms(spec.think_ms), [&launch, next] { launch(next); });
+      };
+      sim.schedule_at(stream_start, [&, clients] {
+        for (std::size_t c = 0; c < clients && next_cid < static_cast<std::int32_t>(total);
+             ++c) {
+          launch(next_cid++);
+        }
+      });
+      break;
+    }
+  }
+
+  // Safety net only: every launched instance closes by its give-up
+  // deadline and every arrival process keeps launching, so the predicate
+  // fires long before this.
+  const double per_instance_ms =
+      spec.instance_timeout_ms + spec.separation_ms + spec.think_ms + deadline_slack_ms + 1.0;
+  const des::TimePoint far_deadline =
+      stream_start +
+      des::Duration::from_ms(4.0 * static_cast<double>(total) * per_instance_ms + 10'000.0);
+  cluster.run_until([&] { return closed >= total; }, far_deadline);
+
+  WorkloadResult out;
+  out.warmup = spec.warmup;
+  out.instances.reserve(total);
+  for (std::size_t k = 0; k < total; ++k) {
+    InstanceRecord rec;
+    rec.cid = static_cast<std::int32_t>(k);
+    rec.start_ms = slots[k].start.to_ms();
+    if (slots[k].decided_at) {
+      rec.latency_ms = (*slots[k].decided_at - slots[k].start).to_ms();
+      rec.rounds = slots[k].rounds;
+    }
+    out.instances.push_back(rec);
+  }
+  out.stats = fold_workload_stats(out.instances, spec.warmup, spec.batches);
+  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
+    const auto& cons = cluster.process(pid).layer<ConsensusLayer>();
+    out.peak_active_instances = std::max(out.peak_active_instances,
+                                         cons.peak_active_instances());
+    out.instances_collected += cons.instances_collected();
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkloadResult run_workload(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
+  switch (cfg.algorithm) {
+    case Algorithm::kChandraToueg:
+      return run_stream<consensus::CtConsensus>(cfg, spec);
+    case Algorithm::kMostefaouiRaynal:
+      return run_stream<consensus::MrConsensus>(cfg, spec);
+  }
+  throw std::invalid_argument{"run_workload: unknown algorithm"};
+}
+
+ExecOutcome run_one_shot(const WorkloadConfig& cfg, std::size_t k, std::uint64_t exec_seed) {
+  switch (cfg.algorithm) {
+    case Algorithm::kChandraToueg:
+      return detail::run_one_consensus_execution<consensus::CtConsensus>(
+          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan);
+    case Algorithm::kMostefaouiRaynal:
+      return detail::run_one_consensus_execution<consensus::MrConsensus>(
+          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan);
+  }
+  throw std::invalid_argument{"run_one_shot: unknown algorithm"};
+}
+
+}  // namespace sanperf::core

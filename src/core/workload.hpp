@@ -1,0 +1,151 @@
+// The steady-state workload engine: a persistent emulated cluster serving
+// a *stream* of consensus instances under an offered load.
+//
+// Every earlier harness in this repository built a fresh cluster, ran one
+// consensus instance and tore everything down, so "load" could only mean
+// back-to-back isolated runs. Here a declarative WorkloadSpec -- open-loop
+// Poisson arrivals, closed-loop clients with think time, or a fixed burst
+// -- drives one long-lived cluster through warmup + measured instances.
+// The consensus layers multiplex the instances (instance id in every
+// message, per-instance round state) and garbage-collect decided ones, so
+// memory stays bounded by the in-flight window, not the stream length.
+// Statistics use warm-up truncation and stats::BatchMeans confidence
+// intervals (consecutive instances share the cluster and correlate).
+//
+// run_one_shot is the same engine degenerated to a single instance on a
+// fresh cluster: byte-identical to the historic class-1/2 harness, so the
+// legacy signatures (core::run_latency_execution, run_latency_execution_with,
+// faults::run_fault_execution) are thin wrappers over it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"       // Algorithm
+#include "core/measurement.hpp"  // ExecOutcome, MeasuredLatency
+#include "faults/plan.hpp"
+#include "net/params.hpp"
+#include "stats/summary.hpp"
+
+namespace sanperf::core {
+
+/// The emulated system a workload runs against: cluster size, network and
+/// timer models, consensus algorithm, failure detection, and faults.
+struct WorkloadConfig {
+  std::size_t n = 3;
+  net::NetworkParams network = net::NetworkParams::defaults();
+  net::TimerModel timers = net::TimerModel::defaults();
+  Algorithm algorithm = Algorithm::kChandraToueg;
+  /// Live heartbeat detection (timeout T, Th = 0.7 T) when set; otherwise a
+  /// static complete-and-accurate detector pre-suspecting the hosts down at
+  /// the start. run_one_shot always uses the static detector (the legacy
+  /// class-1/2 harness contract).
+  std::optional<double> heartbeat_timeout_ms;
+  /// Host crashed before the stream starts (-1 none).
+  int initially_crashed = -1;
+  /// Optional declarative fault schedule replayed on the cluster; must
+  /// outlive the run.
+  const faults::FaultPlan* fault_plan = nullptr;
+  std::uint64_t seed = 1;
+};
+
+/// How instances arrive at the cluster.
+enum class ArrivalProcess {
+  kBurst,       ///< fixed grid: instance k starts at k * separation_ms
+  kOpenLoop,    ///< Poisson arrivals at offered_per_s, ignoring completions
+  kClosedLoop,  ///< `clients` clients: propose, await decision, think, repeat
+};
+
+[[nodiscard]] const char* to_string(ArrivalProcess arrivals);
+
+/// A declarative stream of consensus instances.
+struct WorkloadSpec {
+  ArrivalProcess arrivals = ArrivalProcess::kBurst;
+  /// Leading instances excluded from every statistic (warm-up truncation).
+  std::size_t warmup = 0;
+  /// Instances the statistics cover; warmup + measured are run in total.
+  std::size_t measured = 100;
+  double offered_per_s = 100.0;  ///< open-loop Poisson arrival rate
+  std::size_t clients = 1;       ///< closed-loop concurrent clients
+  double think_ms = 0.0;         ///< closed-loop pause between decision and next propose
+  double separation_ms = 0.0;    ///< burst inter-start gap (0 = one simultaneous burst)
+  /// Stream start (leaves heartbeat detectors time to settle).
+  double start_ms = 10.0;
+  /// Half-width of the per-process NTP start-time window (paper: +-50 us).
+  double ntp_skew_ms = 0.05;
+  /// Give-up deadline per instance; an instance that cannot decide (e.g. a
+  /// majority lost to faults) closes as undecided and, in closed loop,
+  /// releases its client.
+  double instance_timeout_ms = 5000.0;
+  /// Batch-means batches the measured instances are grouped into.
+  std::size_t batches = 20;
+};
+
+/// One instance of the stream, in cid order.
+struct InstanceRecord {
+  std::int32_t cid = 0;
+  double start_ms = 0;               ///< nominal common start (arrival)
+  std::optional<double> latency_ms;  ///< first decision - start; empty = undecided
+  std::int32_t rounds = 0;           ///< rounds used by the first decider
+
+  [[nodiscard]] bool decided() const { return latency_ms.has_value(); }
+  [[nodiscard]] double decide_ms() const { return start_ms + *latency_ms; }
+};
+
+/// Steady-state statistics over the measured window (warm-up truncated).
+struct WorkloadStats {
+  /// Batch-means CI over per-instance latency, in cid order. Falls back to
+  /// a plain summary CI when fewer than one full batch decided.
+  stats::MeanCI latency_ci;
+  /// Batch-means CI over per-batch delivered rates (instances / batch
+  /// window).
+  stats::MeanCI throughput_ci;
+  double mean_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double offered_per_s = 0;    ///< realised arrival rate over the measured window
+  double delivered_per_s = 0;  ///< decided instances per second of measured window
+  double duration_ms = 0;      ///< first measured arrival to last measured decision
+  std::size_t decided = 0;
+  std::size_t undecided = 0;
+};
+
+struct WorkloadResult {
+  std::vector<InstanceRecord> instances;  ///< warm-up first, then measured
+  std::size_t warmup = 0;
+  WorkloadStats stats;
+  /// Max per-process concurrently retained instances (the GC bound).
+  std::size_t peak_active_instances = 0;
+  /// Decided instances garbage-collected, summed over processes.
+  std::uint64_t instances_collected = 0;
+
+  /// Measured-window latencies in the campaign-facing shape.
+  [[nodiscard]] MeasuredLatency measured_latency() const;
+};
+
+/// Runs `spec` against one persistent cluster described by `cfg`.
+[[nodiscard]] WorkloadResult run_workload(const WorkloadConfig& cfg, const WorkloadSpec& spec);
+
+/// One-shot mode: a single instance `k` on a fresh cluster seeded
+/// `exec_seed`, byte-identical to the historic class-1/2 harness (and to
+/// the fault harness when cfg.fault_plan is set). The legacy wrappers all
+/// route here.
+[[nodiscard]] ExecOutcome run_one_shot(const WorkloadConfig& cfg, std::size_t k,
+                                       std::uint64_t exec_seed);
+
+/// The pure statistics fold behind WorkloadResult.stats: warm-up
+/// truncation, batch-means CIs, realised offered/delivered rates.
+[[nodiscard]] WorkloadStats fold_workload_stats(const std::vector<InstanceRecord>& instances,
+                                                std::size_t warmup, std::size_t batches);
+
+/// Measured instances bucketed against a fault window [start_ms, end_ms):
+/// same semantics as faults::split_by_window ("after" starts at or past the
+/// window's end, "before" decided strictly earlier, the rest "during").
+struct PhasedWorkload {
+  MeasuredLatency before, during, after;
+};
+
+[[nodiscard]] PhasedWorkload split_workload_by_window(const WorkloadResult& result,
+                                                      double start_ms, double end_ms);
+
+}  // namespace sanperf::core

@@ -1,12 +1,10 @@
 #include "faults/experiments.hpp"
 
 #include <cmath>
-#include <optional>
-#include <set>
-#include <stdexcept>
 
 #include "consensus/ct_consensus.hpp"
 #include "consensus/mr_consensus.hpp"
+#include "core/workload.hpp"
 #include "faults/injector.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/heartbeat_fd.hpp"
@@ -14,82 +12,20 @@
 
 namespace sanperf::faults {
 
-namespace {
-
-/// The fault-injected twin of core::detail::run_one_consensus_execution:
-/// byte-for-byte the same harness (skew model, proposal schedule, decision
-/// capture, deadline) with the crash handling generalised to a plan. Keep
-/// the two in lockstep -- the degenerate-plan bit-identicality test in
-/// tests/faults_test.cpp enforces it.
-template <typename ConsensusLayer>
-core::ExecOutcome run_one_fault_execution(std::size_t n, const net::NetworkParams& params,
-                                          const net::TimerModel& timers, const FaultPlan& plan,
-                                          std::size_t k, std::uint64_t exec_seed) {
-  runtime::ClusterConfig cfg;
-  cfg.n = n;
-  cfg.network = params;
-  cfg.timers = timers;
-  cfg.seed = exec_seed;
-  runtime::Cluster cluster{cfg};
-  FaultInjector injector{cluster, plan};
-
-  std::set<runtime::HostId> suspected;
-  for (const HostId h : plan.initially_down()) suspected.insert(h);
-
-  std::optional<des::TimePoint> first_decide;
-  std::int32_t first_rounds = 0;
-  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-    auto& proc = cluster.process(pid);
-    auto& fd_layer = proc.add_layer<fd::StaticFd>(suspected);
-    auto& cons = proc.template add_layer<ConsensusLayer>(fd_layer);
-    cons.set_decide_callback([&](const consensus::DecisionEvent& ev) {
-      if (!first_decide || ev.at < *first_decide) {
-        first_decide = ev.at;
-        first_rounds = ev.round;
-      }
-    });
-  }
-  injector.arm();  // immediate crashes fire here, like crash_initially
-
-  // All correct processes propose at t0 (up to the emulated NTP skew).
-  const des::TimePoint t0 = des::TimePoint::origin() + des::Duration::from_ms(1.0);
-  auto skew_rng = cluster.rng_stream("ntp-skew");
-  for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(n); ++pid) {
-    auto& proc = cluster.process(pid);
-    if (proc.crashed()) continue;
-    const des::TimePoint start = t0 + des::Duration::from_ms(skew_rng.uniform(0.0, 0.05));
-    cluster.sim().schedule_at(start, [&proc, k] {
-      proc.template layer<ConsensusLayer>().propose(static_cast<std::int32_t>(k),
-                                                    1 + proc.id());
-    });
-  }
-
-  const des::TimePoint deadline = t0 + des::Duration::from_ms(1000.0);
-  cluster.run_until([&] { return first_decide.has_value(); }, deadline);
-
-  core::ExecOutcome out;
-  if (first_decide) {
-    out.latency_ms = (*first_decide - t0).to_ms();
-    out.rounds = first_rounds;
-  }
-  return out;
-}
-
-}  // namespace
-
 core::ExecOutcome run_fault_execution(core::Algorithm algorithm, std::size_t n,
                                       const net::NetworkParams& params,
                                       const net::TimerModel& timers, const FaultPlan& plan,
                                       std::size_t k, std::uint64_t exec_seed) {
-  switch (algorithm) {
-    case core::Algorithm::kChandraToueg:
-      return run_one_fault_execution<consensus::CtConsensus>(n, params, timers, plan, k,
-                                                             exec_seed);
-    case core::Algorithm::kMostefaouiRaynal:
-      return run_one_fault_execution<consensus::MrConsensus>(n, params, timers, plan, k,
-                                                             exec_seed);
-  }
-  throw std::invalid_argument{"run_fault_execution: unknown algorithm"};
+  // One shared harness for plain, comparative and fault-injected isolated
+  // executions (core/exec_harness.hpp behind core::run_one_shot): the skew
+  // model, proposal schedule, decision capture and deadline cannot diverge.
+  core::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.algorithm = algorithm;
+  cfg.fault_plan = &plan;
+  return core::run_one_shot(cfg, k, exec_seed);
 }
 
 core::MeasuredLatency measure_fault_latency(core::Algorithm algorithm, std::size_t n,

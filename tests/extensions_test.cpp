@@ -4,6 +4,7 @@
 
 #include "core/extensions.hpp"
 #include "core/measurement.hpp"
+#include "core/workload.hpp"
 #include "des/random.hpp"
 #include "san/model.hpp"
 #include "san/simulator.hpp"
@@ -126,32 +127,53 @@ TEST(RateRewardTest, ResetClearsIntegrals) {
 // Throughput
 // --------------------------------------------------------------------------
 
+namespace {
+
+/// The back-to-back throughput extension as the workload engine models it:
+/// one closed-loop client, zero think time, no warm-up.
+core::WorkloadResult back_to_back(std::size_t n, const net::NetworkParams& params,
+                                  std::size_t executions, std::uint64_t seed) {
+  core::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.network = params;
+  cfg.timers = net::TimerModel::ideal();
+  cfg.seed = seed;
+  core::WorkloadSpec stream;
+  stream.arrivals = core::ArrivalProcess::kClosedLoop;
+  stream.clients = 1;
+  stream.think_ms = 0;
+  stream.warmup = 0;
+  stream.measured = executions;
+  return core::run_workload(cfg, stream);
+}
+
+}  // namespace
+
 TEST(ThroughputTest, AllExecutionsDecideAndRatesAreConsistent) {
-  const auto res = core::measure_throughput(3, net::NetworkParams::defaults(),
-                                            net::TimerModel::ideal(), 100, 11);
-  EXPECT_EQ(res.undecided, 0u);
-  EXPECT_EQ(res.executions, 100u);
-  EXPECT_GT(res.per_second, 0);
+  const auto res = back_to_back(3, net::NetworkParams::defaults(), 100, 11);
+  EXPECT_EQ(res.stats.undecided, 0u);
+  EXPECT_EQ(res.stats.decided, 100u);
+  EXPECT_GT(res.stats.delivered_per_s, 0);
   // Rate x duration must reproduce the count.
-  EXPECT_NEAR(res.per_second * res.duration_ms / 1000.0, 100.0, 1.0);
+  EXPECT_NEAR(res.stats.delivered_per_s * res.stats.duration_ms / 1000.0, 100.0, 1.0);
 }
 
 TEST(ThroughputTest, BackToBackSlowerThanIsolated) {
   const auto params = net::NetworkParams::defaults();
   const auto isolated =
       core::measure_latency(5, params, net::TimerModel::ideal(), -1, 100, 12);
-  const auto b2b = core::measure_throughput(5, params, net::TimerModel::ideal(), 100, 12);
+  const auto b2b = back_to_back(5, params, 100, 12);
   // Interference between consecutive executions raises per-execution latency.
-  EXPECT_GT(b2b.latency_ci.mean, isolated.summary().mean() * 1.1);
+  EXPECT_GT(b2b.stats.latency_ci.mean, isolated.summary().mean() * 1.1);
   // ...and throughput must respect the isolated bound.
-  EXPECT_LT(b2b.per_second, 1000.0 / isolated.summary().mean());
+  EXPECT_LT(b2b.stats.delivered_per_s, 1000.0 / isolated.summary().mean());
 }
 
 TEST(ThroughputTest, ThroughputDecreasesWithN) {
   const auto params = net::NetworkParams::defaults();
-  const auto t3 = core::measure_throughput(3, params, net::TimerModel::ideal(), 80, 13);
-  const auto t7 = core::measure_throughput(7, params, net::TimerModel::ideal(), 80, 13);
-  EXPECT_GT(t3.per_second, t7.per_second);
+  const auto t3 = back_to_back(3, params, 80, 13);
+  const auto t7 = back_to_back(7, params, 80, 13);
+  EXPECT_GT(t3.stats.delivered_per_s, t7.stats.delivered_per_s);
 }
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,432 @@
+// Tests for the steady-state workload engine (core/workload.hpp): one-shot
+// vs legacy-harness bit-identicality, warm-up truncation / batch-means
+// folds, arrival processes, decided-instance garbage collection, and
+// 1-vs-4-thread determinism of the three registered load scenarios.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "consensus/ct_consensus.hpp"
+#include "consensus/sequencer.hpp"
+#include "core/campaign.hpp"
+#include "core/extensions.hpp"
+#include "core/measurement.hpp"
+#include "core/workload.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "runtime/cluster.hpp"
+
+namespace {
+
+using namespace sanperf;
+
+// --------------------------------------------------------------------------
+// One-shot mode == legacy harness
+// --------------------------------------------------------------------------
+
+TEST(OneShotTest, MatchesLegacyHarnessBitForBit) {
+  const auto params = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::ideal();
+  for (const int crashed : {-1, 0, 1}) {
+    for (std::uint64_t seed : {7ull, 91ull, 20020612ull}) {
+      core::WorkloadConfig cfg;
+      cfg.n = 5;
+      cfg.network = params;
+      cfg.timers = timers;
+      cfg.initially_crashed = crashed;
+      const auto engine = core::run_one_shot(cfg, 3, seed);
+      const auto legacy = core::run_latency_execution(5, params, timers, crashed, 3, seed);
+      ASSERT_EQ(engine.latency_ms.has_value(), legacy.latency_ms.has_value());
+      if (engine.latency_ms) {
+        EXPECT_EQ(*engine.latency_ms, *legacy.latency_ms);  // bit-identical
+        EXPECT_EQ(engine.rounds, legacy.rounds);
+      }
+    }
+  }
+}
+
+TEST(OneShotTest, AlgorithmDispatchMatchesComparativeWrapper) {
+  const auto params = net::NetworkParams::defaults();
+  const auto timers = net::TimerModel::ideal();
+  core::WorkloadConfig cfg;
+  cfg.n = 3;
+  cfg.network = params;
+  cfg.timers = timers;
+  cfg.algorithm = core::Algorithm::kMostefaouiRaynal;
+  const auto engine = core::run_one_shot(cfg, 0, 55);
+  const auto wrapper = core::run_latency_execution_with(core::Algorithm::kMostefaouiRaynal, 3,
+                                                        params, timers, -1, 0, 55);
+  ASSERT_TRUE(engine.latency_ms && wrapper.latency_ms);
+  EXPECT_EQ(*engine.latency_ms, *wrapper.latency_ms);
+}
+
+// --------------------------------------------------------------------------
+// Statistics fold: warm-up truncation and batch means
+// --------------------------------------------------------------------------
+
+core::InstanceRecord record(std::int32_t cid, double start_ms, double latency_ms) {
+  core::InstanceRecord rec;
+  rec.cid = cid;
+  rec.start_ms = start_ms;
+  if (latency_ms >= 0) rec.latency_ms = latency_ms;
+  return rec;
+}
+
+TEST(WorkloadStatsTest, WarmupInstancesAreTruncated) {
+  // 2 warm-up instances with huge latencies must not touch the statistics.
+  std::vector<core::InstanceRecord> recs;
+  recs.push_back(record(0, 0.0, 500.0));
+  recs.push_back(record(1, 1.0, 900.0));
+  for (int k = 0; k < 8; ++k) {
+    recs.push_back(record(2 + k, 2.0 + k, 1.0));
+  }
+  const auto stats = core::fold_workload_stats(recs, 2, 4);
+  EXPECT_EQ(stats.decided, 8u);
+  EXPECT_EQ(stats.undecided, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(stats.latency_ci.mean, 1.0);
+  // Measured window: starts at the first measured instance (t = 2), ends
+  // at the last decision (t = 9 + 1).
+  EXPECT_DOUBLE_EQ(stats.duration_ms, 8.0);
+  EXPECT_DOUBLE_EQ(stats.delivered_per_s, 1000.0);
+  // Realised arrival rate: 7 gaps over 7 ms.
+  EXPECT_DOUBLE_EQ(stats.offered_per_s, 1000.0);
+}
+
+TEST(WorkloadStatsTest, BatchMeansMatchManualBatching) {
+  // 8 measured instances, 4 batches of 2: batch means 1.5, 3.5, 5.5, 7.5.
+  std::vector<core::InstanceRecord> recs;
+  for (int k = 0; k < 8; ++k) {
+    recs.push_back(record(k, static_cast<double>(k), 1.0 + k));
+  }
+  const auto stats = core::fold_workload_stats(recs, 0, 4);
+  EXPECT_DOUBLE_EQ(stats.latency_ci.mean, 4.5);
+  EXPECT_EQ(stats.latency_ci.count, 4u);  // four completed batches
+  EXPECT_GT(stats.latency_ci.half_width, 0.0);
+}
+
+TEST(WorkloadStatsTest, UndecidedAreCountedNotAveraged) {
+  std::vector<core::InstanceRecord> recs;
+  recs.push_back(record(0, 0.0, 2.0));
+  recs.push_back(record(1, 1.0, -1));  // undecided
+  recs.push_back(record(2, 2.0, 4.0));
+  const auto stats = core::fold_workload_stats(recs, 0, 1);
+  EXPECT_EQ(stats.decided, 2u);
+  EXPECT_EQ(stats.undecided, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_latency_ms, 3.0);
+}
+
+TEST(WorkloadStatsTest, FallsBackToSummaryCiBelowOneBatch) {
+  // Batch size 5, only 3 decided: no completed batch, the CI must fall
+  // back to the plain summary instead of reporting mean 0.
+  std::vector<core::InstanceRecord> recs;
+  for (int k = 0; k < 10; ++k) {
+    recs.push_back(record(k, static_cast<double>(k), k < 3 ? 2.0 : -1));
+  }
+  const auto stats = core::fold_workload_stats(recs, 0, 2);
+  EXPECT_DOUBLE_EQ(stats.latency_ci.mean, 2.0);
+  EXPECT_EQ(stats.undecided, 7u);
+}
+
+TEST(WorkloadStatsTest, SplitByWindowBucketsLikeFaultFold) {
+  core::WorkloadResult result;
+  result.warmup = 1;
+  result.instances.push_back(record(0, 0.0, 1.0));    // warm-up: excluded
+  result.instances.push_back(record(1, 10.0, 1.0));   // decided before window
+  result.instances.push_back(record(2, 48.0, 10.0));  // in flight when it opened
+  result.instances.push_back(record(3, 60.0, 2.0));   // started inside
+  result.instances.push_back(record(4, 90.0, 1.0));   // after the window end
+  const auto phases = core::split_workload_by_window(result, 50.0, 80.0);
+  EXPECT_EQ(phases.before.latencies_ms.size(), 1u);
+  EXPECT_EQ(phases.during.latencies_ms.size(), 2u);
+  EXPECT_EQ(phases.after.latencies_ms.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Stream behaviour
+// --------------------------------------------------------------------------
+
+core::WorkloadConfig base_config(std::size_t n, std::uint64_t seed) {
+  core::WorkloadConfig cfg;
+  cfg.n = n;
+  cfg.network = net::NetworkParams::defaults();
+  cfg.timers = net::TimerModel::ideal();
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(WorkloadEngineTest, StreamsAreDeterministic) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 400;
+  spec.warmup = 5;
+  spec.measured = 60;
+  const auto a = core::run_workload(base_config(3, 42), spec);
+  const auto b = core::run_workload(base_config(3, 42), spec);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t k = 0; k < a.instances.size(); ++k) {
+    EXPECT_EQ(a.instances[k].start_ms, b.instances[k].start_ms);
+    ASSERT_EQ(a.instances[k].decided(), b.instances[k].decided());
+    if (a.instances[k].decided()) {
+      EXPECT_EQ(*a.instances[k].latency_ms, *b.instances[k].latency_ms);
+    }
+  }
+}
+
+TEST(WorkloadEngineTest, OpenLoopRealisesTheOfferedLoad) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 300;
+  spec.warmup = 10;
+  spec.measured = 150;
+  const auto res = core::run_workload(base_config(3, 7), spec);
+  EXPECT_EQ(res.stats.decided + res.stats.undecided, 150u);
+  // The realised Poisson rate fluctuates; 25% slack is generous and stable
+  // for the fixed seed.
+  EXPECT_NEAR(res.stats.offered_per_s, 300.0, 75.0);
+  EXPECT_GT(res.stats.delivered_per_s, 0.0);
+}
+
+TEST(WorkloadEngineTest, BurstSeparationKeepsInstancesIsolated) {
+  // A 10 ms separation reproduces sequencer-style isolation: latency must
+  // sit at the isolated baseline, far from the back-to-back regime.
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kBurst;
+  spec.separation_ms = 10.0;
+  spec.warmup = 0;
+  spec.measured = 50;
+  const auto stream = core::run_workload(base_config(3, 11), spec);
+  const auto isolated = core::measure_latency(3, net::NetworkParams::defaults(),
+                                              net::TimerModel::ideal(), -1, 50, 11);
+  EXPECT_EQ(stream.stats.undecided, 0u);
+  EXPECT_NEAR(stream.stats.mean_latency_ms, isolated.summary().mean(), 0.2);
+}
+
+TEST(WorkloadEngineTest, ClosedLoopLaunchesExactlyMeasuredInstances) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kClosedLoop;
+  spec.clients = 4;
+  spec.warmup = 8;
+  spec.measured = 100;
+  const auto res = core::run_workload(base_config(3, 5), spec);
+  EXPECT_EQ(res.instances.size(), 108u);
+  EXPECT_EQ(res.stats.decided, 100u);
+  EXPECT_EQ(res.stats.undecided, 0u);
+  // Instances launch in cid order.
+  for (std::size_t k = 1; k < res.instances.size(); ++k) {
+    EXPECT_GE(res.instances[k].start_ms, res.instances[k - 1].start_ms);
+  }
+}
+
+TEST(WorkloadEngineTest, MoreClientsDeliverMoreThanOneUpToSaturation) {
+  core::WorkloadSpec one;
+  one.arrivals = core::ArrivalProcess::kClosedLoop;
+  one.clients = 1;
+  one.warmup = 5;
+  one.measured = 80;
+  auto four = one;
+  four.clients = 4;
+  const auto r1 = core::run_workload(base_config(5, 9), one);
+  const auto r4 = core::run_workload(base_config(5, 9), four);
+  // Four clients raise per-instance latency (contention)...
+  EXPECT_GT(r4.stats.mean_latency_ms, r1.stats.mean_latency_ms);
+  // ...while delivered throughput stays within the [1x, 4x] envelope.
+  EXPECT_LT(r4.stats.delivered_per_s, 4.0 * r1.stats.delivered_per_s);
+}
+
+// --------------------------------------------------------------------------
+// Instance garbage collection
+// --------------------------------------------------------------------------
+
+TEST(WorkloadEngineTest, GcBoundsMemoryIndependentOfStreamLength) {
+  core::WorkloadSpec shorter;
+  shorter.arrivals = core::ArrivalProcess::kClosedLoop;
+  shorter.clients = 4;
+  shorter.warmup = 0;
+  shorter.measured = 150;
+  auto longer = shorter;
+  longer.measured = 1200;
+
+  const auto small = core::run_workload(base_config(3, 21), shorter);
+  const auto large = core::run_workload(base_config(3, 21), longer);
+
+  // Retained state is bounded by the in-flight window (clients + the
+  // deferred-sweep slack), nowhere near the stream length...
+  EXPECT_LE(large.peak_active_instances, 16u);
+  // ...and an 8x longer stream does not move the high-water mark.
+  EXPECT_LE(large.peak_active_instances, small.peak_active_instances + 4);
+  // Every process collected (nearly) every instance it decided.
+  EXPECT_GE(large.instances_collected, 3u * 1150u);
+}
+
+TEST(ConsensusGcTest, WatermarkSurvivesAMissedDecision) {
+  // A host that misses a decision outright (crashed while the cluster
+  // decided it) must not pin the watermark forever: past the bounded
+  // out-of-order window the gap is written off and memory stays flat.
+  consensus::detail::InstanceGc gc;
+  gc.enable(true);
+  std::map<std::int32_t, int> instances;
+  const auto decide = [&](std::int32_t cid) {
+    instances[cid] = 1;
+    gc.mark(cid);
+    gc.sweep(instances);
+  };
+  decide(0);
+  // cid 1 never decides locally but still holds live round state.
+  instances[1] = 1;
+  for (std::int32_t cid = 2; cid < 2000; ++cid) decide(cid);
+  EXPECT_LE(gc.out_of_order_size(), consensus::detail::InstanceGc::kMaxOutOfOrder);
+  EXPECT_GT(gc.floor(), 1);  // the gap was written off
+  EXPECT_TRUE(gc.collected(1500));
+  // The write-off also reaps the stranded never-decided entry: nothing
+  // below the watermark keeps state.
+  EXPECT_TRUE(instances.empty());
+}
+
+TEST(ConsensusGcTest, RestartClearedStateStillAdvancesTheWatermark) {
+  // mark() then a warm restart clears the instance map before the sweep:
+  // the decision must still be noted or the watermark stalls.
+  consensus::detail::InstanceGc gc;
+  gc.enable(true);
+  std::map<std::int32_t, int> instances;
+  instances[0] = 1;
+  gc.mark(0);
+  instances.clear();  // Layer::on_restart
+  gc.sweep(instances);
+  EXPECT_EQ(gc.floor(), 1);
+  EXPECT_TRUE(gc.collected(0));
+}
+
+TEST(ConsensusGcTest, CollectedInstancesStayDecidedAndIgnoreStaleTraffic) {
+  runtime::ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 17;
+  cfg.timers = net::TimerModel::ideal();
+  runtime::Cluster cluster{cfg};
+  for (runtime::HostId i = 0; i < 3; ++i) {
+    auto& proc = cluster.process(i);
+    auto& fd_layer = proc.add_layer<fd::StaticFd>();
+    auto& cons = proc.add_layer<consensus::CtConsensus>(fd_layer);
+    cons.set_gc_decided(true);
+  }
+  cluster.run_until(des::TimePoint::origin());
+  for (runtime::HostId i = 0; i < 3; ++i) {
+    cluster.process(i).layer<consensus::CtConsensus>().propose(0, 100 + i);
+  }
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(100));
+  auto& cons = cluster.process(0).layer<consensus::CtConsensus>();
+  // Trigger the deferred sweep with a fresh entry point, then check.
+  cluster.process(0).layer<consensus::CtConsensus>().propose(1, 200);
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(200));
+  EXPECT_TRUE(cons.has_decided(0));
+  EXPECT_GE(cons.instances_collected(), 1u);
+  EXPECT_LE(cons.active_instances(), 1u);  // instance 1 may already be swept
+  EXPECT_THROW((void)cons.decision(0), std::logic_error);  // state discarded
+}
+
+TEST(SequencerGcTest, GcDoesNotChangeSequencedResults) {
+  const auto run_once = [](bool gc) {
+    runtime::ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 77;
+    cfg.timers = net::TimerModel::defaults();
+    runtime::Cluster cluster{cfg};
+    const auto fd_params = fd::HeartbeatFdParams::from_timeout_ms(5.0);
+    for (runtime::HostId i = 0; i < 3; ++i) {
+      auto& proc = cluster.process(i);
+      auto& hb = proc.add_layer<fd::HeartbeatFd>(fd_params);
+      proc.add_layer<consensus::CtConsensus>(hb);
+    }
+    consensus::SequencerConfig seq_cfg;
+    seq_cfg.executions = 40;
+    seq_cfg.gc_decided = gc;
+    consensus::ConsensusSequencer seq{cluster, seq_cfg};
+    return seq.run();
+  };
+  const auto plain = run_once(false);
+  const auto gc = run_once(true);
+  ASSERT_EQ(plain.size(), gc.size());
+  for (std::size_t k = 0; k < plain.size(); ++k) {
+    ASSERT_EQ(plain[k].decided(), gc[k].decided());
+    if (plain[k].decided()) {
+      EXPECT_EQ(plain[k].latency_ms(), gc[k].latency_ms());  // bit-identical
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Registered scenarios: thread-count invariance
+// --------------------------------------------------------------------------
+
+std::string run_scenario_csv(const std::string& name, std::size_t threads,
+                             const std::map<std::string, std::string>& overrides) {
+  const auto& registry = core::CampaignRegistry::global();
+  core::ReplicationRunner runner{threads};
+  core::RunOptions options;
+  options.scale = core::Scale::quick();
+  options.runner = &runner;
+  options.axis_overrides = overrides;
+  const auto table = registry.run(name, options);
+  std::ostringstream csv;
+  table.write_csv(csv);
+  return csv.str();
+}
+
+TEST(WorkloadScenarioTest, LoadLatencySweepThreadCountInvariant) {
+  const std::map<std::string, std::string> overrides{
+      {"n", "3"}, {"offered_per_s", "300,900"}, {"instances", "60"}, {"warmup", "10"}};
+  EXPECT_EQ(run_scenario_csv("load_latency_sweep", 1, overrides),
+            run_scenario_csv("load_latency_sweep", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, ClosedLoopClientsThreadCountInvariant) {
+  const std::map<std::string, std::string> overrides{
+      {"n", "3"}, {"clients", "1,4"}, {"instances", "60"}, {"warmup", "10"}};
+  EXPECT_EQ(run_scenario_csv("closed_loop_clients", 1, overrides),
+            run_scenario_csv("closed_loop_clients", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, CrashUnderLoadThreadCountInvariant) {
+  const std::map<std::string, std::string> overrides{
+      {"n", "3"}, {"downtime_ms", "20,60"}, {"instances", "80"}, {"warmup", "10"}};
+  EXPECT_EQ(run_scenario_csv("crash_under_load", 1, overrides),
+            run_scenario_csv("crash_under_load", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, RestrictedGridReproducesFullGridSubset) {
+  // --set restrictions must reproduce the matching rows of the full grid
+  // bit for bit (restriction-stable per-point seeds).
+  const std::map<std::string, std::string> full{
+      {"n", "3"}, {"offered_per_s", "300,900"}, {"instances", "60"}, {"warmup", "10"}};
+  const std::map<std::string, std::string> restricted{
+      {"n", "3"}, {"offered_per_s", "900"}, {"instances", "60"}, {"warmup", "10"}};
+  const std::string full_csv = run_scenario_csv("load_latency_sweep", 2, full);
+  const std::string restricted_csv = run_scenario_csv("load_latency_sweep", 2, restricted);
+  // Every restricted row (beyond the two header lines) appears verbatim in
+  // the full output.
+  std::istringstream lines{restricted_csv};
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(lines, line)) {
+    if (++row <= 2 || line.empty()) continue;
+    EXPECT_NE(full_csv.find(line), std::string::npos) << line;
+  }
+}
+
+TEST(WorkloadScenarioTest, CrashUnderLoadShowsTheTransient) {
+  const auto& registry = core::CampaignRegistry::global();
+  core::RunOptions options;
+  options.scale = core::Scale::quick();
+  options.axis_overrides = {{"n", "3"}, {"downtime_ms", "20"}};
+  const auto table = registry.run("crash_under_load", options);
+  ASSERT_EQ(table.row_count(), 1u);
+  const auto& before = std::get<stats::MeanCI>(table.cell(0, 3));
+  const auto& during = std::get<stats::MeanCI>(table.cell(0, 4));
+  const auto& after = std::get<stats::MeanCI>(table.cell(0, 5));
+  // The detection delay dominates the short window; the stream returns to
+  // the baseline afterwards.
+  EXPECT_GT(during.mean, 2.0 * before.mean);
+  EXPECT_NEAR(after.mean, before.mean, 0.5 * before.mean);
+}
+
+}  // namespace
