@@ -1,6 +1,9 @@
 #include "consensus/ct_consensus.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "consensus/payload.hpp"
 
 namespace sanperf::consensus {
 
@@ -10,9 +13,13 @@ void CtConsensus::on_start() {
   fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
 }
 
-HostId CtConsensus::coordinator_of(std::int32_t round) const {
-  // Rounds are 1-based; p_i coordinates rounds kn + i (Section 2.1).
-  return static_cast<HostId>((round - 1) % static_cast<std::int32_t>(process().n()));
+HostId CtConsensus::coordinator_of(std::int32_t cid, std::int32_t round) const {
+  // Rounds are 1-based; p_i coordinates rounds kn + i (Section 2.1). With
+  // rotation on, the cycle is offset per instance so round 1 of instance
+  // cid starts at p_{cid mod n} rather than always p_0.
+  const auto n = static_cast<std::int32_t>(process().n());
+  const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
+  return static_cast<HostId>((offset + round - 1) % n);
 }
 
 std::int32_t CtConsensus::majority() const {
@@ -20,6 +27,10 @@ std::int32_t CtConsensus::majority() const {
 }
 
 void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
+  propose(cid, std::vector<std::int64_t>{value});
+}
+
+void CtConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
   gc_.sweep(instances_);
   if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
@@ -29,11 +40,13 @@ void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
     // A decision arrived before we proposed (possible with very skewed
     // starts): report it now.
     if (on_decide_) {
-      on_decide_({cid, inst.decision, inst.decision_round, process().now(), process().id()});
+      const std::int64_t head = inst.decision.empty() ? 0 : inst.decision.front();
+      on_decide_({cid, head, inst.decision_round, process().now(), process().id(),
+                  inst.decision});
     }
     return;
   }
-  inst.estimate = value;
+  inst.estimate = std::move(values);
   inst.ts = 0;
   advance_round(cid, inst);
 }
@@ -42,7 +55,7 @@ void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
   ++inst.round;
   ++stats_.rounds_entered;
   const std::int32_t r = inst.round;
-  const HostId coord = coordinator_of(r);
+  const HostId coord = coordinator_of(cid, r);
 
   if (coord == process().id()) {
     // Phase 2: collect a majority of estimates (including our own).
@@ -61,7 +74,7 @@ void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
   est.kind = MsgKind::kEstimate;
   est.cid = cid;
   est.round = r;
-  est.value = inst.estimate;
+  detail::set_payload(est, inst.estimate);
   est.ts = inst.ts;
   process().send(est, coord);
   ++stats_.estimates_sent;
@@ -83,7 +96,7 @@ void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
 }
 
 void CtConsensus::record_estimate(std::int32_t cid, Instance& inst, std::int32_t round,
-                                  std::int64_t value, std::int32_t ts) {
+                                  const std::vector<std::int64_t>& value, std::int32_t ts) {
   inst.ests[round].add(value, ts);
   maybe_propose(cid, inst);
 }
@@ -105,7 +118,7 @@ void CtConsensus::maybe_propose(std::int32_t cid, Instance& inst) {
   prop.kind = MsgKind::kPropose;
   prop.cid = cid;
   prop.round = r;
-  prop.value = inst.estimate;
+  detail::set_payload(prop, inst.estimate);
   process().broadcast(prop);
 
   maybe_conclude_round(cid, inst);  // n = 1-majority corner and stray nacks
@@ -114,13 +127,13 @@ void CtConsensus::maybe_propose(std::int32_t cid, Instance& inst) {
 void CtConsensus::handle_proposal(std::int32_t cid, Instance& inst, const Message& m) {
   // Phase 3, positive branch: adopt and ack, then move on immediately
   // (the decision, if any, arrives via the DECIDE broadcast).
-  inst.estimate = m.value;
+  inst.estimate = detail::payload_of(m);
   inst.ts = m.round;
   Message ack;
   ack.kind = MsgKind::kAck;
   ack.cid = cid;
   ack.round = m.round;
-  process().send(ack, coordinator_of(m.round));
+  process().send(ack, coordinator_of(cid, m.round));
   ++stats_.acks_sent;
   advance_round(cid, inst);
 }
@@ -131,7 +144,7 @@ void CtConsensus::send_nack(std::int32_t cid, Instance& inst) {
   nack.kind = MsgKind::kNack;
   nack.cid = cid;
   nack.round = inst.round;
-  process().send(nack, coordinator_of(inst.round));
+  process().send(nack, coordinator_of(cid, inst.round));
   ++stats_.nacks_sent;
   advance_round(cid, inst);
 }
@@ -156,7 +169,7 @@ void CtConsensus::maybe_conclude_round(std::int32_t cid, Instance& inst) {
   }
 }
 
-void CtConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
+void CtConsensus::decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
                          std::int32_t round) {
   if (inst.decided) return;
   inst.decided = true;
@@ -164,7 +177,8 @@ void CtConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
   inst.decision_round = round;
   inst.phase = Phase::kDone;
   if (on_decide_ && inst.started) {
-    on_decide_({cid, value, round, process().now(), process().id()});
+    const std::int64_t head = value.empty() ? 0 : value.front();
+    on_decide_({cid, head, round, process().now(), process().id(), value});
   }
   if (!inst.decide_broadcast) {
     inst.decide_broadcast = true;
@@ -172,7 +186,7 @@ void CtConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
     dec.kind = MsgKind::kDecide;
     dec.cid = cid;
     dec.round = round;
-    dec.value = value;
+    detail::set_payload(dec, value);
     process().broadcast(dec);
   }
   gc_.mark(cid);  // terminal: collected at the next entry-point sweep
@@ -197,7 +211,7 @@ void CtConsensus::on_message(const Message& m) {
 
   switch (m.kind) {
     case MsgKind::kEstimate:
-      record_estimate(m.cid, inst, m.round, m.value, m.ts);
+      record_estimate(m.cid, inst, m.round, detail::payload_of(m), m.ts);
       break;
 
     case MsgKind::kPropose:
@@ -221,7 +235,7 @@ void CtConsensus::on_message(const Message& m) {
 
     case MsgKind::kDecide:
       inst.decide_broadcast = !relay_decide_;  // suppress re-broadcast unless relaying
-      decide(m.cid, inst, m.value, m.round);
+      decide(m.cid, inst, detail::payload_of(m), m.round);
       break;
 
     default:
@@ -235,7 +249,7 @@ void CtConsensus::on_suspicion(HostId peer, bool suspected) {
   // proposal from `peer`.
   for (auto& [cid, inst] : instances_) {
     if (inst.started && !inst.decided && inst.phase == Phase::kWaitProp &&
-        coordinator_of(inst.round) == peer) {
+        coordinator_of(cid, inst.round) == peer) {
       send_nack(cid, inst);
     }
   }
@@ -248,6 +262,11 @@ bool CtConsensus::has_decided(std::int32_t cid) const {
 }
 
 std::int64_t CtConsensus::decision(std::int32_t cid) const {
+  const std::vector<std::int64_t>& values = decision_values(cid);
+  return values.empty() ? 0 : values.front();
+}
+
+const std::vector<std::int64_t>& CtConsensus::decision_values(std::int32_t cid) const {
   const auto it = instances_.find(cid);
   if (it == instances_.end() || !it->second.decided) {
     throw std::logic_error{"CtConsensus: no decision yet"};

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "consensus/instance_gc.hpp"
 #include "fd/failure_detector.hpp"
@@ -34,10 +35,13 @@ using runtime::MsgKind;
 
 struct DecisionEvent {
   std::int32_t cid = 0;
-  std::int64_t value = 0;
+  std::int64_t value = 0;       ///< first decided value (scalar view)
   std::int32_t round = 0;       ///< round in which the decision was reached
   des::TimePoint at;
   HostId by = 0;
+  /// Full decided batch; one entry per client value the instance carried
+  /// (a single entry for unbatched proposals).
+  std::vector<std::int64_t> values;
 };
 
 class CtConsensus : public runtime::Layer {
@@ -55,6 +59,16 @@ class CtConsensus : public runtime::Layer {
 
   /// Starts instance `cid` with this process's initial value.
   void propose(std::int32_t cid, std::int64_t value);
+  /// Batched form: the instance carries a whole vector of client values
+  /// (one Batcher batch); agreement is on the vector as a unit.
+  void propose(std::int32_t cid, std::vector<std::int64_t> values);
+
+  /// Round-robins the *round-1* coordinator across instances (`cid % n`)
+  /// instead of always host 0, so a single host crash stalls only 1/n of a
+  /// streamed workload instead of every instance. Off by default: the
+  /// paper's experiments pin host 0 (Section 2.1 rotates only across
+  /// rounds), and the goldens depend on that.
+  void set_rotate_coordinators(bool on) { rotate_coordinators_ = on; }
 
   /// Aggregate protocol counters across all instances (diagnostics).
   struct Stats {
@@ -69,6 +83,7 @@ class CtConsensus : public runtime::Layer {
 
   [[nodiscard]] bool has_decided(std::int32_t cid) const;
   [[nodiscard]] std::int64_t decision(std::int32_t cid) const;
+  [[nodiscard]] const std::vector<std::int64_t>& decision_values(std::int32_t cid) const;
   [[nodiscard]] std::int32_t rounds_used(std::int32_t cid) const;
 
   /// Called on every local decision (first delivery per instance).
@@ -108,10 +123,10 @@ class CtConsensus : public runtime::Layer {
 
   struct EstimateSet {
     std::int32_t count = 0;   ///< estimates received (including the local one)
-    std::int64_t best_value = 0;
+    std::vector<std::int64_t> best_value;
     std::int32_t best_ts = -1;
 
-    void add(std::int64_t value, std::int32_t ts) {
+    void add(const std::vector<std::int64_t>& value, std::int32_t ts) {
       ++count;
       if (ts > best_ts) {
         best_ts = ts;
@@ -124,11 +139,11 @@ class CtConsensus : public runtime::Layer {
     bool started = false;
     bool decided = false;
     bool decide_broadcast = false;
-    std::int64_t decision = 0;
+    std::vector<std::int64_t> decision;
     std::int32_t decision_round = 0;
     std::int32_t round = 0;  ///< current round, 1-based; 0 before start
     Phase phase = Phase::kIdle;
-    std::int64_t estimate = 0;
+    std::vector<std::int64_t> estimate;
     std::int32_t ts = 0;
     std::map<std::int32_t, EstimateSet> ests;       // per round
     std::map<std::int32_t, std::int32_t> acks;      // per round (incl. own)
@@ -136,7 +151,7 @@ class CtConsensus : public runtime::Layer {
     std::map<std::int32_t, Message> buffered_props; // proposals for future rounds
   };
 
-  [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
+  [[nodiscard]] HostId coordinator_of(std::int32_t cid, std::int32_t round) const;
   [[nodiscard]] std::int32_t majority() const;
 
   Instance& instance(std::int32_t cid) {
@@ -145,12 +160,13 @@ class CtConsensus : public runtime::Layer {
     return inst;
   }
   void advance_round(std::int32_t cid, Instance& inst);
-  void record_estimate(std::int32_t cid, Instance& inst, std::int32_t round, std::int64_t value,
-                       std::int32_t ts);
+  void record_estimate(std::int32_t cid, Instance& inst, std::int32_t round,
+                       const std::vector<std::int64_t>& value, std::int32_t ts);
   void maybe_propose(std::int32_t cid, Instance& inst);
   void handle_proposal(std::int32_t cid, Instance& inst, const Message& m);
   void maybe_conclude_round(std::int32_t cid, Instance& inst);
-  void decide(std::int32_t cid, Instance& inst, std::int64_t value, std::int32_t round);
+  void decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
+              std::int32_t round);
   void send_nack(std::int32_t cid, Instance& inst);
   void on_suspicion(HostId peer, bool suspected);
 
@@ -161,6 +177,7 @@ class CtConsensus : public runtime::Layer {
   std::function<void(const DecisionEvent&)> on_decide_;
   Stats stats_;
   bool relay_decide_ = false;
+  bool rotate_coordinators_ = false;
 };
 
 }  // namespace sanperf::consensus

@@ -1,6 +1,9 @@
 #include "consensus/mr_consensus.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "consensus/payload.hpp"
 
 namespace sanperf::consensus {
 
@@ -10,8 +13,10 @@ void MrConsensus::on_start() {
   fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
 }
 
-HostId MrConsensus::coordinator_of(std::int32_t round) const {
-  return static_cast<HostId>((round - 1) % static_cast<std::int32_t>(process().n()));
+HostId MrConsensus::coordinator_of(std::int32_t cid, std::int32_t round) const {
+  const auto n = static_cast<std::int32_t>(process().n());
+  const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
+  return static_cast<HostId>((offset + round - 1) % n);
 }
 
 std::int32_t MrConsensus::majority() const {
@@ -19,6 +24,10 @@ std::int32_t MrConsensus::majority() const {
 }
 
 void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
+  propose(cid, std::vector<std::int64_t>{value});
+}
+
+void MrConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
   gc_.sweep(instances_);
   if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
@@ -26,11 +35,13 @@ void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
   inst.started = true;
   if (inst.decided) {
     if (on_decide_) {
-      on_decide_({cid, inst.decision, inst.decision_round, process().now(), process().id()});
+      const std::int64_t head = inst.decision.empty() ? 0 : inst.decision.front();
+      on_decide_({cid, head, inst.decision_round, process().now(), process().id(),
+                  inst.decision});
     }
     return;
   }
-  inst.estimate = value;
+  inst.estimate = std::move(values);
   advance_round(cid, inst);
 }
 
@@ -38,7 +49,7 @@ void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
   ++inst.round;
   ++stats_.rounds_entered;
   const std::int32_t r = inst.round;
-  const HostId coord = coordinator_of(r);
+  const HostId coord = coordinator_of(cid, r);
 
   if (coord == process().id()) {
     // Phase 1: broadcast the coordinator's estimate; it reaches ourselves
@@ -47,7 +58,7 @@ void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
     est.kind = MsgKind::kCoordEst;
     est.cid = cid;
     est.round = r;
-    est.value = inst.estimate;
+    detail::set_payload(est, inst.estimate);
     process().broadcast(est);
     ++stats_.coord_broadcasts;
     send_aux(cid, inst, /*bottom=*/false, inst.estimate);
@@ -62,19 +73,20 @@ void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
     return;
   }
   if (fd_->is_suspected(coord)) {
-    send_aux(cid, inst, /*bottom=*/true, 0);
+    send_aux(cid, inst, /*bottom=*/true, {});
     return;
   }
   inst.phase = Phase::kWaitCoord;
 }
 
-void MrConsensus::send_aux(std::int32_t cid, Instance& inst, bool bottom, std::int64_t value) {
+void MrConsensus::send_aux(std::int32_t cid, Instance& inst, bool bottom,
+                           const std::vector<std::int64_t>& value) {
   const std::int32_t r = inst.round;
   Message aux;
   aux.kind = MsgKind::kAux;
   aux.cid = cid;
   aux.round = r;
-  aux.value = value;
+  detail::set_payload(aux, value);
   aux.ts = bottom ? 1 : 0;  // ts doubles as the bottom flag
   process().broadcast(aux);
   ++stats_.aux_broadcasts;
@@ -107,7 +119,7 @@ void MrConsensus::maybe_conclude(std::int32_t cid, Instance& inst) {
   advance_round(cid, inst);
 }
 
-void MrConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
+void MrConsensus::decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
                          std::int32_t round) {
   if (inst.decided) return;
   inst.decided = true;
@@ -115,7 +127,8 @@ void MrConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
   inst.decision_round = round;
   inst.phase = Phase::kDone;
   if (on_decide_ && inst.started) {
-    on_decide_({cid, value, round, process().now(), process().id()});
+    const std::int64_t head = value.empty() ? 0 : value.front();
+    on_decide_({cid, head, round, process().now(), process().id(), value});
   }
   if (!inst.decide_broadcast) {
     inst.decide_broadcast = true;
@@ -123,7 +136,7 @@ void MrConsensus::decide(std::int32_t cid, Instance& inst, std::int64_t value,
     dec.kind = MsgKind::kDecide;
     dec.cid = cid;
     dec.round = round;
-    dec.value = value;
+    detail::set_payload(dec, value);
     process().broadcast(dec);
   }
   gc_.mark(cid);  // terminal: collected at the next entry-point sweep
@@ -140,9 +153,9 @@ void MrConsensus::on_message(const Message& m) {
 
   switch (m.kind) {
     case MsgKind::kCoordEst:
-      inst.coord_ests.emplace(m.round, m.value);
+      inst.coord_ests.emplace(m.round, detail::payload_of(m));
       if (inst.phase == Phase::kWaitCoord && m.round == inst.round) {
-        send_aux(m.cid, inst, /*bottom=*/false, m.value);
+        send_aux(m.cid, inst, /*bottom=*/false, detail::payload_of(m));
       }
       break;
 
@@ -152,7 +165,7 @@ void MrConsensus::on_message(const Message& m) {
         ++set.bottom_count;
       } else {
         ++set.value_count;
-        set.value = m.value;
+        set.value = detail::payload_of(m);
       }
       if (m.round == inst.round) maybe_conclude(m.cid, inst);
       break;
@@ -160,7 +173,7 @@ void MrConsensus::on_message(const Message& m) {
 
     case MsgKind::kDecide:
       inst.decide_broadcast = !relay_decide_;
-      decide(m.cid, inst, m.value, m.round);
+      decide(m.cid, inst, detail::payload_of(m), m.round);
       break;
 
     default:
@@ -172,8 +185,8 @@ void MrConsensus::on_suspicion(HostId peer, bool suspected) {
   if (!suspected) return;
   for (auto& [cid, inst] : instances_) {
     if (inst.started && !inst.decided && inst.phase == Phase::kWaitCoord &&
-        coordinator_of(inst.round) == peer) {
-      send_aux(cid, inst, /*bottom=*/true, 0);
+        coordinator_of(cid, inst.round) == peer) {
+      send_aux(cid, inst, /*bottom=*/true, {});
     }
   }
 }
@@ -185,6 +198,11 @@ bool MrConsensus::has_decided(std::int32_t cid) const {
 }
 
 std::int64_t MrConsensus::decision(std::int32_t cid) const {
+  const std::vector<std::int64_t>& values = decision_values(cid);
+  return values.empty() ? 0 : values.front();
+}
+
+const std::vector<std::int64_t>& MrConsensus::decision_values(std::int32_t cid) const {
   const auto it = instances_.find(cid);
   if (it == instances_.end() || !it->second.decided) {
     throw std::logic_error{"MrConsensus: no decision yet"};

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "consensus/ct_consensus.hpp"  // DecisionEvent, FailureDetector
 #include "consensus/instance_gc.hpp"
@@ -42,9 +43,16 @@ class MrConsensus : public runtime::Layer {
   void on_restart() override { instances_.clear(); }
 
   void propose(std::int32_t cid, std::int64_t value);
+  /// Batched form: the instance carries a whole vector of client values.
+  void propose(std::int32_t cid, std::vector<std::int64_t> values);
+
+  /// Per-instance round-1 coordinator rotation (`cid % n`); identical
+  /// contract to CtConsensus::set_rotate_coordinators. Off by default.
+  void set_rotate_coordinators(bool on) { rotate_coordinators_ = on; }
 
   [[nodiscard]] bool has_decided(std::int32_t cid) const;
   [[nodiscard]] std::int64_t decision(std::int32_t cid) const;
+  [[nodiscard]] const std::vector<std::int64_t>& decision_values(std::int32_t cid) const;
   [[nodiscard]] std::int32_t rounds_used(std::int32_t cid) const;
 
   void set_decide_callback(std::function<void(const DecisionEvent&)> cb) {
@@ -78,23 +86,23 @@ class MrConsensus : public runtime::Layer {
   struct AuxSet {
     std::int32_t value_count = 0;   ///< AUX carrying the coordinator value
     std::int32_t bottom_count = 0;  ///< AUX carrying bottom
-    std::int64_t value = 0;         ///< the (unique) non-bottom value seen
+    std::vector<std::int64_t> value;  ///< the (unique) non-bottom value seen
   };
 
   struct Instance {
     bool started = false;
     bool decided = false;
     bool decide_broadcast = false;
-    std::int64_t decision = 0;
+    std::vector<std::int64_t> decision;
     std::int32_t decision_round = 0;
     std::int32_t round = 0;
     Phase phase = Phase::kIdle;
-    std::int64_t estimate = 0;
-    std::map<std::int32_t, std::int64_t> coord_ests;  ///< buffered per round
-    std::map<std::int32_t, AuxSet> aux;               ///< per round
+    std::vector<std::int64_t> estimate;
+    std::map<std::int32_t, std::vector<std::int64_t>> coord_ests;  ///< buffered per round
+    std::map<std::int32_t, AuxSet> aux;                            ///< per round
   };
 
-  [[nodiscard]] HostId coordinator_of(std::int32_t round) const;
+  [[nodiscard]] HostId coordinator_of(std::int32_t cid, std::int32_t round) const;
   [[nodiscard]] std::int32_t majority() const;
 
   Instance& instance(std::int32_t cid) {
@@ -103,9 +111,11 @@ class MrConsensus : public runtime::Layer {
     return inst;
   }
   void advance_round(std::int32_t cid, Instance& inst);
-  void send_aux(std::int32_t cid, Instance& inst, bool bottom, std::int64_t value);
+  void send_aux(std::int32_t cid, Instance& inst, bool bottom,
+                const std::vector<std::int64_t>& value);
   void maybe_conclude(std::int32_t cid, Instance& inst);
-  void decide(std::int32_t cid, Instance& inst, std::int64_t value, std::int32_t round);
+  void decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
+              std::int32_t round);
   void on_suspicion(HostId peer, bool suspected);
 
   FailureDetector* fd_;
@@ -115,6 +125,7 @@ class MrConsensus : public runtime::Layer {
   std::function<void(const DecisionEvent&)> on_decide_;
   Stats stats_;
   bool relay_decide_ = false;
+  bool rotate_coordinators_ = false;
 };
 
 }  // namespace sanperf::consensus

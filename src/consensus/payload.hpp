@@ -1,0 +1,28 @@
+// Batched-payload helpers shared by the consensus layers.
+//
+// On the wire a consensus payload is a value *vector* (one entry per client
+// value the instance carries -- see consensus::Batcher); the scalar
+// Message::value mirrors the first entry so diagnostics and pre-batching
+// assertions keep working. The SAN model charges per frame regardless of
+// content, so a batch of 32 values costs exactly the messages a single
+// value does -- that is the whole amortisation argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/message.hpp"
+
+namespace sanperf::consensus::detail {
+
+inline void set_payload(runtime::Message& m, const std::vector<std::int64_t>& values) {
+  m.values = values;
+  m.value = values.empty() ? 0 : values.front();
+}
+
+[[nodiscard]] inline std::vector<std::int64_t> payload_of(const runtime::Message& m) {
+  if (!m.values.empty()) return m.values;
+  return {m.value};  // hand-built scalar message (tests, probes)
+}
+
+}  // namespace sanperf::consensus::detail

@@ -38,7 +38,28 @@ struct SequencerConfig {
   /// (see CtConsensus::set_gc_decided). Off by default: callers commonly
   /// query decisions after the run.
   bool gc_decided = false;
+  /// Rotate the round-1 coordinator per instance (`cid % n`) instead of
+  /// pinning host 0. Off by default: the paper's campaigns pin host 0 and
+  /// the goldens depend on it.
+  bool rotate_coordinators = false;
+  /// Maximum concurrently in-flight executions. 1 (the default) is the
+  /// paper's strictly isolated one-at-a-time driver, including the
+  /// settle-gap pushback; W > 1 keeps up to W instances open, launching on
+  /// the separation grid whenever a slot is free (no settle gap -- overlap
+  /// is the point).
+  std::size_t pipeline_window = 1;
 };
+
+/// The per-process NTP start offset: a symmetric window of half-width `w`
+/// realised as `w + uniform(-w, +w)`, i.e. every process starts inside
+/// [t0, t0 + 2w) with mean exactly w. Replaces the historic
+/// `max(0, uniform(-w, +w))` draw, which collapsed half the probability
+/// mass onto a point atom at zero and biased the realised skew spread.
+[[nodiscard]] inline des::Duration draw_ntp_start_offset(des::RandomEngine& rng,
+                                                         double half_width_ms) {
+  return des::Duration::from_ms(half_width_ms +
+                                rng.uniform(-half_width_ms, half_width_ms));
+}
 
 struct ExecutionResult {
   std::int32_t cid = 0;
@@ -85,6 +106,10 @@ std::vector<ExecutionResult> ConsensusSequencerT<ConsensusLayer>::run() {
     std::int32_t rounds = 0;
   };
   std::vector<FirstDecision> first(cfg_.executions);
+  // Pipelined bookkeeping: an execution is "open" from launch until its
+  // first decision or its give-up deadline, whichever comes first.
+  std::vector<bool> open(cfg_.executions, false);
+  std::size_t closed = 0;
 
   // Register on every process, crashed or not: a host down at arm time may
   // warm-restart mid-run (fault injection) and its decisions must count.
@@ -92,12 +117,18 @@ std::vector<ExecutionResult> ConsensusSequencerT<ConsensusLayer>::run() {
     auto& proc = cluster_->process(pid);
     auto& cons = proc.template layer<ConsensusLayer>();
     if (cfg_.gc_decided) cons.set_gc_decided(true);
-    cons.set_decide_callback([&first](const DecisionEvent& ev) {
+    cons.set_rotate_coordinators(cfg_.rotate_coordinators);
+    cons.set_decide_callback([&first, &open, &closed](const DecisionEvent& ev) {
       if (ev.cid < 0 || static_cast<std::size_t>(ev.cid) >= first.size()) return;
-      auto& slot = first[static_cast<std::size_t>(ev.cid)];
+      const auto k = static_cast<std::size_t>(ev.cid);
+      auto& slot = first[k];
       if (!slot.at || ev.at < *slot.at) {
         slot.at = ev.at;
         slot.rounds = ev.round;
+      }
+      if (open[k]) {
+        open[k] = false;
+        ++closed;
       }
     });
   }
@@ -105,45 +136,100 @@ std::vector<ExecutionResult> ConsensusSequencerT<ConsensusLayer>::run() {
   auto skew_rng = cluster_->rng_stream("ntp-skew");
   des::TimePoint next_start = cluster_->now() + cfg_.separation;
 
-  for (std::size_t k = 0; k < cfg_.executions; ++k) {
+  // Launches execution k at t0: every process's propose is scheduled inside
+  // the NTP window. Liveness is checked when the propose fires, not here --
+  // a host that warm-restarts between the scheduling instant and t0 must
+  // take part (it coordinates round 1 of every instance, and the others
+  // trust it again by then). Crash-free runs draw and schedule identically.
+  auto launch = [&](std::size_t k, des::TimePoint t0) {
     const auto cid = static_cast<std::int32_t>(k);
-    const des::TimePoint t0 = next_start;
-
-    // Schedule the proposes: each process starts within the NTP window.
-    // Liveness is checked when the propose fires, not here -- a host that
-    // warm-restarts between the scheduling instant and t0 must take part
-    // (it coordinates round 1 of every instance, and the others trust it
-    // again by then). Crash-free runs draw and schedule identically.
     for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cluster_->n()); ++pid) {
       auto& proc = cluster_->process(pid);
-      const double skew = skew_rng.uniform(-cfg_.ntp_skew.to_ms(), cfg_.ntp_skew.to_ms());
-      const des::TimePoint start = t0 + des::Duration::from_ms(std::max(0.0, skew));
+      const des::TimePoint start = t0 + draw_ntp_start_offset(skew_rng, cfg_.ntp_skew.to_ms());
       cluster_->sim().schedule_at(start, [&proc, cid] {
         if (!proc.crashed()) {
           proc.template layer<ConsensusLayer>().propose(cid, 1000 + proc.id());
         }
       });
     }
+  };
 
-    const des::TimePoint deadline = t0 + cfg_.instance_timeout;
-    cluster_->run_until([&] { return first[k].at.has_value(); }, deadline);
+  if (cfg_.pipeline_window <= 1) {
+    // The paper's driver: strictly one at a time, with the settle-gap
+    // pushback keeping slow executions isolated (footnote 2).
+    for (std::size_t k = 0; k < cfg_.executions; ++k) {
+      const des::TimePoint t0 = next_start;
+      launch(k, t0);
 
-    ExecutionResult res;
-    res.cid = cid;
-    res.t0 = t0;
-    res.t_decide = first[k].at;
-    res.rounds = first[k].rounds;
-    results.push_back(res);
+      const des::TimePoint deadline = t0 + cfg_.instance_timeout;
+      cluster_->run_until([&] { return first[k].at.has_value(); }, deadline);
 
-    // Next start: the configured separation, pushed back when a slow
-    // execution would otherwise overlap.
-    des::TimePoint earliest = t0 + cfg_.separation;
-    if (first[k].at) {
-      earliest = std::max(earliest, *first[k].at + cfg_.settle_gap);
-    } else {
-      earliest = std::max(earliest, cluster_->now() + cfg_.settle_gap);
+      ExecutionResult res;
+      res.cid = static_cast<std::int32_t>(k);
+      res.t0 = t0;
+      res.t_decide = first[k].at;
+      res.rounds = first[k].rounds;
+      results.push_back(res);
+
+      // Next start: the configured separation, pushed back when a slow
+      // execution would otherwise overlap.
+      des::TimePoint earliest = t0 + cfg_.separation;
+      if (first[k].at) {
+        earliest = std::max(earliest, *first[k].at + cfg_.settle_gap);
+      } else {
+        earliest = std::max(earliest, cluster_->now() + cfg_.settle_gap);
+      }
+      next_start = earliest;
     }
-    next_start = earliest;
+
+    experiment_end_ = cluster_->now();
+    return results;
+  }
+
+  // Pipelined driver: up to W executions in flight. Launches stay on the
+  // separation grid while a slot is free; when the window is full the next
+  // launch waits for a close. Skews are still drawn in execution order, so
+  // W = 2 with a wide separation replays the sequential schedule exactly.
+  const double span_ms = (cfg_.separation.to_ms() + cfg_.instance_timeout.to_ms() +
+                          cfg_.settle_gap.to_ms() + 1.0) *
+                         static_cast<double>(cfg_.executions + 1);
+  const des::TimePoint far_deadline = cluster_->now() + des::Duration::from_ms(span_ms);
+  std::vector<des::TimePoint> t0s(cfg_.executions);
+  std::vector<des::EventId> timeouts;
+  timeouts.reserve(cfg_.executions);
+
+  for (std::size_t k = 0; k < cfg_.executions; ++k) {
+    cluster_->run_until([&] { return k - closed < cfg_.pipeline_window; }, far_deadline);
+    const des::TimePoint t0 = std::max(next_start, cluster_->now());
+    t0s[k] = t0;
+    open[k] = true;
+    launch(k, t0);
+    // Give-up deadline: a stuck execution frees its window slot.
+    timeouts.push_back(
+        cluster_->sim().schedule_at(t0 + cfg_.instance_timeout, [&open, &closed, k] {
+          if (open[k]) {
+            open[k] = false;
+            ++closed;
+          }
+        }));
+    next_start = t0 + cfg_.separation;
+  }
+  cluster_->run_until([&] { return closed >= cfg_.executions; }, far_deadline);
+  // Outstanding give-up timers reference this frame's bookkeeping; drop
+  // them so a caller that keeps running the cluster never fires one.
+  for (const des::EventId id : timeouts) cluster_->sim().cancel(id);
+
+  for (std::size_t k = 0; k < cfg_.executions; ++k) {
+    ExecutionResult res;
+    res.cid = static_cast<std::int32_t>(k);
+    res.t0 = t0s[k];
+    // Only decisions inside the give-up deadline count, exactly like the
+    // sequential driver's run_until cut-off.
+    if (first[k].at && *first[k].at <= t0s[k] + cfg_.instance_timeout) {
+      res.t_decide = first[k].at;
+      res.rounds = first[k].rounds;
+    }
+    results.push_back(res);
   }
 
   experiment_end_ = cluster_->now();

@@ -17,6 +17,7 @@ Scale Scale::quick() {
   s.workload_instances = 120;
   s.offered_loads_per_s = {100, 300, 600, 900};
   s.client_counts = {1, 4, 16};
+  s.batch_sizes = {1, 4, 16, 32};
   s.name_ = "quick";
   return s;
 }
@@ -38,6 +39,8 @@ Scale Scale::full() {
   s.workload_instances = 2000;
   s.offered_loads_per_s = {50, 100, 200, 300, 400, 600, 800, 1000, 1200, 1500};
   s.client_counts = {1, 2, 4, 8, 16, 32};
+  s.batch_sizes = {1, 2, 4, 8, 16, 32, 64};
+  s.batch_offered_values_per_s = 4000.0;
   s.name_ = "full";
   return s;
 }

@@ -28,6 +28,16 @@ struct Scale {
   std::vector<double> offered_loads_per_s = {100, 200, 400, 600, 800, 1100};
   /// Closed-loop client-count grid.
   std::vector<std::size_t> client_counts = {1, 2, 4, 8, 16};
+  /// Batch-size grid for the batch_throughput_sweep (values per instance).
+  std::vector<std::size_t> batch_sizes = {1, 2, 4, 8, 16, 32};
+  /// Max-linger deadline paired with the batch sweep; large enough that
+  /// big batches actually fill at the offered rate, small enough to bound
+  /// per-value queueing delay.
+  double batch_linger_ms = 10.0;
+  /// Offered *value* rate for the batch sweep -- far past the unbatched
+  /// instance-rate knee (~376 inst/s at n = 5), so only batching can keep
+  /// up.
+  double batch_offered_values_per_s = 2500.0;
 
   [[nodiscard]] static Scale quick();
   [[nodiscard]] static Scale defaults();

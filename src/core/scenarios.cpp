@@ -920,6 +920,33 @@ Value latency_ci_cell(const WorkloadStats& stats) {
   return Value{stats.latency_ci};
 }
 
+Value value_latency_ci_cell(const ValueStats& stats) {
+  if (stats.decided == 0) return Value{};
+  return Value{stats.latency_ci};
+}
+
+ThinkTimeDist think_dist_of(const std::string& name) {
+  if (name == "fixed") return ThinkTimeDist::kFixed;
+  if (name == "exp") return ThinkTimeDist::kExp;
+  throw std::invalid_argument{"unknown think_dist: " + name + " (fixed|exp)"};
+}
+
+/// The batching/pipelining axes every workload scenario exposes:
+/// single-valued defaults reproduce the unbatched engine, --set sweeps
+/// them (e.g. --set batch_size=1,8,32).
+std::vector<ParamAxis> batching_axes(std::size_t batch_size, double linger_ms,
+                                     std::size_t pipeline_window) {
+  return {ParamAxis::sizes("batch_size", {batch_size}),
+          ParamAxis::reals("batch_linger_ms", {linger_ms}),
+          ParamAxis::sizes("pipeline_window", {pipeline_window})};
+}
+
+void apply_batching(WorkloadSpec& stream, const ParamPoint& point) {
+  stream.batch_size = point.get_size("batch_size");
+  stream.batch_linger_ms = point.get_real("batch_linger_ms");
+  stream.pipeline_window = point.get_size("pipeline_window");
+}
+
 ScenarioSpec load_latency_sweep_spec() {
   ScenarioSpec spec;
   spec.name = "load_latency_sweep";
@@ -937,15 +964,20 @@ ScenarioSpec load_latency_sweep_spec() {
         ParamAxis::sizes("n", scale.sim_ns),
         ParamAxis::strings("algorithm", {"ct", "mr"}),
         ParamAxis::reals("offered_per_s", scale.offered_loads_per_s)};
+    for (auto& axis : batching_axes(1, 0.0, 0)) axes.push_back(std::move(axis));
     for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
     return axes;
   };
   spec.columns = {{"n", ColumnType::kInt},
                   {"algorithm", ColumnType::kString},
                   {"offered_per_s", ColumnType::kReal},
+                  {"batch_size", ColumnType::kInt},
+                  {"pipeline_window", ColumnType::kInt},
                   {"delivered_per_s", ColumnType::kReal},
+                  {"values_per_s", ColumnType::kReal},
                   {"latency_ms", ColumnType::kMeanCI},
                   {"p95_ms", ColumnType::kReal},
+                  {"value_p95_ms", ColumnType::kReal},
                   {"peak_inflight", ColumnType::kInt},
                   {"undecided", ColumnType::kInt}};
   spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
@@ -966,17 +998,98 @@ ScenarioSpec load_latency_sweep_spec() {
       stream.offered_per_s = point.get_real("offered_per_s");
       stream.warmup = point.get_size("warmup");
       stream.measured = point.get_size("instances");
+      apply_batching(stream, point);
       return run_workload(cfg, stream);
     });
     ResultTable table{name, columns};
     for (std::size_t p = 0; p < run.grid.size(); ++p) {
       const auto point = run.grid.point(p);
       const WorkloadStats& stats = results[p].stats;
+      const ValueStats& vstats = results[p].value_stats;
       table.add_row({point.get_int("n"), point.get_string("algorithm"),
-                     point.get_real("offered_per_s"), stats.delivered_per_s,
-                     latency_ci_cell(stats),
+                     point.get_real("offered_per_s"), point.get_int("batch_size"),
+                     point.get_int("pipeline_window"), stats.delivered_per_s,
+                     vstats.delivered_per_s, latency_ci_cell(stats),
                      stats.decided > 0 ? Value{stats.p95_latency_ms} : Value{},
+                     vstats.decided > 0 ? Value{vstats.p95_latency_ms} : Value{},
                      int_of(results[p].peak_active_instances), int_of(stats.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec batch_throughput_sweep_spec() {
+  ScenarioSpec spec;
+  spec.name = "batch_throughput_sweep";
+  spec.description =
+      "Delivered value throughput and per-value latency vs batch size at a fixed offered rate";
+  spec.notes =
+      "The amortisation curve behind ROADMAP item 2: the offered *value*\n"
+      "rate sits far past the unbatched instance-rate knee (~376 inst/s at\n"
+      "n = 5), so batch_size = 1 saturates -- queueing delay blows up and\n"
+      "the stream falls behind -- while larger batches divide the instance\n"
+      "rate by the batch size and deliver the full offered rate at a\n"
+      "bounded p95. The max-linger deadline caps how long a value can wait\n"
+      "for its batch to fill (at low rates it, not the size threshold,\n"
+      "closes batches). queue_ms + consensus latency = end-to-end, per\n"
+      "value.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{
+        ParamAxis::sizes("n", {5}),
+        ParamAxis::strings("algorithm", {"ct"}),
+        ParamAxis::sizes("batch_size", scale.batch_sizes),
+        ParamAxis::reals("batch_linger_ms", {scale.batch_linger_ms}),
+        ParamAxis::sizes("pipeline_window", {0}),
+        ParamAxis::reals("offered_values_per_s", {scale.batch_offered_values_per_s})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"algorithm", ColumnType::kString},
+                  {"batch_size", ColumnType::kInt},
+                  {"batch_linger_ms", ColumnType::kReal},
+                  {"pipeline_window", ColumnType::kInt},
+                  {"offered_values_per_s", ColumnType::kReal},
+                  {"instances_per_s", ColumnType::kReal},
+                  {"values_per_s", ColumnType::kReal},
+                  {"value_latency_ms", ColumnType::kMeanCI},
+                  {"value_p95_ms", ColumnType::kReal},
+                  {"queue_ms", ColumnType::kReal},
+                  {"mean_batch", ColumnType::kReal},
+                  {"undecided_values", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = timers;
+      cfg.algorithm = algorithm_of(point.get_string("algorithm"));
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_values_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      apply_batching(stream, point);
+      return run_workload(cfg, stream);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const ValueStats& vstats = results[p].value_stats;
+      table.add_row({point.get_int("n"), point.get_string("algorithm"),
+                     point.get_int("batch_size"), point.get_real("batch_linger_ms"),
+                     point.get_int("pipeline_window"), point.get_real("offered_values_per_s"),
+                     results[p].stats.delivered_per_s, vstats.delivered_per_s,
+                     value_latency_ci_cell(vstats),
+                     vstats.decided > 0 ? Value{vstats.p95_latency_ms} : Value{},
+                     vstats.decided > 0 ? Value{vstats.mean_queue_ms} : Value{},
+                     results[p].mean_batch_size, int_of(vstats.undecided)});
     }
     return table;
   };
@@ -999,13 +1112,15 @@ ScenarioSpec closed_loop_clients_spec() {
   spec.axes = [](const Scale& scale) {
     std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
                                 ParamAxis::sizes("clients", scale.client_counts),
-                                ParamAxis::reals("think_ms", {0})};
+                                ParamAxis::reals("think_ms", {0}),
+                                ParamAxis::strings("think_dist", {"fixed"})};
     for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
     return axes;
   };
   spec.columns = {{"n", ColumnType::kInt},
                   {"clients", ColumnType::kInt},
                   {"think_ms", ColumnType::kReal},
+                  {"think_dist", ColumnType::kString},
                   {"delivered_per_s", ColumnType::kReal},
                   {"vs_one_client", ColumnType::kReal},
                   {"latency_ms", ColumnType::kMeanCI},
@@ -1025,6 +1140,7 @@ ScenarioSpec closed_loop_clients_spec() {
       stream.arrivals = ArrivalProcess::kClosedLoop;
       stream.clients = point.get_size("clients");
       stream.think_ms = point.get_real("think_ms");
+      stream.think_dist = think_dist_of(point.get_string("think_dist"));
       stream.warmup = point.get_size("warmup");
       stream.measured = point.get_size("instances");
       return run_workload(cfg, stream);
@@ -1041,6 +1157,7 @@ ScenarioSpec closed_loop_clients_spec() {
         const auto other = run.grid.point(q);
         if (other.get_int("clients") == 1 && other.get_int("n") == point.get_int("n") &&
             other.get_real("think_ms") == point.get_real("think_ms") &&
+            other.get_string("think_dist") == point.get_string("think_dist") &&
             other.get_size("warmup") == point.get_size("warmup") &&
             other.get_size("instances") == point.get_size("instances") &&
             results[q].stats.delivered_per_s > 0) {
@@ -1048,6 +1165,7 @@ ScenarioSpec closed_loop_clients_spec() {
         }
       }
       table.add_row({point.get_int("n"), point.get_int("clients"), point.get_real("think_ms"),
+                     point.get_string("think_dist"),
                      stats.delivered_per_s, std::move(vs_one), latency_ci_cell(stats),
                      stats.decided > 0 ? Value{stats.p95_latency_ms} : Value{},
                      int_of(stats.undecided)});
@@ -1143,6 +1261,7 @@ ScenarioSpec crash_under_load_spec() {
 }
 
 SANPERF_REGISTER_SCENARIO(load_latency_sweep_spec);
+SANPERF_REGISTER_SCENARIO(batch_throughput_sweep_spec);
 SANPERF_REGISTER_SCENARIO(closed_loop_clients_spec);
 SANPERF_REGISTER_SCENARIO(crash_under_load_spec);
 

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "consensus/batcher.hpp"
 #include "consensus/ct_consensus.hpp"
 #include "consensus/mr_consensus.hpp"
+#include "consensus/sequencer.hpp"  // draw_ntp_start_offset
 #include "core/exec_harness.hpp"
 #include "faults/injector.hpp"
 #include "fd/failure_detector.hpp"
@@ -23,6 +27,14 @@ const char* to_string(ArrivalProcess arrivals) {
     case ArrivalProcess::kBurst: return "burst";
     case ArrivalProcess::kOpenLoop: return "open-loop";
     case ArrivalProcess::kClosedLoop: return "closed-loop";
+  }
+  return "?";
+}
+
+const char* to_string(ThinkTimeDist dist) {
+  switch (dist) {
+    case ThinkTimeDist::kFixed: return "fixed";
+    case ThinkTimeDist::kExp: return "exp";
   }
   return "?";
 }
@@ -114,6 +126,60 @@ WorkloadStats fold_workload_stats(const std::vector<InstanceRecord>& instances,
   return out;
 }
 
+ValueStats fold_value_stats(const std::vector<ValueRecord>& values, std::size_t warmup,
+                            std::size_t batches) {
+  ValueStats out;
+  if (values.size() <= warmup) return out;
+  const std::size_t measured = values.size() - warmup;
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, measured / std::max<std::size_t>(1, batches));
+
+  stats::BatchMeans lat_batches{batch_size};
+  std::vector<double> lats;
+  lats.reserve(measured);
+  double queue_sum = 0;
+
+  const double first_arrival = values[warmup].arrival_ms;  // arrival order
+  double last_arrival = first_arrival;
+  double last_decide = 0;
+  bool any_decided = false;
+
+  for (std::size_t k = warmup; k < values.size(); ++k) {
+    const ValueRecord& rec = values[k];
+    last_arrival = std::max(last_arrival, rec.arrival_ms);
+    if (!rec.decided()) {
+      ++out.undecided;
+      continue;
+    }
+    const double lat = rec.total_ms();
+    lats.push_back(lat);
+    lat_batches.add(lat);
+    queue_sum += rec.queue_ms;
+    last_decide = std::max(last_decide, rec.decide_ms());
+    any_decided = true;
+  }
+
+  out.decided = lats.size();
+  out.latency_ci = lat_batches.batches() > 0 ? lat_batches.mean_ci(0.90)
+                                             : stats::summarize(lats).mean_ci(0.90);
+  if (!lats.empty()) {
+    out.mean_latency_ms = stats::summarize(lats).mean();
+    out.p95_latency_ms = stats::Ecdf{lats}.quantile(0.95);
+    out.mean_queue_ms = queue_sum / static_cast<double>(lats.size());
+  }
+  if (any_decided) {
+    out.duration_ms = last_decide - first_arrival;
+    if (out.duration_ms > 0) {
+      out.delivered_per_s = 1000.0 * static_cast<double>(out.decided) / out.duration_ms;
+    }
+  }
+  if (measured > 1 && last_arrival > first_arrival) {
+    out.offered_per_s =
+        1000.0 * static_cast<double>(measured - 1) / (last_arrival - first_arrival);
+  }
+  return out;
+}
+
 PhasedWorkload split_workload_by_window(const WorkloadResult& result, double start_ms,
                                         double end_ms) {
   PhasedWorkload out;
@@ -170,12 +236,21 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     std::optional<des::TimePoint> decided_at;
     std::int32_t rounds = 0;
     bool closed = false;  ///< first decision or give-up already handled
+    std::size_t first_vid = 0;   ///< values carried: [first_vid, first_vid + count)
+    std::size_t value_count = 0;
   };
-  std::vector<Slot> slots(total);
-  std::size_t closed = 0;
-  std::int32_t next_cid = 0;
+  std::vector<Slot> slots;  // one per launched instance, in launch order
+  slots.reserve(total);
+  std::vector<ValueRecord> values(total);
+  std::size_t closed_values = 0;
+  std::size_t launched_instances = 0;
+  std::size_t closed_instances = 0;
+  std::size_t next_vid = 0;
   // Closed-loop continuation, installed below; null for the other modes.
-  std::function<void(std::int32_t)> on_closed;
+  std::function<void(std::size_t)> on_value_closed;
+  // First decision or give-up for instance `cid`; assigned below (the
+  // launch path and the decide callbacks both need it).
+  std::function<void(std::int32_t, std::optional<des::TimePoint>, std::int32_t)> close_instance;
 
   for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
     auto& proc = cluster.process(pid);
@@ -188,17 +263,11 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     }
     auto& cons = proc.add_layer<ConsensusLayer>(*fd_layer);
     cons.set_gc_decided(true);  // memory bounded by the in-flight window
-    cons.set_decide_callback([&slots, &closed, &on_closed](const consensus::DecisionEvent& ev) {
-      if (ev.cid < 0 || static_cast<std::size_t>(ev.cid) >= slots.size()) return;
-      Slot& slot = slots[static_cast<std::size_t>(ev.cid)];
-      if (slot.closed) return;
+    cons.set_rotate_coordinators(cfg.rotate_coordinators);
+    cons.set_decide_callback([&close_instance](const consensus::DecisionEvent& ev) {
       // Simulated time is monotone, so the first callback carries the
       // globally first decision of the instance.
-      slot.closed = true;
-      slot.decided_at = ev.at;
-      slot.rounds = ev.round;
-      ++closed;
-      if (on_closed) on_closed(ev.cid);
+      close_instance(ev.cid, ev.at, ev.round);
     });
   }
   if (injector) injector->arm();
@@ -208,33 +277,105 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
 
   auto skew_rng = cluster.rng_stream("ntp-skew");
   auto arrival_rng = cluster.rng_stream("arrivals");
+  auto think_rng = cluster.rng_stream("think");  // label-hashed: free when unused
   des::Simulator& sim = cluster.sim();
 
-  // Launches instance `cid` at the current simulated time: every process
-  // draws its NTP skew now, and liveness is checked when the propose fires
-  // (exactly like the class-3 sequencer, so a host recovering in between
-  // takes part).
-  auto launch = [&](std::int32_t cid) {
-    Slot& slot = slots[static_cast<std::size_t>(cid)];
+  // Closed batches waiting for a free pipeline slot, in close order.
+  std::deque<std::vector<consensus::BatchedValue>> ready;
+  auto window_free = [&] {
+    return spec.pipeline_window == 0 ||
+           launched_instances - closed_instances < spec.pipeline_window;
+  };
+
+  // Launches one consensus instance carrying `batch` at the current
+  // simulated time: every process draws its NTP skew now, and liveness is
+  // checked when the propose fires (exactly like the class-3 sequencer, so
+  // a host recovering in between takes part).
+  auto launch_batch = [&](std::vector<consensus::BatchedValue> batch) {
+    const auto cid = static_cast<std::int32_t>(slots.size());
+    ++launched_instances;
+    slots.emplace_back();
+    Slot& slot = slots.back();
     slot.start = sim.now();
+    slot.first_vid = static_cast<std::size_t>(batch.front().value);
+    slot.value_count = batch.size();
+    std::vector<std::int64_t> payload;
+    payload.reserve(batch.size());
+    for (const consensus::BatchedValue& v : batch) {
+      payload.push_back(v.value);
+      auto& rec = values[static_cast<std::size_t>(v.value)];
+      rec.cid = cid;
+      rec.queue_ms = (slot.start - v.enqueued_at).to_ms();
+    }
     for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
       auto& proc = cluster.process(pid);
-      const double skew = skew_rng.uniform(-spec.ntp_skew_ms, spec.ntp_skew_ms);
-      const des::TimePoint start = slot.start + des::Duration::from_ms(std::max(0.0, skew));
-      sim.schedule_at(start, [&proc, cid] {
+      const des::TimePoint start =
+          slot.start + consensus::draw_ntp_start_offset(skew_rng, spec.ntp_skew_ms);
+      sim.schedule_at(start, [&proc, cid, payload] {
         if (!proc.crashed()) {
-          proc.layer<ConsensusLayer>().propose(cid, 1000 + proc.id());
+          proc.layer<ConsensusLayer>().propose(cid, payload);
         }
       });
     }
     sim.schedule_at(slot.start + des::Duration::from_ms(spec.instance_timeout_ms),
-                    [&slots, &closed, &on_closed, cid] {
-                      Slot& s = slots[static_cast<std::size_t>(cid)];
-                      if (s.closed) return;
-                      s.closed = true;  // give up: undecided
-                      ++closed;
-                      if (on_closed) on_closed(cid);
+                    [&close_instance, cid] {
+                      close_instance(cid, std::nullopt, 0);  // give up: undecided
                     });
+  };
+
+  auto maybe_launch_ready = [&] {
+    while (!ready.empty() && window_free()) {
+      auto batch = std::move(ready.front());
+      ready.pop_front();
+      launch_batch(std::move(batch));
+    }
+  };
+
+  close_instance = [&](std::int32_t cid, std::optional<des::TimePoint> at,
+                       std::int32_t rounds) {
+    if (cid < 0 || static_cast<std::size_t>(cid) >= slots.size()) return;
+    Slot& slot = slots[static_cast<std::size_t>(cid)];
+    if (slot.closed) return;
+    slot.closed = true;
+    slot.decided_at = at;
+    slot.rounds = rounds;
+    ++closed_instances;
+    closed_values += slot.value_count;
+    if (at) {
+      const double consensus_ms = (*at - slot.start).to_ms();
+      for (std::size_t vid = slot.first_vid; vid < slot.first_vid + slot.value_count; ++vid) {
+        values[vid].consensus_ms = consensus_ms;
+      }
+    }
+    if (on_value_closed) {
+      // Fan the close back out to the clients, in value order.
+      for (std::size_t vid = slot.first_vid; vid < slot.first_vid + slot.value_count; ++vid) {
+        on_value_closed(vid);
+      }
+    }
+    maybe_launch_ready();
+  };
+
+  consensus::BatcherConfig bcfg;
+  bcfg.max_batch = std::max<std::size_t>(1, spec.batch_size);
+  bcfg.linger_ms = spec.batch_linger_ms;
+  consensus::Batcher batcher{
+      sim, bcfg,
+      [&](std::vector<consensus::BatchedValue> batch, consensus::Batcher::CloseReason) {
+        if (ready.empty() && window_free()) {
+          launch_batch(std::move(batch));
+        } else {
+          ready.push_back(std::move(batch));  // FIFO behind the window
+        }
+      }};
+
+  // Submits the next client value of the stream at the current time.
+  auto submit_value = [&] {
+    const std::size_t vid = next_vid++;
+    auto& rec = values[vid];
+    rec.vid = static_cast<std::int64_t>(vid);
+    rec.arrival_ms = sim.now().to_ms();
+    batcher.submit(static_cast<std::int64_t>(vid));
   };
 
   const des::TimePoint stream_start =
@@ -247,8 +388,8 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   switch (spec.arrivals) {
     case ArrivalProcess::kBurst:
       fire = [&] {
-        launch(next_cid++);
-        if (next_cid < static_cast<std::int32_t>(total)) {
+        submit_value();
+        if (next_vid < total) {
           sim.schedule(des::Duration::from_ms(spec.separation_ms), fire);
         }
       };
@@ -259,8 +400,8 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
       const double mean_ms = 1000.0 / spec.offered_per_s;
       deadline_slack_ms = mean_ms;
       fire = [&, mean_ms] {
-        launch(next_cid++);
-        if (next_cid < static_cast<std::int32_t>(total)) {
+        submit_value();
+        if (next_vid < total) {
           sim.schedule(des::Duration::from_ms(arrival_rng.exponential_mean(mean_ms)), fire);
         }
       };
@@ -271,17 +412,23 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
 
     case ArrivalProcess::kClosedLoop: {
       const std::size_t clients = std::max<std::size_t>(1, spec.clients);
-      on_closed = [&](std::int32_t) {
-        // The client whose instance just closed thinks, then issues the
-        // next instance of the stream.
-        if (next_cid >= static_cast<std::int32_t>(total)) return;
-        const std::int32_t next = next_cid++;
-        sim.schedule(des::Duration::from_ms(spec.think_ms), [&launch, next] { launch(next); });
+      std::size_t admitted = 0;  // values issued or promised to clients
+      on_value_closed = [&, clients, admitted](std::size_t) mutable {
+        // The client whose value just closed thinks, then submits the next
+        // value of the stream. Fixed think preserves the historic
+        // deterministic constant; exp draws from the dedicated substream.
+        if (clients + admitted >= total) return;
+        ++admitted;
+        const double think = (spec.think_dist == ThinkTimeDist::kExp && spec.think_ms > 0)
+                                 ? think_rng.exponential_mean(spec.think_ms)
+                                 : spec.think_ms;
+        sim.schedule(des::Duration::from_ms(think), [&] {
+          if (next_vid < total) submit_value();
+        });
       };
       sim.schedule_at(stream_start, [&, clients] {
-        for (std::size_t c = 0; c < clients && next_cid < static_cast<std::int32_t>(total);
-             ++c) {
-          launch(next_cid++);
+        for (std::size_t c = 0; c < clients && next_vid < total; ++c) {
+          submit_value();
         }
       });
       break;
@@ -289,19 +436,18 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   }
 
   // Safety net only: every launched instance closes by its give-up
-  // deadline and every arrival process keeps launching, so the predicate
+  // deadline and every arrival process keeps submitting, so the predicate
   // fires long before this.
-  const double per_instance_ms =
-      spec.instance_timeout_ms + spec.separation_ms + spec.think_ms + deadline_slack_ms + 1.0;
+  const double per_instance_ms = spec.instance_timeout_ms + spec.separation_ms + spec.think_ms +
+                                 spec.batch_linger_ms + deadline_slack_ms + 1.0;
   const des::TimePoint far_deadline =
       stream_start +
       des::Duration::from_ms(4.0 * static_cast<double>(total) * per_instance_ms + 10'000.0);
-  cluster.run_until([&] { return closed >= total; }, far_deadline);
+  cluster.run_until([&] { return closed_values >= total; }, far_deadline);
 
   WorkloadResult out;
-  out.warmup = spec.warmup;
-  out.instances.reserve(total);
-  for (std::size_t k = 0; k < total; ++k) {
+  out.instances.reserve(slots.size());
+  for (std::size_t k = 0; k < slots.size(); ++k) {
     InstanceRecord rec;
     rec.cid = static_cast<std::int32_t>(k);
     rec.start_ms = slots[k].start.to_ms();
@@ -311,7 +457,24 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     }
     out.instances.push_back(rec);
   }
-  out.stats = fold_workload_stats(out.instances, spec.warmup, spec.batches);
+  // An instance is warm-up iff every value it carries is a warm-up value;
+  // batches take consecutive vids, so warm-up instances are a prefix.
+  out.warmup = 0;
+  for (const Slot& slot : slots) {
+    if (slot.first_vid + slot.value_count > spec.warmup) break;
+    ++out.warmup;
+  }
+  out.stats = fold_workload_stats(out.instances, out.warmup, spec.batches);
+  out.values = std::move(values);
+  out.warmup_values = spec.warmup;
+  out.value_stats = fold_value_stats(out.values, spec.warmup, spec.batches);
+  if (!slots.empty()) {
+    out.mean_batch_size =
+        static_cast<double>(out.values.size()) / static_cast<double>(slots.size());
+  }
+  out.batches_closed_on_size = batcher.stats().closed_on_size;
+  out.batches_closed_on_linger = batcher.stats().closed_on_linger;
+  out.batches_closed_on_flush = batcher.stats().closed_on_flush;
   for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
     const auto& cons = cluster.process(pid).layer<ConsensusLayer>();
     out.peak_active_instances = std::max(out.peak_active_instances,

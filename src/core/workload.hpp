@@ -47,6 +47,10 @@ struct WorkloadConfig {
   /// Optional declarative fault schedule replayed on the cluster; must
   /// outlive the run.
   const faults::FaultPlan* fault_plan = nullptr;
+  /// Rotate the round-1 coordinator per instance (`cid % n`) instead of
+  /// pinning host 0 (see CtConsensus::set_rotate_coordinators). Off by
+  /// default: paper-pinned scenarios and their goldens keep host 0.
+  bool rotate_coordinators = false;
   std::uint64_t seed = 1;
 };
 
@@ -59,12 +63,24 @@ enum class ArrivalProcess {
 
 [[nodiscard]] const char* to_string(ArrivalProcess arrivals);
 
-/// A declarative stream of consensus instances.
+/// Closed-loop think-time distribution.
+enum class ThinkTimeDist {
+  kFixed,  ///< deterministic constant think_ms (the historic behaviour)
+  kExp,    ///< exponential with mean think_ms, drawn from the "think" substream
+};
+
+[[nodiscard]] const char* to_string(ThinkTimeDist dist);
+
+/// A declarative stream of client values batched into consensus instances.
+///
+/// warmup/measured count client *values* (the unit a client observes); with
+/// batch_size = 1 every value is its own instance and the two views
+/// coincide. An instance counts as warm-up iff all its values are warm-up.
 struct WorkloadSpec {
   ArrivalProcess arrivals = ArrivalProcess::kBurst;
-  /// Leading instances excluded from every statistic (warm-up truncation).
+  /// Leading values excluded from every statistic (warm-up truncation).
   std::size_t warmup = 0;
-  /// Instances the statistics cover; warmup + measured are run in total.
+  /// Values the statistics cover; warmup + measured arrive in total.
   std::size_t measured = 100;
   double offered_per_s = 100.0;  ///< open-loop Poisson arrival rate
   std::size_t clients = 1;       ///< closed-loop concurrent clients
@@ -80,6 +96,20 @@ struct WorkloadSpec {
   double instance_timeout_ms = 5000.0;
   /// Batch-means batches the measured instances are grouped into.
   std::size_t batches = 20;
+  /// --- Batching & pipelining ---
+  /// Values per consensus instance; a batch closes when full (see
+  /// consensus::Batcher). 1 = every value is its own instance (legacy).
+  std::size_t batch_size = 1;
+  /// Max-linger deadline for a partial batch, measured from its first
+  /// value. Bounds per-value queueing delay; also drains the stream's tail.
+  double batch_linger_ms = 0.0;
+  /// Maximum concurrently in-flight consensus instances; closed batches
+  /// queue behind the window. 0 = unlimited (the legacy engine admitted
+  /// every arrival immediately).
+  std::size_t pipeline_window = 0;
+  /// Closed-loop think-time distribution (kFixed preserves bit-identical
+  /// streams; kExp draws from the dedicated "think" RNG substream).
+  ThinkTimeDist think_dist = ThinkTimeDist::kFixed;
 };
 
 /// One instance of the stream, in cid order.
@@ -91,6 +121,38 @@ struct InstanceRecord {
 
   [[nodiscard]] bool decided() const { return latency_ms.has_value(); }
   [[nodiscard]] double decide_ms() const { return start_ms + *latency_ms; }
+};
+
+/// One client value of the stream, in arrival order. End-to-end latency
+/// decomposes exactly into the queueing delay spent waiting for the batch
+/// to close (plus any pipeline-window wait) and the consensus latency of
+/// the instance that carried it.
+struct ValueRecord {
+  std::int64_t vid = 0;     ///< arrival index
+  std::int32_t cid = -1;    ///< carrying instance (-1: never launched)
+  double arrival_ms = 0;    ///< submission time
+  double queue_ms = 0;      ///< instance launch - submission
+  std::optional<double> consensus_ms;  ///< first decision - launch; empty = undecided
+
+  [[nodiscard]] bool decided() const { return consensus_ms.has_value(); }
+  [[nodiscard]] double total_ms() const { return queue_ms + *consensus_ms; }
+  [[nodiscard]] double decide_ms() const { return arrival_ms + total_ms(); }
+};
+
+/// Steady-state statistics over the measured *values* (warm-up truncated);
+/// the per-client view of the stream. With batch_size = 1 this coincides
+/// with WorkloadStats.
+struct ValueStats {
+  /// Batch-means CI over per-value end-to-end latency (queue + consensus).
+  stats::MeanCI latency_ci;
+  double mean_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double mean_queue_ms = 0;    ///< mean queueing delay of decided values
+  double offered_per_s = 0;    ///< realised value arrival rate
+  double delivered_per_s = 0;  ///< decided values per second of measured window
+  double duration_ms = 0;
+  std::size_t decided = 0;
+  std::size_t undecided = 0;
 };
 
 /// Steady-state statistics over the measured window (warm-up truncated).
@@ -112,8 +174,19 @@ struct WorkloadStats {
 
 struct WorkloadResult {
   std::vector<InstanceRecord> instances;  ///< warm-up first, then measured
+  /// Warm-up *instances* (instances whose values are all warm-up values);
+  /// equals the spec's warmup at batch_size = 1.
   std::size_t warmup = 0;
   WorkloadStats stats;
+  /// Per client value, in arrival order (warmup_values first).
+  std::vector<ValueRecord> values;
+  std::size_t warmup_values = 0;
+  ValueStats value_stats;
+  /// Values per launched instance (1.0 exactly when unbatched).
+  double mean_batch_size = 0;
+  std::uint64_t batches_closed_on_size = 0;
+  std::uint64_t batches_closed_on_linger = 0;
+  std::uint64_t batches_closed_on_flush = 0;
   /// Max per-process concurrently retained instances (the GC bound).
   std::size_t peak_active_instances = 0;
   /// Decided instances garbage-collected, summed over processes.
@@ -137,6 +210,12 @@ struct WorkloadResult {
 /// truncation, batch-means CIs, realised offered/delivered rates.
 [[nodiscard]] WorkloadStats fold_workload_stats(const std::vector<InstanceRecord>& instances,
                                                 std::size_t warmup, std::size_t batches);
+
+/// The per-value counterpart behind WorkloadResult.value_stats: warm-up
+/// truncation over the first `warmup` values, batch-means CI over
+/// end-to-end (queue + consensus) latencies.
+[[nodiscard]] ValueStats fold_value_stats(const std::vector<ValueRecord>& values,
+                                          std::size_t warmup, std::size_t batches);
 
 /// Measured instances bucketed against a fault window [start_ms, end_ms):
 /// same semantics as faults::split_by_window ("after" starts at or past the

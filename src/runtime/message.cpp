@@ -22,9 +22,10 @@ const char* to_string(MsgKind kind) {
 }
 
 std::string Message::to_string() const {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "%s %u->%u cid=%d r=%d v=%lld ts=%d", sanperf::runtime::to_string(kind),
-                from, to, cid, round, static_cast<long long>(value), ts);
+  char buf[144];
+  std::snprintf(buf, sizeof buf, "%s %u->%u cid=%d r=%d v=%lld ts=%d nv=%zu",
+                sanperf::runtime::to_string(kind), from, to, cid, round,
+                static_cast<long long>(value), ts, values.size());
   return buf;
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "des/time.hpp"
 #include "net/network.hpp"
@@ -38,7 +39,14 @@ struct Message {
   HostId to = 0;
   std::int32_t cid = 0;    ///< consensus instance id
   std::int32_t round = 0;  ///< consensus round (absolute, 1-based)
-  std::int64_t value = 0;  ///< proposed/decided value
+  std::int64_t value = 0;  ///< proposed/decided value (first batched value)
+  /// Batched payload: the full value vector a consensus instance carries
+  /// when an upstream Batcher packs several client values into one
+  /// instance (empty for unbatched protocol traffic; `value` always
+  /// mirrors the first entry when non-empty). The SAN model charges per
+  /// frame regardless of content, so batching amortises without changing
+  /// the timing of any individual message.
+  std::vector<std::int64_t> values;
   std::int32_t ts = 0;     ///< estimate timestamp (last adopted round)
   std::uint64_t probe_id = 0;         ///< delay-probe correlation id
   /// Sender's reboot count, stamped by Process::send. A monitor seeing a

@@ -235,6 +235,173 @@ TEST(WorkloadEngineTest, MoreClientsDeliverMoreThanOneUpToSaturation) {
 }
 
 // --------------------------------------------------------------------------
+// Batching & pipelining
+// --------------------------------------------------------------------------
+
+void expect_same_stream(const core::WorkloadResult& a, const core::WorkloadResult& b) {
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t k = 0; k < a.instances.size(); ++k) {
+    EXPECT_EQ(a.instances[k].start_ms, b.instances[k].start_ms);
+    ASSERT_EQ(a.instances[k].decided(), b.instances[k].decided());
+    if (a.instances[k].decided()) {
+      EXPECT_EQ(*a.instances[k].latency_ms, *b.instances[k].latency_ms);  // bit-identical
+      EXPECT_EQ(a.instances[k].rounds, b.instances[k].rounds);
+    }
+  }
+}
+
+TEST(BatchedWorkloadTest, UnbatchedSpecIgnoresTheLingerKnob) {
+  // batch_size = 1 closes synchronously inside submit; the linger deadline
+  // must never arm, so its value cannot perturb the stream.
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 400;
+  spec.warmup = 5;
+  spec.measured = 80;
+  auto lingering = spec;
+  lingering.batch_linger_ms = 50.0;
+  const auto plain = core::run_workload(base_config(3, 33), spec);
+  const auto with_linger = core::run_workload(base_config(3, 33), lingering);
+  expect_same_stream(plain, with_linger);
+}
+
+TEST(BatchedWorkloadTest, UnlimitedWindowEqualsAVeryLargeOne) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 600;
+  spec.warmup = 5;
+  spec.measured = 80;
+  auto huge = spec;
+  huge.pipeline_window = 1u << 20;
+  const auto unlimited = core::run_workload(base_config(3, 34), spec);
+  const auto windowed = core::run_workload(base_config(3, 34), huge);
+  expect_same_stream(unlimited, windowed);
+}
+
+TEST(BatchedWorkloadTest, UnbatchedValueViewMirrorsTheInstanceView) {
+  // With one value per instance and no window, the per-value records are
+  // the per-instance records: zero queueing, equal latencies, equal folds.
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 300;
+  spec.warmup = 10;
+  spec.measured = 80;
+  const auto res = core::run_workload(base_config(3, 35), spec);
+  ASSERT_EQ(res.values.size(), res.instances.size());
+  EXPECT_EQ(res.warmup_values, res.warmup);
+  for (std::size_t k = 0; k < res.values.size(); ++k) {
+    const auto& val = res.values[k];
+    const auto& inst = res.instances[k];
+    EXPECT_EQ(val.cid, inst.cid);
+    EXPECT_DOUBLE_EQ(val.queue_ms, 0.0);
+    EXPECT_DOUBLE_EQ(val.arrival_ms, inst.start_ms);
+    ASSERT_EQ(val.decided(), inst.decided());
+    if (val.decided()) EXPECT_EQ(*val.consensus_ms, *inst.latency_ms);
+  }
+  EXPECT_EQ(res.value_stats.decided, res.stats.decided);
+  EXPECT_DOUBLE_EQ(res.value_stats.mean_latency_ms, res.stats.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(res.value_stats.p95_latency_ms, res.stats.p95_latency_ms);
+  EXPECT_DOUBLE_EQ(res.mean_batch_size, 1.0);
+}
+
+TEST(BatchedWorkloadTest, PerValueLatencyDecomposesIntoQueueAndConsensus) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 1500;
+  spec.warmup = 16;
+  spec.measured = 160;
+  spec.batch_size = 4;
+  spec.batch_linger_ms = 8.0;
+  const auto res = core::run_workload(base_config(3, 36), spec);
+  ASSERT_EQ(res.values.size(), 176u);
+  std::map<std::int32_t, std::vector<const core::ValueRecord*>> by_instance;
+  for (const auto& val : res.values) {
+    ASSERT_GE(val.cid, 0);  // every value was carried by some instance
+    ASSERT_GE(val.queue_ms, 0.0);
+    by_instance[val.cid].push_back(&val);
+    if (!val.decided()) continue;
+    // queue + consensus = end-to-end, exactly.
+    EXPECT_DOUBLE_EQ(val.total_ms(), val.queue_ms + *val.consensus_ms);
+    // The carrying instance launched at arrival + queue and decided after
+    // its consensus latency: the value view must agree with the instance.
+    const auto& inst = res.instances.at(static_cast<std::size_t>(val.cid));
+    EXPECT_DOUBLE_EQ(val.arrival_ms + val.queue_ms, inst.start_ms);
+    EXPECT_EQ(*val.consensus_ms, *inst.latency_ms);
+  }
+  for (const auto& [cid, members] : by_instance) {
+    ASSERT_LE(members.size(), 4u);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const auto* val = members[m];
+      // Batch-mates share the decision, so they share the consensus time...
+      EXPECT_EQ(val->consensus_ms.has_value(), members.front()->consensus_ms.has_value());
+      if (val->consensus_ms) EXPECT_EQ(*val->consensus_ms, *members.front()->consensus_ms);
+      // ...and vids are assigned at submission, so a batch is consecutive.
+      EXPECT_EQ(val->vid, members.front()->vid + static_cast<std::int64_t>(m));
+    }
+  }
+  EXPECT_GT(res.mean_batch_size, 1.5);
+  EXPECT_EQ(res.batches_closed_on_size + res.batches_closed_on_linger +
+                res.batches_closed_on_flush,
+            res.instances.size());
+}
+
+TEST(BatchedWorkloadTest, BatchingLiftsDeliveredValueThroughputPastTheKnee) {
+  // n = 5 saturates near ~376 unbatched instances/s (PR 5). Offer 2000
+  // values/s: batches of 16 need only ~125 inst/s, so the stream delivers
+  // the offered rate at a bounded p95 where batch_size = 1 cannot.
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kOpenLoop;
+  spec.offered_per_s = 2000;
+  spec.warmup = 50;
+  spec.measured = 400;
+  spec.batch_size = 16;
+  spec.batch_linger_ms = 10.0;
+  const auto res = core::run_workload(base_config(5, 37), spec);
+  EXPECT_EQ(res.value_stats.undecided, 0u);
+  EXPECT_GT(res.value_stats.delivered_per_s, 1500.0);  // ~4x the unbatched knee
+  EXPECT_LT(res.value_stats.p95_latency_ms, 50.0);
+  EXPECT_GT(res.mean_batch_size, 4.0);
+}
+
+TEST(BatchedWorkloadTest, ExponentialThinkTimeIsDeterministicAndDistinct) {
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kClosedLoop;
+  spec.clients = 2;
+  spec.think_ms = 5.0;
+  spec.warmup = 5;
+  spec.measured = 60;
+  auto exp_spec = spec;
+  exp_spec.think_dist = core::ThinkTimeDist::kExp;
+  const auto fixed = core::run_workload(base_config(3, 38), spec);
+  const auto exp_a = core::run_workload(base_config(3, 38), exp_spec);
+  const auto exp_b = core::run_workload(base_config(3, 38), exp_spec);
+  // Same seed, same distribution: reproducible.
+  expect_same_stream(exp_a, exp_b);
+  // Exponential gaps genuinely differ from the fixed schedule.
+  ASSERT_EQ(fixed.instances.size(), exp_a.instances.size());
+  bool any_difference = false;
+  for (std::size_t k = 0; k < fixed.instances.size(); ++k) {
+    if (fixed.instances[k].start_ms != exp_a.instances[k].start_ms) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_EQ(exp_a.stats.decided + exp_a.stats.undecided, 60u);
+}
+
+TEST(BatchedWorkloadTest, ZeroThinkTimeExpMatchesFixedBitForBit) {
+  // think_ms = 0 draws nothing: selecting kExp must not perturb the stream
+  // (the scenario default keeps historic behaviour).
+  core::WorkloadSpec spec;
+  spec.arrivals = core::ArrivalProcess::kClosedLoop;
+  spec.clients = 3;
+  spec.warmup = 5;
+  spec.measured = 60;
+  auto exp_spec = spec;
+  exp_spec.think_dist = core::ThinkTimeDist::kExp;
+  expect_same_stream(core::run_workload(base_config(3, 39), spec),
+                     core::run_workload(base_config(3, 39), exp_spec));
+}
+
+// --------------------------------------------------------------------------
 // Instance garbage collection
 // --------------------------------------------------------------------------
 
@@ -377,6 +544,43 @@ TEST(WorkloadScenarioTest, LoadLatencySweepThreadCountInvariant) {
       {"n", "3"}, {"offered_per_s", "300,900"}, {"instances", "60"}, {"warmup", "10"}};
   EXPECT_EQ(run_scenario_csv("load_latency_sweep", 1, overrides),
             run_scenario_csv("load_latency_sweep", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, LoadLatencySweepBatchingAxesThreadCountInvariant) {
+  // The new batching/pipelining axes on load_latency_sweep: sweeping them
+  // fans out more points, which must not perturb per-point seeds.
+  const std::map<std::string, std::string> overrides{
+      {"n", "3"},           {"algorithm", "ct"},       {"offered_per_s", "900"},
+      {"batch_size", "1,8"}, {"batch_linger_ms", "5"}, {"pipeline_window", "0,4"},
+      {"instances", "60"},  {"warmup", "10"}};
+  EXPECT_EQ(run_scenario_csv("load_latency_sweep", 1, overrides),
+            run_scenario_csv("load_latency_sweep", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, BatchThroughputSweepThreadCountInvariant) {
+  const std::map<std::string, std::string> overrides{
+      {"batch_size", "1,16"}, {"offered_values_per_s", "1500"},
+      {"instances", "150"},   {"warmup", "20"}};
+  EXPECT_EQ(run_scenario_csv("batch_throughput_sweep", 1, overrides),
+            run_scenario_csv("batch_throughput_sweep", 4, overrides));
+}
+
+TEST(WorkloadScenarioTest, BatchThroughputSweepShowsTheAmortisation) {
+  // The tentpole's headline: at an offered value rate past the unbatched
+  // instance knee, batching recovers the offered rate.
+  const auto& registry = core::CampaignRegistry::global();
+  core::RunOptions options;
+  options.scale = core::Scale::quick();
+  options.axis_overrides = {{"batch_size", "1,16"},
+                            {"offered_values_per_s", "1500"},
+                            {"instances", "200"},
+                            {"warmup", "20"}};
+  const auto table = registry.run("batch_throughput_sweep", options);
+  ASSERT_EQ(table.row_count(), 2u);
+  const double unbatched = std::get<double>(table.cell(0, 7));  // values_per_s
+  const double batched = std::get<double>(table.cell(1, 7));
+  EXPECT_GT(batched, 2.0 * unbatched);
+  EXPECT_GT(batched, 1200.0);
 }
 
 TEST(WorkloadScenarioTest, ClosedLoopClientsThreadCountInvariant) {
