@@ -36,16 +36,25 @@ int usage(std::ostream& os, int code) {
         "              [--scale quick|default|full] [--seed S]\n"
         "              [--format text|csv|json] [--out FILE]\n"
         "              [--fault-plan plan.json]\n"
+        "  sanperf run <scenario> --list-axes [--scale ...]\n"
         "  sanperf run --all|--match <glob> --out-dir DIR [run options]\n"
+        "  sanperf knee <scenario> [--axis offered_per_s] [--target RATIO]\n"
+        "              [--iters N] [run options]\n"
         "  sanperf diff <expected.csv> <actual.csv> [--tol REL]\n"
         "  sanperf help\n"
         "\n"
         "Scenario axes are restricted with --set (e.g. --set n=3,5 --set\n"
         "timeout_ms=10); restricted runs reproduce the matching subset of the\n"
-        "full grid bit for bit. --fault-plan injects the JSON fault plan into\n"
-        "fault-aware scenarios in place of their axis-derived plans. --all /\n"
-        "--match batch every (matching) registered scenario, writing one file\n"
-        "per scenario into --out-dir (--set applies where the axis exists).\n"
+        "full grid bit for bit. --set names an axis the scenario does not\n"
+        "define -> error (--list-axes prints the scenario's axes and their\n"
+        "domains). --fault-plan injects the JSON fault plan into fault-aware\n"
+        "scenarios in place of their axis-derived plans. --all / --match\n"
+        "batch every (matching) registered scenario, writing one file per\n"
+        "scenario into --out-dir (--set applies where the axis exists; an\n"
+        "axis unknown to every matched scenario is an error). knee\n"
+        "binary-searches the scenario's load axis for the saturation knee:\n"
+        "the highest load whose delivered_per_s still covers --target\n"
+        "(default 0.9) of the offered load on every grid row.\n"
         "SANPERF_SCALE / SANPERF_THREADS are honoured when flags are absent.\n";
   return code;
 }
@@ -62,6 +71,30 @@ bool glob_match(std::string_view pattern, std::string_view text) {
   if (text.empty()) return false;
   if (pattern.front() != '?' && pattern.front() != text.front()) return false;
   return glob_match(pattern.substr(1), text.substr(1));
+}
+
+/// The scenario's axis named `name`, or null. Axes are scale-dependent in
+/// their domains but not in their names, so any scale works for lookups.
+const core::ParamAxis* find_axis(const std::vector<core::ParamAxis>& axes,
+                                 std::string_view name) {
+  for (const auto& axis : axes) {
+    if (axis.name() == name) return &axis;
+  }
+  return nullptr;
+}
+
+/// Rejects a --set override naming an axis `spec` does not define: a typo
+/// silently running the full grid is worse than an error.
+void require_known_axes(const core::ScenarioSpec& spec, const core::RunOptions& options) {
+  const auto axes = spec.axes(options.scale);
+  for (const auto& [name, csv] : options.axis_overrides) {
+    if (find_axis(axes, name) != nullptr) continue;
+    std::string known;
+    for (const auto& axis : axes) known += (known.empty() ? "" : ", ") + axis.name();
+    throw std::invalid_argument{"scenario '" + spec.name + "' has no axis '" + name +
+                                "' (axes: " + known + "); see sanperf run " + spec.name +
+                                " --list-axes"};
+  }
 }
 
 core::RunOptions with_known_axes(const core::ScenarioSpec& spec, const core::RunOptions& base) {
@@ -183,6 +216,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::optional<std::string> out_path;
   std::optional<std::string> out_dir;
   std::optional<std::string> match;
+  bool list_axes = false;
   std::unique_ptr<core::ReplicationRunner> runner;
 
   for (std::size_t i = first_flag; i < args.size(); ++i) {
@@ -222,6 +256,8 @@ int cmd_run(const std::vector<std::string>& args) {
       match = "*";
     } else if (arg == "--match") {
       match = next();
+    } else if (arg == "--list-axes") {
+      list_axes = true;
     } else if (arg == "--fault-plan") {
       const std::string& path = next();
       std::ifstream file{path};
@@ -253,6 +289,22 @@ int cmd_run(const std::vector<std::string>& args) {
       return usage(std::cerr, 2);
     }
     if (format.empty()) format = "csv";
+    // An override no matched scenario understands is a typo, not a no-op.
+    for (const auto& [axis_name, csv] : options.axis_overrides) {
+      bool known = false;
+      for (const auto& spec : registry.specs()) {
+        if (glob_match(*match, spec.name) &&
+            find_axis(spec.axes(options.scale), axis_name) != nullptr) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::cerr << "sanperf run: no scenario matching '" << *match << "' has an axis '"
+                  << axis_name << "'\n";
+        return 2;
+      }
+    }
     std::filesystem::create_directories(*out_dir);
     const char* ext = format == "json" ? ".json" : format == "csv" ? ".csv" : ".txt";
     std::size_t ran = 0;
@@ -293,6 +345,14 @@ int cmd_run(const std::vector<std::string>& args) {
     for (const auto& s : registry.specs()) std::cerr << "  " << s.name << "\n";
     return 2;
   }
+  if (list_axes) {
+    std::cout << spec->name << "\n    " << spec->description << "\n";
+    for (const auto& axis : spec->axes(options.scale)) {
+      std::cout << "    --set " << axis.name() << "=" << axis_domain(axis) << "\n";
+    }
+    return 0;
+  }
+  require_known_axes(*spec, options);
 
   const core::ResultTable table = registry.run(*spec, options);
   const std::string rendered = render(*spec, table, options.scale, format);
@@ -307,6 +367,146 @@ int cmd_run(const std::vector<std::string>& args) {
   } else {
     std::cout << rendered;
   }
+  return 0;
+}
+
+// --- knee --------------------------------------------------------------------
+
+/// Binary-searches a scenario's load axis for the saturation knee: the
+/// highest offered load whose delivered_per_s still covers `target` of the
+/// load on *every* grid row (restrict other axes with --set to isolate one
+/// configuration). Each probe is a normal restricted run, so knee results
+/// are as reproducible as the scenario itself.
+int cmd_knee(const std::vector<std::string>& args) {
+  if (args.empty() || args[0].rfind("--", 0) == 0) {
+    std::cerr << "sanperf knee: missing scenario name\n";
+    return usage(std::cerr, 2);
+  }
+  const std::string name = args[0];
+  core::RunOptions options;
+  std::string axis_name = "offered_per_s";
+  double target = 0.9;
+  std::size_t iters = 10;
+  std::unique_ptr<core::ReplicationRunner> runner;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument{"missing value after " + arg};
+      }
+      return args[++i];
+    };
+    if (arg == "--axis") {
+      axis_name = next();
+    } else if (arg == "--target") {
+      target = std::stod(next());
+      if (!(target > 0) || target > 1) {
+        throw std::invalid_argument{"--target must be in (0, 1]"};
+      }
+    } else if (arg == "--iters") {
+      iters = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--set") {
+      const std::string& kv = next();
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument{"--set expects axis=value[,value...], got '" + kv + "'"};
+      }
+      options.axis_overrides[kv.substr(0, eq)] = kv.substr(eq + 1);
+    } else if (arg == "--scale") {
+      options.scale = parse_scale(next());
+    } else if (arg == "--seed") {
+      options.seed = std::stoull(next());
+    } else if (arg == "--threads") {
+      const long n = std::stol(next());
+      if (n < 1) throw std::invalid_argument{"--threads must be >= 1"};
+      runner = std::make_unique<core::ReplicationRunner>(static_cast<std::size_t>(n));
+      options.runner = runner.get();
+    } else {
+      std::cerr << "sanperf knee: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  const auto& registry = core::CampaignRegistry::global();
+  const core::ScenarioSpec* spec = registry.find(name);
+  if (spec == nullptr) {
+    std::cerr << "sanperf knee: unknown scenario '" << name << "'\n";
+    return 2;
+  }
+  require_known_axes(*spec, options);
+  if (options.axis_overrides.count(axis_name) != 0) {
+    throw std::invalid_argument{"--set must not fix the searched axis '" + axis_name + "'"};
+  }
+  const auto axes = spec->axes(options.scale);
+  const core::ParamAxis* load_axis = find_axis(axes, axis_name);
+  if (load_axis == nullptr) {
+    throw std::invalid_argument{"scenario '" + name + "' has no load axis '" + axis_name +
+                                "' (--axis to pick one)"};
+  }
+  std::size_t delivered_col = spec->columns.size();
+  for (std::size_t c = 0; c < spec->columns.size(); ++c) {
+    if (spec->columns[c].name == "delivered_per_s") delivered_col = c;
+  }
+  if (delivered_col == spec->columns.size()) {
+    throw std::invalid_argument{"scenario '" + name +
+                                "' has no delivered_per_s column; knee needs a throughput "
+                                "scenario (e.g. load_latency_sweep)"};
+  }
+
+  // The axis domain brackets the search; its end points need not behave
+  // (the whole point is finding where behaviour changes in between).
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& v : load_axis->values()) {
+    const double x = std::holds_alternative<double>(v)
+                         ? std::get<double>(v)
+                         : static_cast<double>(std::get<std::int64_t>(v));
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (!(lo > 0) || !(hi > lo)) {
+    throw std::invalid_argument{"axis '" + axis_name + "' needs a positive domain to search"};
+  }
+
+  const auto probe = [&](double load) {
+    core::RunOptions o = options;
+    std::ostringstream value;
+    value.precision(17);
+    value << load;
+    o.axis_overrides[axis_name] = value.str();
+    const core::ResultTable table = registry.run(*spec, o);
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+      const auto& cell = table.cell(r, delivered_col);
+      const double delivered = std::holds_alternative<double>(cell) ? std::get<double>(cell) : 0;
+      worst = std::min(worst, delivered / load);
+    }
+    const bool keeps_up = worst >= target;
+    std::cout << "  probe " << core::fmt(load) << " /s: min delivered/offered = "
+              << core::fmt(worst) << (keeps_up ? "  (keeps up)" : "  (saturated)") << "\n";
+    return keeps_up;
+  };
+
+  std::cout << "knee search on " << name << "." << axis_name << " in [" << core::fmt(lo) << ", "
+            << core::fmt(hi) << "] /s, target ratio " << core::fmt(target) << ":\n";
+  if (!probe(lo)) {
+    std::cout << "saturated already at the axis minimum: knee < " << core::fmt(lo) << " /s\n";
+    return 0;
+  }
+  if (probe(hi)) {
+    std::cout << "keeps up at the axis maximum: knee > " << core::fmt(hi) << " /s\n";
+    return 0;
+  }
+  for (std::size_t it = 0; it < iters && (hi - lo) > 0.05 * lo; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  std::cout << "knee: between " << core::fmt(lo) << " and " << core::fmt(hi)
+            << " /s (midpoint " << core::fmt(0.5 * (lo + hi)) << " /s)\n";
   return 0;
 }
 
@@ -476,6 +676,7 @@ int main(int argc, char** argv) {
       return cmd_list(scale);
     }
     if (command == "run") return cmd_run(args);
+    if (command == "knee") return cmd_knee(args);
     if (command == "diff") return cmd_diff(args);
     std::cerr << "sanperf: unknown command '" << command << "'\n";
     return usage(std::cerr, 2);

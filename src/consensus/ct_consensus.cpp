@@ -13,17 +13,69 @@ void CtConsensus::on_start() {
   fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
 }
 
-HostId CtConsensus::coordinator_of(std::int32_t cid, std::int32_t round) const {
+HostId CtConsensus::coordinator_of(std::int32_t cid, const Instance& inst,
+                                   std::int32_t round) const {
   // Rounds are 1-based; p_i coordinates rounds kn + i (Section 2.1). With
   // rotation on, the cycle is offset per instance so round 1 of instance
-  // cid starts at p_{cid mod n} rather than always p_0.
-  const auto n = static_cast<std::int32_t>(process().n());
-  const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
-  return static_cast<HostId>((offset + round - 1) % n);
+  // cid starts at p_{cid mod n} rather than always p_0. Under dynamic
+  // membership the rotation runs over the instance's epoch member set.
+  if (view_ == nullptr) {
+    const auto n = static_cast<std::int32_t>(process().n());
+    const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
+    return static_cast<HostId>((offset + round - 1) % n);
+  }
+  const std::vector<MemberId>& members = view_->members_at(inst.epoch);
+  const auto m = static_cast<std::int32_t>(members.size());
+  const std::int32_t offset = rotate_coordinators_ ? cid % m : 0;
+  return static_cast<HostId>(members[static_cast<std::size_t>((offset + round - 1) % m)]);
 }
 
-std::int32_t CtConsensus::majority() const {
-  return static_cast<std::int32_t>(process().n() / 2 + 1);
+std::int32_t CtConsensus::majority(const Instance& inst) const {
+  const std::size_t group =
+      view_ == nullptr ? process().n() : view_->members_at(inst.epoch).size();
+  return static_cast<std::int32_t>(group / 2 + 1);
+}
+
+void CtConsensus::ucast(const Instance& inst, Message m, HostId dst) {
+  m.view_epoch = inst.epoch;
+  process().send(std::move(m), dst);
+}
+
+void CtConsensus::bcast(const Instance& inst, Message m) {
+  m.view_epoch = inst.epoch;
+  if (view_ == nullptr) {
+    process().broadcast(std::move(m));
+    return;
+  }
+  // Member-wise n-1 unicasts in ascending id order -- the same fan-out
+  // Process::broadcast produces when the epoch covers every host.
+  for (const MemberId peer : view_->members_at(inst.epoch)) {
+    if (static_cast<HostId>(peer) == process().id()) continue;
+    process().send(m, static_cast<HostId>(peer));
+  }
+}
+
+void CtConsensus::durable_apply(std::function<void()> fn) {
+  if (!log_.enabled()) {
+    fn();
+    return;
+  }
+  const double delay = log_.charge_ms(process().now().to_ms());
+  if (!(delay > 0)) {
+    fn();
+    return;
+  }
+  process().set_timer(des::Duration::from_ms(delay), std::move(fn));
+}
+
+void CtConsensus::record_state(std::int32_t cid, const Instance& inst) {
+  if (!log_.enabled()) return;
+  DurableLog::InstanceState& rec = log_.state(cid);
+  rec.started = inst.started;
+  rec.estimate = inst.estimate;
+  rec.ts = inst.ts;
+  rec.round = inst.round;
+  rec.epoch = inst.epoch;
 }
 
 void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
@@ -32,10 +84,12 @@ void CtConsensus::propose(std::int32_t cid, std::int64_t value) {
 
 void CtConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
   gc_.sweep(instances_);
+  if (log_.enabled()) log_.compact(gc_.floor());  // log tracks the GC watermark
   if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
   if (inst.started) throw std::logic_error{"CtConsensus: instance already proposed"};
   inst.started = true;
+  touch_epoch(inst, view_ != nullptr ? view_->epoch() : 0);
   if (inst.decided) {
     // A decision arrived before we proposed (possible with very skewed
     // starts): report it now.
@@ -46,16 +100,30 @@ void CtConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
     }
     return;
   }
+  if (inst.decide_pending) return;  // finish_decide reports once the record lands
   inst.estimate = std::move(values);
   inst.ts = 0;
-  advance_round(cid, inst);
+  if (!log_.enabled()) {
+    advance_round(cid, inst);
+    return;
+  }
+  // Write-ahead: the proposal record must be durable before any message for
+  // the instance leaves this host, so round entry waits for the append.
+  record_state(cid, inst);
+  durable_apply([this, cid] {
+    const auto it = instances_.find(cid);
+    if (it == instances_.end() || gc_.collected(cid)) return;
+    Instance& i = it->second;
+    if (i.round == 0 && !i.decided && !i.decide_pending) advance_round(cid, i);
+  });
 }
 
 void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
   ++inst.round;
   ++stats_.rounds_entered;
   const std::int32_t r = inst.round;
-  const HostId coord = coordinator_of(cid, r);
+  record_state(cid, inst);  // round entry is replayable state
+  const HostId coord = coordinator_of(cid, inst, r);
 
   if (coord == process().id()) {
     // Phase 2: collect a majority of estimates (including our own).
@@ -76,7 +144,7 @@ void CtConsensus::advance_round(std::int32_t cid, Instance& inst) {
   est.round = r;
   detail::set_payload(est, inst.estimate);
   est.ts = inst.ts;
-  process().send(est, coord);
+  ucast(inst, est, coord);
   ++stats_.estimates_sent;
 
   if (fd_->is_suspected(coord)) {
@@ -105,36 +173,59 @@ void CtConsensus::maybe_propose(std::int32_t cid, Instance& inst) {
   if (inst.phase != Phase::kCoordWaitEst) return;
   const std::int32_t r = inst.round;
   const auto it = inst.ests.find(r);
-  if (it == inst.ests.end() || it->second.count < majority()) return;
+  if (it == inst.ests.end() || it->second.count < majority(inst)) return;
 
   // Phase 2: adopt the estimate with the largest timestamp and propose it.
   inst.estimate = it->second.best_value;
   inst.ts = r;
   inst.phase = Phase::kCoordWaitReply;
   inst.acks[r] += 1;  // the coordinator's own (local) positive reply
+  record_state(cid, inst);
 
   ++stats_.proposals_sent;
   Message prop;
   prop.kind = MsgKind::kPropose;
   prop.cid = cid;
   prop.round = r;
+  prop.view_epoch = inst.epoch;
   detail::set_payload(prop, inst.estimate);
-  process().broadcast(prop);
+  // Write-ahead: the adoption record persists before the proposal leaves.
+  // Deferred sends serialize on the log device tail, so later appends (a
+  // decision, say) cannot overtake this broadcast.
+  const std::uint32_t epoch = inst.epoch;
+  durable_apply([this, epoch, prop = std::move(prop)] {
+    if (view_ == nullptr) {
+      process().broadcast(prop);
+      return;
+    }
+    for (const MemberId peer : view_->members_at(epoch)) {
+      if (static_cast<HostId>(peer) == process().id()) continue;
+      process().send(prop, static_cast<HostId>(peer));
+    }
+  });
 
   maybe_conclude_round(cid, inst);  // n = 1-majority corner and stray nacks
 }
 
 void CtConsensus::handle_proposal(std::int32_t cid, Instance& inst, const Message& m) {
   // Phase 3, positive branch: adopt and ack, then move on immediately
-  // (the decision, if any, arrives via the DECIDE broadcast).
+  // (the decision, if any, arrives via the DECIDE broadcast). The ts guard
+  // drops duplicate deliveries (a replay re-send racing the original):
+  // adopting round r sets ts = r, and no synchronous path re-enters with
+  // ts already at m.round.
+  if (inst.ts == m.round) return;
   inst.estimate = detail::payload_of(m);
   inst.ts = m.round;
+  record_state(cid, inst);
   Message ack;
   ack.kind = MsgKind::kAck;
   ack.cid = cid;
   ack.round = m.round;
-  process().send(ack, coordinator_of(cid, m.round));
+  ack.view_epoch = inst.epoch;
+  const HostId coord = coordinator_of(cid, inst, m.round);
   ++stats_.acks_sent;
+  // Write-ahead: the adopted estimate persists before the ack commits us.
+  durable_apply([this, ack = std::move(ack), coord] { process().send(ack, coord); });
   advance_round(cid, inst);
 }
 
@@ -144,7 +235,7 @@ void CtConsensus::send_nack(std::int32_t cid, Instance& inst) {
   nack.kind = MsgKind::kNack;
   nack.cid = cid;
   nack.round = inst.round;
-  process().send(nack, coordinator_of(cid, inst.round));
+  ucast(inst, nack, coordinator_of(cid, inst, inst.round));
   ++stats_.nacks_sent;
   advance_round(cid, inst);
 }
@@ -164,30 +255,54 @@ void CtConsensus::maybe_conclude_round(std::int32_t cid, Instance& inst) {
     return;
   }
   const auto ack_it = inst.acks.find(r);
-  if (ack_it != inst.acks.end() && ack_it->second >= majority()) {
+  if (ack_it != inst.acks.end() && ack_it->second >= majority(inst)) {
     decide(cid, inst, inst.estimate, r);
   }
 }
 
 void CtConsensus::decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
                          std::int32_t round) {
-  if (inst.decided) return;
-  inst.decided = true;
+  if (inst.decided || inst.decide_pending) return;
   inst.decision = value;
   inst.decision_round = round;
   inst.phase = Phase::kDone;
+  if (!log_.enabled()) {
+    finish_decide(cid, inst);
+    return;
+  }
+  // Write-ahead: the decision record persists before it is delivered to the
+  // application or disseminated. decide_pending parks the instance while
+  // the append is in flight; a crash in the window kills the deferred step
+  // (epoch-guarded timer) and replay restores the decision silently.
+  inst.decide_pending = true;
+  record_state(cid, inst);
+  DurableLog::InstanceState& rec = log_.state(cid);
+  rec.decided = true;
+  rec.decision = value;
+  rec.decision_round = round;
+  durable_apply([this, cid] {
+    const auto it = instances_.find(cid);
+    if (it == instances_.end() || !it->second.decide_pending) return;
+    finish_decide(cid, it->second);
+  });
+}
+
+void CtConsensus::finish_decide(std::int32_t cid, Instance& inst) {
+  inst.decided = true;
+  inst.decide_pending = false;
   if (on_decide_ && inst.started) {
-    const std::int64_t head = value.empty() ? 0 : value.front();
-    on_decide_({cid, head, round, process().now(), process().id(), value});
+    const std::int64_t head = inst.decision.empty() ? 0 : inst.decision.front();
+    on_decide_({cid, head, inst.decision_round, process().now(), process().id(),
+                inst.decision});
   }
   if (!inst.decide_broadcast) {
     inst.decide_broadcast = true;
     Message dec;
     dec.kind = MsgKind::kDecide;
     dec.cid = cid;
-    dec.round = round;
-    detail::set_payload(dec, value);
-    process().broadcast(dec);
+    dec.round = inst.decision_round;
+    detail::set_payload(dec, inst.decision);
+    bcast(inst, dec);
   }
   gc_.mark(cid);  // terminal: collected at the next entry-point sweep
 }
@@ -199,6 +314,7 @@ void CtConsensus::on_message(const Message& m) {
     case MsgKind::kAck:
     case MsgKind::kNack:
     case MsgKind::kDecide:
+    case MsgKind::kReplayQuery:
       break;
     default:
       return;  // not a consensus message
@@ -206,11 +322,18 @@ void CtConsensus::on_message(const Message& m) {
 
   gc_.sweep(instances_);
   if (gc_.collected(m.cid)) return;  // stale traffic for a collected instance
+  if (m.kind == MsgKind::kReplayQuery) {
+    handle_replay_query(m);  // find, never create
+    return;
+  }
   Instance& inst = instance(m.cid);
-  if (inst.decided) return;
+  touch_epoch(inst, m.view_epoch);
+  if (inst.decided || inst.decide_pending) return;
 
   switch (m.kind) {
     case MsgKind::kEstimate:
+      // Restored-round dedup: drop a REPLAYQ re-send racing the original.
+      if (m.round == inst.replay_round && !inst.replay_seen.insert(m.from).second) break;
       record_estimate(m.cid, inst, m.round, detail::payload_of(m), m.ts);
       break;
 
@@ -249,9 +372,110 @@ void CtConsensus::on_suspicion(HostId peer, bool suspected) {
   // proposal from `peer`.
   for (auto& [cid, inst] : instances_) {
     if (inst.started && !inst.decided && inst.phase == Phase::kWaitProp &&
-        coordinator_of(cid, inst.round) == peer) {
+        coordinator_of(cid, inst, inst.round) == peer) {
       send_nack(cid, inst);
     }
+  }
+}
+
+void CtConsensus::on_restart() {
+  instances_.clear();
+  if (!log_.enabled()) return;
+  log_.compact(gc_.floor());
+  std::uint64_t replayed = 0;
+  // Iterate a snapshot: replay re-records state (in-place log writes) and a
+  // decision callback could reach back into propose(), which sweeps the
+  // instance map mid-walk.
+  const auto entries = log_.entries();
+  for (const auto& [cid, rec] : entries) {
+    if (gc_.collected(cid)) continue;
+    Instance& inst = instance(cid);
+    inst.started = rec.started;
+    inst.epoch = rec.epoch;
+    inst.epoch_set = true;
+    inst.estimate = rec.estimate;
+    inst.ts = rec.ts;
+    if (rec.decided) {
+      // Restore silently: never re-report (the pre-crash delivery may have
+      // happened) and never re-broadcast.
+      inst.decided = true;
+      inst.decision = rec.decision;
+      inst.decision_round = rec.decision_round;
+      inst.phase = Phase::kDone;
+      inst.decide_broadcast = true;
+      gc_.mark(cid);
+      continue;
+    }
+    if (!rec.started) continue;
+    ++replayed;
+    if (rec.round < 1) {
+      // Crashed inside the propose append: round 1 was never entered, so
+      // enter it now (first estimate send included).
+      advance_round(cid, inst);
+    } else {
+      // Re-enter the logged round *without* re-running round entry: the
+      // round-r estimate left this host before the round was logged, so a
+      // re-send would double-count in the coordinator's estimate tally.
+      inst.round = rec.round;
+      inst.replay_round = rec.round;
+      if (coordinator_of(cid, inst, inst.round) == process().id()) {
+        inst.phase = Phase::kCoordWaitEst;
+        // Our own contribution was volatile; peers re-send theirs on REPLAYQ.
+        record_estimate(cid, inst, inst.round, inst.estimate, inst.ts);
+      } else {
+        inst.phase = Phase::kWaitProp;
+      }
+    }
+    if (inst.decided || inst.decide_pending) continue;  // n = 1 corner
+    Message q;
+    q.kind = MsgKind::kReplayQuery;
+    q.cid = cid;
+    q.round = inst.round;
+    bcast(inst, q);
+  }
+  log_.note_replayed(replayed);
+}
+
+void CtConsensus::handle_replay_query(const Message& m) {
+  const auto it = instances_.find(m.cid);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.decide_pending) return;  // our own record is still landing
+  if (inst.decided) {
+    Message dec;
+    dec.kind = MsgKind::kDecide;
+    dec.cid = m.cid;
+    dec.round = inst.decision_round;
+    detail::set_payload(dec, inst.decision);
+    ucast(inst, dec, m.from);
+    return;
+  }
+  if (!inst.started || inst.round < 1) return;
+  const std::int32_t r = inst.round;
+  if (inst.phase == Phase::kWaitProp && coordinator_of(m.cid, inst, r) == m.from) {
+    // The querier coordinates our current round: its estimate tally died
+    // with it (replay rebuilds it holding only its own), so re-contribute
+    // ours. No double count is possible -- the tally we refill is empty.
+    Message est;
+    est.kind = MsgKind::kEstimate;
+    est.cid = m.cid;
+    est.round = r;
+    detail::set_payload(est, inst.estimate);
+    est.ts = inst.ts;
+    ucast(inst, est, m.from);
+    ++stats_.estimates_sent;
+  } else if (inst.phase == Phase::kCoordWaitReply && r == m.round &&
+             coordinator_of(m.cid, inst, r) == process().id()) {
+    // We proposed in the round the querier re-entered and it missed the
+    // broadcast while down: re-send the proposal to it alone. (Its ack, if
+    // it ever acked r, moved it past r in the log -- no duplicate acks.)
+    Message prop;
+    prop.kind = MsgKind::kPropose;
+    prop.cid = m.cid;
+    prop.round = r;
+    detail::set_payload(prop, inst.estimate);
+    ucast(inst, prop, m.from);
+    ++stats_.proposals_sent;
   }
 }
 

@@ -20,9 +20,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
+#include "consensus/durable_log.hpp"
 #include "consensus/instance_gc.hpp"
+#include "consensus/membership.hpp"
 #include "fd/failure_detector.hpp"
 #include "runtime/process.hpp"
 
@@ -51,11 +54,15 @@ class CtConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
-  /// Warm restart: consensus state is volatile, so a rebooted process
-  /// forgets every in-flight instance and rejoins passively -- it takes
-  /// part in instances proposed after the restart, and learns old
-  /// decisions only through DECIDE messages (never re-reporting them).
-  void on_restart() override { instances_.clear(); }
+  /// Warm restart. Without a durable log, consensus state is volatile: a
+  /// rebooted process forgets every in-flight instance and rejoins
+  /// passively -- it takes part in instances proposed after the restart,
+  /// and learns old decisions only through DECIDE messages (never
+  /// re-reporting them). With the log enabled, the logged suffix is
+  /// replayed instead: each undecided in-flight instance re-enters its
+  /// logged round and broadcasts a REPLAYQ so peers re-send the round
+  /// traffic missed while down.
+  void on_restart() override;
 
   /// Starts instance `cid` with this process's initial value.
   void propose(std::int32_t cid, std::int64_t value);
@@ -69,6 +76,23 @@ class CtConsensus : public runtime::Layer {
   /// paper's experiments pin host 0 (Section 2.1 rotates only across
   /// rounds), and the goldens depend on that.
   void set_rotate_coordinators(bool on) { rotate_coordinators_ = on; }
+
+  /// Enables the stable-storage write-ahead log: per-instance state is
+  /// recorded before every externally visible protocol step (each record
+  /// charging the configured persistence latency on a serialized device
+  /// tail), and on_restart replays it so the process rejoins in-flight
+  /// instances. Disabled (the default) the layer is bit-exact with the
+  /// volatile warm-restart model.
+  void set_durable_log(const DurableLogConfig& cfg) { log_.configure(cfg); }
+  [[nodiscard]] const DurableLog& durable_log() const { return log_; }
+
+  /// Attaches the cluster's dynamic membership view (nullptr = fixed
+  /// membership over all n hosts, bit-exact with the static code paths).
+  /// Instances capture the epoch current at first touch and resolve
+  /// coordinator rotation, majority size and broadcast fan-out against
+  /// that epoch's member set for their whole life. `view` must outlive
+  /// the layer.
+  void set_membership(const MembershipView* view) { view_ = view; }
 
   /// Aggregate protocol counters across all instances (diagnostics).
   struct Stats {
@@ -138,7 +162,14 @@ class CtConsensus : public runtime::Layer {
   struct Instance {
     bool started = false;
     bool decided = false;
+    bool decide_pending = false;  ///< decision record still persisting
     bool decide_broadcast = false;
+    /// Membership epoch the instance runs under, captured at first touch
+    /// (locally from the view at launch, remotely from Message::view_epoch)
+    /// and fixed for the instance's life -- quorum size never changes
+    /// mid-flight.
+    std::uint32_t epoch = 0;
+    bool epoch_set = false;
     std::vector<std::int64_t> decision;
     std::int32_t decision_round = 0;
     std::int32_t round = 0;  ///< current round, 1-based; 0 before start
@@ -149,10 +180,36 @@ class CtConsensus : public runtime::Layer {
     std::map<std::int32_t, std::int32_t> acks;      // per round (incl. own)
     std::map<std::int32_t, std::int32_t> nacks;     // per round
     std::map<std::int32_t, Message> buffered_props; // proposals for future rounds
+    /// Replay dedup (durable recovery only): the round on_restart restored
+    /// and the estimate senders already tallied for it. A peer's normal
+    /// round-entry send can race its REPLAYQ re-send; the count-based
+    /// estimate tally must count each peer once. -1 = not a restored round.
+    std::int32_t replay_round = -1;
+    std::set<HostId> replay_seen;
   };
 
-  [[nodiscard]] HostId coordinator_of(std::int32_t cid, std::int32_t round) const;
-  [[nodiscard]] std::int32_t majority() const;
+  [[nodiscard]] HostId coordinator_of(std::int32_t cid, const Instance& inst,
+                                      std::int32_t round) const;
+  [[nodiscard]] std::int32_t majority(const Instance& inst) const;
+  /// Stamps the instance's epoch and sends within its member set (plain
+  /// Process::send/broadcast under fixed membership -- identical order).
+  void ucast(const Instance& inst, Message m, HostId dst);
+  void bcast(const Instance& inst, Message m);
+  void touch_epoch(Instance& inst, std::uint32_t epoch) {
+    if (!inst.epoch_set) {
+      inst.epoch_set = true;
+      inst.epoch = epoch;
+    }
+  }
+  /// Runs `fn` after one durable append completes: inline when the log is
+  /// disabled or the latency is 0, else after the charged delay (the timer
+  /// is epoch-guarded, so a crash mid-write kills the step -- replay
+  /// re-drives it).
+  void durable_apply(std::function<void()> fn);
+  /// Folds the instance's replayable state into its log record (no charge;
+  /// charges happen at the write-ahead points that defer a visible step).
+  void record_state(std::int32_t cid, const Instance& inst);
+  void handle_replay_query(const Message& m);
 
   Instance& instance(std::int32_t cid) {
     Instance& inst = instances_[cid];
@@ -167,10 +224,13 @@ class CtConsensus : public runtime::Layer {
   void maybe_conclude_round(std::int32_t cid, Instance& inst);
   void decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
               std::int32_t round);
+  void finish_decide(std::int32_t cid, Instance& inst);
   void send_nack(std::int32_t cid, Instance& inst);
   void on_suspicion(HostId peer, bool suspected);
 
   FailureDetector* fd_;
+  DurableLog log_;
+  const MembershipView* view_ = nullptr;
   std::map<std::int32_t, Instance> instances_;
   detail::InstanceGc gc_;
   std::size_t peak_active_ = 0;

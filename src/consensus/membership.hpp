@@ -1,0 +1,111 @@
+// Dynamic group membership as an epoch history.
+//
+// The paper's cluster is a fixed set of n hosts; a production-shaped stream
+// must grow, shrink and roll-restart the group while instances are in
+// flight. A MembershipView is the shared oracle for that: an append-only
+// history of member sets, one per epoch, advanced view-synchronously by the
+// workload engine at the instant a membership-change instance decides (the
+// change is itself agreed in-stream, joint-consensus style, so every host
+// observes the same epoch sequence at the same simulated instants).
+//
+// Consensus instances capture the epoch current at their launch and keep
+// using that epoch's member set for coordinator rotation, majority size and
+// broadcast fan-out until they decide -- two instances straddling a change
+// may legitimately run under different member sets, but no single instance
+// ever changes quorum size mid-flight (the 3 -> 5 growth hazard: an
+// in-flight majority of 2 must not silently become 3). Messages carry the
+// instance's epoch (Message::view_epoch) so late joiners adopt it.
+//
+// A null view everywhere means "all n hosts, forever" and is bit-exact with
+// the fixed-membership code paths.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sanperf::consensus {
+
+/// Same underlying type as runtime::HostId (kept dependency-free: the
+/// workload engine and the fd layer both include this header).
+using MemberId = std::uint32_t;
+
+class MembershipView {
+ public:
+  using Epoch = std::uint32_t;
+  /// Notified after every epoch advance with the new epoch. Listeners run
+  /// in registration order (the engine registers per-host layers in pid
+  /// order, so notification order is deterministic).
+  using Listener = std::function<void(Epoch)>;
+
+  explicit MembershipView(std::vector<MemberId> members) {
+    normalize(members, "initial");
+    history_.push_back(std::move(members));
+  }
+
+  [[nodiscard]] Epoch epoch() const { return static_cast<Epoch>(history_.size() - 1); }
+  [[nodiscard]] const std::vector<MemberId>& members() const { return history_.back(); }
+  /// The member set of a specific epoch; every epoch ever installed stays
+  /// addressable (in-flight instances keep resolving their launch epoch).
+  [[nodiscard]] const std::vector<MemberId>& members_at(Epoch epoch) const {
+    if (epoch >= history_.size()) {
+      throw std::out_of_range{"MembershipView: epoch from the future"};
+    }
+    return history_[epoch];
+  }
+  [[nodiscard]] bool is_member(MemberId host) const { return contains(members(), host); }
+  [[nodiscard]] bool is_member_at(Epoch epoch, MemberId host) const {
+    return contains(members_at(epoch), host);
+  }
+
+  /// Installs the next epoch with `host` added / removed. Engine-only: call
+  /// at the instant the membership-change instance decides. Returns the new
+  /// epoch after notifying every listener.
+  Epoch add(MemberId host) {
+    std::vector<MemberId> next = members();
+    if (contains(next, host)) throw std::invalid_argument{"MembershipView: already a member"};
+    next.push_back(host);
+    return install(std::move(next));
+  }
+  Epoch remove(MemberId host) {
+    std::vector<MemberId> next = members();
+    const auto it = std::find(next.begin(), next.end(), host);
+    if (it == next.end()) throw std::invalid_argument{"MembershipView: not a member"};
+    next.erase(it);
+    if (next.empty()) throw std::invalid_argument{"MembershipView: cannot empty the group"};
+    return install(std::move(next));
+  }
+
+  void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+ private:
+  static bool contains(const std::vector<MemberId>& members, MemberId host) {
+    return std::find(members.begin(), members.end(), host) != members.end();
+  }
+
+  static void normalize(std::vector<MemberId>& members, const char* what) {
+    if (members.empty()) {
+      throw std::invalid_argument{std::string{"MembershipView: empty "} + what + " member set"};
+    }
+    std::sort(members.begin(), members.end());
+    if (std::adjacent_find(members.begin(), members.end()) != members.end()) {
+      throw std::invalid_argument{std::string{"MembershipView: duplicate "} + what + " member"};
+    }
+  }
+
+  Epoch install(std::vector<MemberId> next) {
+    normalize(next, "next-epoch");
+    history_.push_back(std::move(next));
+    const Epoch e = epoch();
+    for (const Listener& l : listeners_) l(e);
+    return e;
+  }
+
+  std::vector<std::vector<MemberId>> history_;  ///< index = epoch
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace sanperf::consensus

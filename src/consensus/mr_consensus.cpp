@@ -13,14 +13,63 @@ void MrConsensus::on_start() {
   fd_->add_listener([this](HostId peer, bool suspected) { on_suspicion(peer, suspected); });
 }
 
-HostId MrConsensus::coordinator_of(std::int32_t cid, std::int32_t round) const {
-  const auto n = static_cast<std::int32_t>(process().n());
-  const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
-  return static_cast<HostId>((offset + round - 1) % n);
+HostId MrConsensus::coordinator_of(std::int32_t cid, const Instance& inst,
+                                   std::int32_t round) const {
+  if (view_ == nullptr) {
+    const auto n = static_cast<std::int32_t>(process().n());
+    const std::int32_t offset = rotate_coordinators_ ? cid % n : 0;
+    return static_cast<HostId>((offset + round - 1) % n);
+  }
+  const std::vector<MemberId>& members = view_->members_at(inst.epoch);
+  const auto m = static_cast<std::int32_t>(members.size());
+  const std::int32_t offset = rotate_coordinators_ ? cid % m : 0;
+  return static_cast<HostId>(members[static_cast<std::size_t>((offset + round - 1) % m)]);
 }
 
-std::int32_t MrConsensus::majority() const {
-  return static_cast<std::int32_t>(process().n() / 2 + 1);
+std::int32_t MrConsensus::majority(const Instance& inst) const {
+  const std::size_t group =
+      view_ == nullptr ? process().n() : view_->members_at(inst.epoch).size();
+  return static_cast<std::int32_t>(group / 2 + 1);
+}
+
+void MrConsensus::ucast(const Instance& inst, Message m, HostId dst) {
+  m.view_epoch = inst.epoch;
+  process().send(std::move(m), dst);
+}
+
+void MrConsensus::bcast(const Instance& inst, Message m) {
+  m.view_epoch = inst.epoch;
+  if (view_ == nullptr) {
+    process().broadcast(std::move(m));
+    return;
+  }
+  for (const MemberId peer : view_->members_at(inst.epoch)) {
+    if (static_cast<HostId>(peer) == process().id()) continue;
+    process().send(m, static_cast<HostId>(peer));
+  }
+}
+
+void MrConsensus::durable_apply(std::function<void()> fn) {
+  if (!log_.enabled()) {
+    fn();
+    return;
+  }
+  const double delay = log_.charge_ms(process().now().to_ms());
+  if (!(delay > 0)) {
+    fn();
+    return;
+  }
+  process().set_timer(des::Duration::from_ms(delay), std::move(fn));
+}
+
+void MrConsensus::record_state(std::int32_t cid, const Instance& inst) {
+  if (!log_.enabled()) return;
+  DurableLog::InstanceState& rec = log_.state(cid);
+  rec.started = inst.started;
+  rec.estimate = inst.estimate;
+  rec.round = inst.round;
+  rec.epoch = inst.epoch;
+  rec.aux_sent = false;  // send_aux re-records once the round's vote is cast
 }
 
 void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
@@ -29,10 +78,12 @@ void MrConsensus::propose(std::int32_t cid, std::int64_t value) {
 
 void MrConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
   gc_.sweep(instances_);
+  if (log_.enabled()) log_.compact(gc_.floor());  // log tracks the GC watermark
   if (gc_.collected(cid)) return;  // decided before we proposed, state gone
   Instance& inst = instance(cid);
   if (inst.started) throw std::logic_error{"MrConsensus: instance already proposed"};
   inst.started = true;
+  touch_epoch(inst, view_ != nullptr ? view_->epoch() : 0);
   if (inst.decided) {
     if (on_decide_) {
       const std::int64_t head = inst.decision.empty() ? 0 : inst.decision.front();
@@ -41,15 +92,28 @@ void MrConsensus::propose(std::int32_t cid, std::vector<std::int64_t> values) {
     }
     return;
   }
+  if (inst.decide_pending) return;  // finish_decide reports once the record lands
   inst.estimate = std::move(values);
-  advance_round(cid, inst);
+  if (!log_.enabled()) {
+    advance_round(cid, inst);
+    return;
+  }
+  // Write-ahead: the proposal record persists before round 1 is entered.
+  record_state(cid, inst);
+  durable_apply([this, cid] {
+    const auto it = instances_.find(cid);
+    if (it == instances_.end() || gc_.collected(cid)) return;
+    Instance& i = it->second;
+    if (i.round == 0 && !i.decided && !i.decide_pending) advance_round(cid, i);
+  });
 }
 
 void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
   ++inst.round;
   ++stats_.rounds_entered;
   const std::int32_t r = inst.round;
-  const HostId coord = coordinator_of(cid, r);
+  record_state(cid, inst);  // round entry is replayable state
+  const HostId coord = coordinator_of(cid, inst, r);
 
   if (coord == process().id()) {
     // Phase 1: broadcast the coordinator's estimate; it reaches ourselves
@@ -59,7 +123,7 @@ void MrConsensus::advance_round(std::int32_t cid, Instance& inst) {
     est.cid = cid;
     est.round = r;
     detail::set_payload(est, inst.estimate);
-    process().broadcast(est);
+    bcast(inst, est);
     ++stats_.coord_broadcasts;
     send_aux(cid, inst, /*bottom=*/false, inst.estimate);
     return;
@@ -86,9 +150,30 @@ void MrConsensus::send_aux(std::int32_t cid, Instance& inst, bool bottom,
   aux.kind = MsgKind::kAux;
   aux.cid = cid;
   aux.round = r;
+  aux.view_epoch = inst.epoch;
   detail::set_payload(aux, value);
   aux.ts = bottom ? 1 : 0;  // ts doubles as the bottom flag
-  process().broadcast(aux);
+  if (log_.enabled()) {
+    // Persist the vote before it leaves: replay must rebuild exactly this
+    // AUX (never re-send it -- the peers' tallies are count-based), and a
+    // REPLAYQ may ask for it long after we moved past round r.
+    DurableLog::InstanceState& rec = log_.state(cid);
+    rec.aux_sent = true;
+    rec.aux_bottom = bottom;
+    rec.aux_value = value;
+    inst.sent_aux.emplace(r, aux);
+  }
+  const std::uint32_t epoch = inst.epoch;
+  durable_apply([this, epoch, aux = std::move(aux)] {
+    if (view_ == nullptr) {
+      process().broadcast(aux);
+      return;
+    }
+    for (const MemberId peer : view_->members_at(epoch)) {
+      if (static_cast<HostId>(peer) == process().id()) continue;
+      process().send(aux, static_cast<HostId>(peer));
+    }
+  });
   ++stats_.aux_broadcasts;
   if (bottom) ++stats_.bottom_aux;
 
@@ -108,7 +193,7 @@ void MrConsensus::maybe_conclude(std::int32_t cid, Instance& inst) {
   if (inst.phase != Phase::kWaitAux) return;
   const std::int32_t r = inst.round;
   AuxSet& set = inst.aux[r];
-  if (set.value_count + set.bottom_count < majority()) return;
+  if (set.value_count + set.bottom_count < majority(inst)) return;
 
   // Phase 3 on the first majority of AUX values.
   if (set.bottom_count == 0) {
@@ -121,35 +206,63 @@ void MrConsensus::maybe_conclude(std::int32_t cid, Instance& inst) {
 
 void MrConsensus::decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
                          std::int32_t round) {
-  if (inst.decided) return;
-  inst.decided = true;
+  if (inst.decided || inst.decide_pending) return;
   inst.decision = value;
   inst.decision_round = round;
   inst.phase = Phase::kDone;
+  if (!log_.enabled()) {
+    finish_decide(cid, inst);
+    return;
+  }
+  // Write-ahead: the decision record persists before delivery and
+  // dissemination (see CtConsensus::decide for the crash-window contract).
+  inst.decide_pending = true;
+  record_state(cid, inst);
+  DurableLog::InstanceState& rec = log_.state(cid);
+  rec.decided = true;
+  rec.decision = value;
+  rec.decision_round = round;
+  durable_apply([this, cid] {
+    const auto it = instances_.find(cid);
+    if (it == instances_.end() || !it->second.decide_pending) return;
+    finish_decide(cid, it->second);
+  });
+}
+
+void MrConsensus::finish_decide(std::int32_t cid, Instance& inst) {
+  inst.decided = true;
+  inst.decide_pending = false;
   if (on_decide_ && inst.started) {
-    const std::int64_t head = value.empty() ? 0 : value.front();
-    on_decide_({cid, head, round, process().now(), process().id(), value});
+    const std::int64_t head = inst.decision.empty() ? 0 : inst.decision.front();
+    on_decide_({cid, head, inst.decision_round, process().now(), process().id(),
+                inst.decision});
   }
   if (!inst.decide_broadcast) {
     inst.decide_broadcast = true;
     Message dec;
     dec.kind = MsgKind::kDecide;
     dec.cid = cid;
-    dec.round = round;
-    detail::set_payload(dec, value);
-    process().broadcast(dec);
+    dec.round = inst.decision_round;
+    detail::set_payload(dec, inst.decision);
+    bcast(inst, dec);
   }
   gc_.mark(cid);  // terminal: collected at the next entry-point sweep
 }
 
 void MrConsensus::on_message(const Message& m) {
-  if (m.kind != MsgKind::kCoordEst && m.kind != MsgKind::kAux && m.kind != MsgKind::kDecide) {
+  if (m.kind != MsgKind::kCoordEst && m.kind != MsgKind::kAux && m.kind != MsgKind::kDecide &&
+      m.kind != MsgKind::kReplayQuery) {
     return;
   }
   gc_.sweep(instances_);
   if (gc_.collected(m.cid)) return;  // stale traffic for a collected instance
+  if (m.kind == MsgKind::kReplayQuery) {
+    handle_replay_query(m);  // find, never create
+    return;
+  }
   Instance& inst = instance(m.cid);
-  if (inst.decided) return;
+  touch_epoch(inst, m.view_epoch);
+  if (inst.decided || inst.decide_pending) return;
 
   switch (m.kind) {
     case MsgKind::kCoordEst:
@@ -160,6 +273,8 @@ void MrConsensus::on_message(const Message& m) {
       break;
 
     case MsgKind::kAux: {
+      // Restored-round dedup: drop a REPLAYQ re-send racing the original.
+      if (m.round == inst.replay_round && !inst.replay_seen.insert(m.from).second) break;
       AuxSet& set = inst.aux[m.round];
       if (m.ts != 0) {
         ++set.bottom_count;
@@ -185,9 +300,102 @@ void MrConsensus::on_suspicion(HostId peer, bool suspected) {
   if (!suspected) return;
   for (auto& [cid, inst] : instances_) {
     if (inst.started && !inst.decided && inst.phase == Phase::kWaitCoord &&
-        coordinator_of(cid, inst.round) == peer) {
+        coordinator_of(cid, inst, inst.round) == peer) {
       send_aux(cid, inst, /*bottom=*/true, {});
     }
+  }
+}
+
+void MrConsensus::on_restart() {
+  instances_.clear();
+  if (!log_.enabled()) return;
+  log_.compact(gc_.floor());
+  std::uint64_t replayed = 0;
+  const auto entries = log_.entries();  // snapshot; see CtConsensus::on_restart
+  for (const auto& [cid, rec] : entries) {
+    if (gc_.collected(cid)) continue;
+    Instance& inst = instance(cid);
+    inst.started = rec.started;
+    inst.epoch = rec.epoch;
+    inst.epoch_set = true;
+    inst.estimate = rec.estimate;
+    if (rec.decided) {
+      inst.decided = true;
+      inst.decision = rec.decision;
+      inst.decision_round = rec.decision_round;
+      inst.phase = Phase::kDone;
+      inst.decide_broadcast = true;  // never re-report or re-broadcast
+      gc_.mark(cid);
+      continue;
+    }
+    if (!rec.started) continue;
+    ++replayed;
+    if (rec.round < 1) {
+      advance_round(cid, inst);  // crashed inside the propose append
+    } else {
+      inst.round = rec.round;
+      inst.replay_round = rec.round;
+      if (rec.aux_sent) {
+        // Rebuild exactly our logged vote for the round: peers already
+        // counted the broadcast, so only the local tally is restored; their
+        // votes come back via REPLAYQ.
+        AuxSet& set = inst.aux[inst.round];
+        if (rec.aux_bottom) {
+          ++set.bottom_count;
+        } else {
+          ++set.value_count;
+          set.value = rec.aux_value;
+        }
+        inst.phase = Phase::kWaitAux;
+        maybe_conclude(cid, inst);  // n = 1 corner
+      } else {
+        inst.phase = Phase::kWaitCoord;
+      }
+    }
+    if (inst.decided || inst.decide_pending) continue;
+    Message q;
+    q.kind = MsgKind::kReplayQuery;
+    q.cid = cid;
+    q.round = inst.round;
+    bcast(inst, q);
+  }
+  log_.note_replayed(replayed);
+}
+
+void MrConsensus::handle_replay_query(const Message& m) {
+  const auto it = instances_.find(m.cid);
+  if (it == instances_.end()) return;
+  Instance& inst = it->second;
+  if (inst.decide_pending) return;  // our own record is still landing
+  if (inst.decided) {
+    Message dec;
+    dec.kind = MsgKind::kDecide;
+    dec.cid = m.cid;
+    dec.round = inst.decision_round;
+    detail::set_payload(dec, inst.decision);
+    ucast(inst, dec, m.from);
+    return;
+  }
+  // If we coordinated the querier's round, re-send the estimate broadcast it
+  // missed while down (a querier parked in kWaitCoord can only resume on a
+  // COORDEST or a suspicion). coord_ests buffering dedups on its side.
+  const auto sent = inst.sent_aux.find(m.round);
+  if (coordinator_of(m.cid, inst, m.round) == process().id() &&
+      sent != inst.sent_aux.end() && sent->second.ts == 0) {
+    Message est;
+    est.kind = MsgKind::kCoordEst;
+    est.cid = m.cid;
+    est.round = m.round;
+    detail::set_payload(est, detail::payload_of(sent->second));
+    ucast(inst, est, m.from);
+    ++stats_.coord_broadcasts;
+  }
+  // Re-send our recorded AUX for the querier's round -- valid even after we
+  // moved past it. The querier's tally restarted from just its own vote, so
+  // each peer is counted exactly once.
+  if (sent != inst.sent_aux.end()) {
+    ucast(inst, sent->second, m.from);
+    ++stats_.aux_broadcasts;
   }
 }
 

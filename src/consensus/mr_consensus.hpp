@@ -24,10 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "consensus/ct_consensus.hpp"  // DecisionEvent, FailureDetector
+#include "consensus/durable_log.hpp"
 #include "consensus/instance_gc.hpp"
+#include "consensus/membership.hpp"
 #include "runtime/process.hpp"
 
 namespace sanperf::consensus {
@@ -38,9 +41,11 @@ class MrConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
-  /// Warm restart: volatile-state loss, exactly as CtConsensus models it
-  /// (the rebooted process rejoins only instances proposed afterwards).
-  void on_restart() override { instances_.clear(); }
+  /// Warm restart: volatile-state loss exactly as CtConsensus models it,
+  /// unless the durable log is enabled -- then the logged suffix is
+  /// replayed (round/estimate/AUX-vote state restored, REPLAYQ asks peers
+  /// for the missed round traffic).
+  void on_restart() override;
 
   void propose(std::int32_t cid, std::int64_t value);
   /// Batched form: the instance carries a whole vector of client values.
@@ -49,6 +54,15 @@ class MrConsensus : public runtime::Layer {
   /// Per-instance round-1 coordinator rotation (`cid % n`); identical
   /// contract to CtConsensus::set_rotate_coordinators. Off by default.
   void set_rotate_coordinators(bool on) { rotate_coordinators_ = on; }
+
+  /// Stable-storage write-ahead log; identical contract to
+  /// CtConsensus::set_durable_log.
+  void set_durable_log(const DurableLogConfig& cfg) { log_.configure(cfg); }
+  [[nodiscard]] const DurableLog& durable_log() const { return log_; }
+
+  /// Dynamic membership view; identical contract to
+  /// CtConsensus::set_membership (nullptr = fixed membership, bit-exact).
+  void set_membership(const MembershipView* view) { view_ = view; }
 
   [[nodiscard]] bool has_decided(std::int32_t cid) const;
   [[nodiscard]] std::int64_t decision(std::int32_t cid) const;
@@ -92,7 +106,12 @@ class MrConsensus : public runtime::Layer {
   struct Instance {
     bool started = false;
     bool decided = false;
+    bool decide_pending = false;  ///< decision record still persisting
     bool decide_broadcast = false;
+    /// Membership epoch, captured at first touch and fixed for the
+    /// instance's life (see CtConsensus::Instance).
+    std::uint32_t epoch = 0;
+    bool epoch_set = false;
     std::vector<std::int64_t> decision;
     std::int32_t decision_round = 0;
     std::int32_t round = 0;
@@ -100,10 +119,30 @@ class MrConsensus : public runtime::Layer {
     std::vector<std::int64_t> estimate;
     std::map<std::int32_t, std::vector<std::int64_t>> coord_ests;  ///< buffered per round
     std::map<std::int32_t, AuxSet> aux;                            ///< per round
+    /// Our own AUX per round, kept (durable mode only) so a REPLAYQ from a
+    /// restarted peer can be answered even after we moved past its round.
+    std::map<std::int32_t, Message> sent_aux;
+    /// Replay dedup (durable recovery only): the round on_restart restored
+    /// and the AUX senders already tallied for it -- a peer's normal
+    /// broadcast can race its REPLAYQ re-send. -1 = not a restored round.
+    std::int32_t replay_round = -1;
+    std::set<HostId> replay_seen;
   };
 
-  [[nodiscard]] HostId coordinator_of(std::int32_t cid, std::int32_t round) const;
-  [[nodiscard]] std::int32_t majority() const;
+  [[nodiscard]] HostId coordinator_of(std::int32_t cid, const Instance& inst,
+                                      std::int32_t round) const;
+  [[nodiscard]] std::int32_t majority(const Instance& inst) const;
+  void ucast(const Instance& inst, Message m, HostId dst);
+  void bcast(const Instance& inst, Message m);
+  void touch_epoch(Instance& inst, std::uint32_t epoch) {
+    if (!inst.epoch_set) {
+      inst.epoch_set = true;
+      inst.epoch = epoch;
+    }
+  }
+  void durable_apply(std::function<void()> fn);
+  void record_state(std::int32_t cid, const Instance& inst);
+  void handle_replay_query(const Message& m);
 
   Instance& instance(std::int32_t cid) {
     Instance& inst = instances_[cid];
@@ -116,9 +155,12 @@ class MrConsensus : public runtime::Layer {
   void maybe_conclude(std::int32_t cid, Instance& inst);
   void decide(std::int32_t cid, Instance& inst, const std::vector<std::int64_t>& value,
               std::int32_t round);
+  void finish_decide(std::int32_t cid, Instance& inst);
   void on_suspicion(HostId peer, bool suspected);
 
   FailureDetector* fd_;
+  DurableLog log_;
+  const MembershipView* view_ = nullptr;
   std::map<std::int32_t, Instance> instances_;
   detail::InstanceGc gc_;
   std::size_t peak_active_ = 0;

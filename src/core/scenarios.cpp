@@ -1260,10 +1260,325 @@ ScenarioSpec crash_under_load_spec() {
   return spec;
 }
 
+// --- Durable recovery & membership scenarios ---------------------------------
+
+Value phase_p95(const MeasuredLatency& phase) {
+  if (phase.latencies_ms.empty()) return Value{};
+  return Value{stats::Ecdf{phase.latencies_ms}.quantile(0.95)};
+}
+
+/// Mode-blind stream seed: the volatile and durable rows of the recovery
+/// scenarios must run the *same* arrival/skew stream, so their columns
+/// differ only by what the log rescues. Restriction-stable like
+/// workload_point_seed (depends only on the named axis values).
+std::uint64_t mode_blind_seed(std::uint64_t seed, const std::string& scenario,
+                              const ParamPoint& point) {
+  const std::string label =
+      scenario + "|n=" + std::to_string(point.get_int("n")) +
+      "|offered=" + std::to_string(point.get_real("offered_per_s")) +
+      "|warmup=" + std::to_string(point.get_size("warmup")) +
+      "|instances=" + std::to_string(point.get_size("instances"));
+  return des::derive_seed(seed, label);
+}
+
+ScenarioSpec recovery_under_load_spec() {
+  ScenarioSpec spec;
+  spec.name = "recovery_under_load";
+  spec.description =
+      "Pinned-coordinator crash under load: volatile vs durable-log recovery";
+  spec.notes =
+      "The failure detector is static (host 0 is never suspected), so the\n"
+      "instances in flight at the crash have no round-2 escape. The stream\n"
+      "runs saturated behind a 16-instance pipeline window, so the window\n"
+      "is full when the crash lands: every stalled instance is in host 0's\n"
+      "write-ahead log, and arrivals queue behind the window instead of\n"
+      "launching into the outage. Volatile, the stalled window blocks the\n"
+      "whole stream until the give-up deadline and closes undecided;\n"
+      "durable, the restarted host replays its records, rejoins exactly\n"
+      "those instances and the stream resumes at recovery -- the undecided\n"
+      "/ replayed columns and the end-to-end value p95 are the\n"
+      "availability envelope the log buys, priced at append_ms per record.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
+                                ParamAxis::strings("mode", {"volatile", "durable"}),
+                                ParamAxis::reals("append_ms", {0.1}),
+                                ParamAxis::reals("downtime_ms", {60}),
+                                ParamAxis::reals("offered_per_s", {2000})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"mode", ColumnType::kString},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"before_ms", ColumnType::kMeanCI},
+                  {"during_ms", ColumnType::kMeanCI},
+                  {"after_ms", ColumnType::kMeanCI},
+                  {"value_p95_ms", ColumnType::kReal},
+                  {"delivered_per_s", ColumnType::kReal},
+                  {"undecided", ColumnType::kInt},
+                  {"replayed", ColumnType::kInt},
+                  {"log_appends", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    std::vector<faults::FaultPlan> plans;
+    std::vector<WorkloadSpec> streams;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      // A stalled instance's horizon: far past the recovery (replay gets
+      // its chance) but short enough that volatile-mode stalls drain fast.
+      stream.instance_timeout_ms = 1000.0;
+      // Saturating load behind a bounded window: the window is full at the
+      // strike (all of it replayable from host 0's log) and outage-time
+      // arrivals queue instead of stalling unrescuably.
+      stream.pipeline_window = 16;
+      const double strike_ms =
+          stream.start_ms + 1000.0 *
+                                (static_cast<double>(stream.warmup) +
+                                 0.4 * static_cast<double>(stream.measured)) /
+                                stream.offered_per_s;
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+      } else {
+        plans.push_back(faults::FaultPlan{}.add(
+            faults::FaultPlan::crash_recover(0, strike_ms, point.get_real("downtime_ms"))));
+      }
+      streams.push_back(stream);
+    }
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = ctx.timers;
+      // No heartbeat detector: recovery, not detection, is the only way out.
+      cfg.fault_plan = &plans[p];
+      cfg.durable_log = point.get_string("mode") == "durable";
+      cfg.durable_append_ms = point.get_real("append_ms");
+      cfg.seed = mode_blind_seed(ctx.seed, name, point);
+      return run_workload(cfg, streams[p]);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto [start_ms, end_ms] = fold_window(plans[p]);
+      const PhasedWorkload phases = split_workload_by_window(results[p], start_ms, end_ms);
+      const std::size_t undecided =
+          phases.before.undecided + phases.during.undecided + phases.after.undecided;
+      table.add_row({point.get_int("n"), point.get_string("mode"),
+                     point.get_real("offered_per_s"), phase_ci(phases.before),
+                     phase_ci(phases.during), phase_ci(phases.after),
+                     results[p].value_stats.p95_latency_ms,
+                     results[p].value_stats.delivered_per_s, int_of(undecided),
+                     int_of(results[p].instances_replayed),
+                     int_of(results[p].durable_appends)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec rolling_restart_spec() {
+  ScenarioSpec spec;
+  spec.name = "rolling_restart";
+  spec.description =
+      "Staggered whole-cluster restart under load, volatile vs durable log";
+  spec.notes =
+      "Every host in turn crashes and warm-restarts (one at a time: the\n"
+      "stagger exceeds downtime + detection), with live heartbeat detection\n"
+      "and per-instance coordinator rotation spreading the pain. Values on\n"
+      "gave-up instances are resubmitted, so every submitted value is\n"
+      "delivered exactly once (undelivered stays 0) in both modes. A\n"
+      "restarted host replays whatever its log shows in flight instead of\n"
+      "abandoning it to the give-up deadline -- visible in the replayed\n"
+      "column once the offered load keeps instances in flight at the crash\n"
+      "instants (raise offered_per_s to probe that regime).";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
+                                ParamAxis::strings("mode", {"volatile", "durable"}),
+                                ParamAxis::reals("append_ms", {0.1}),
+                                ParamAxis::reals("downtime_ms", {60}),
+                                ParamAxis::reals("stagger_ms", {150}),
+                                ParamAxis::reals("offered_per_s", {200})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"mode", ColumnType::kString},
+                  {"before_ms", ColumnType::kMeanCI},
+                  {"during_ms", ColumnType::kMeanCI},
+                  {"after_ms", ColumnType::kMeanCI},
+                  {"during_p95_ms", ColumnType::kReal},
+                  {"delivered", ColumnType::kInt},
+                  {"undelivered", ColumnType::kInt},
+                  {"replayed", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    std::vector<faults::FaultPlan> plans;
+    std::vector<WorkloadSpec> streams;
+    std::vector<std::pair<double, double>> windows;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      stream.instance_timeout_ms = 1000.0;
+      stream.resubmit_undecided = true;  // exactly-once across the storm
+      const double strike_ms =
+          stream.start_ms + 1000.0 *
+                                (static_cast<double>(stream.warmup) +
+                                 0.3 * static_cast<double>(stream.measured)) /
+                                stream.offered_per_s;
+      const double downtime = point.get_real("downtime_ms");
+      const double stagger = point.get_real("stagger_ms");
+      const auto n = static_cast<double>(point.get_size("n"));
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+        windows.push_back(fold_window(plans[p]));
+      } else {
+        plans.push_back(faults::FaultPlan{}.add(
+            faults::FaultPlan::rolling_restart(strike_ms, downtime, stagger)));
+        windows.emplace_back(strike_ms, strike_ms + (n - 1.0) * stagger + downtime);
+      }
+      streams.push_back(stream);
+    }
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = ctx.timers;
+      cfg.heartbeat_timeout_ms = kFaultTimeoutMs;
+      cfg.rotate_coordinators = true;
+      cfg.fault_plan = &plans[p];
+      cfg.durable_log = point.get_string("mode") == "durable";
+      cfg.durable_append_ms = point.get_real("append_ms");
+      cfg.seed = mode_blind_seed(ctx.seed, name, point);
+      return run_workload(cfg, streams[p]);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto [start_ms, end_ms] = windows[p];
+      const PhasedWorkload phases = split_workload_by_window(results[p], start_ms, end_ms);
+      table.add_row({point.get_int("n"), point.get_string("mode"), phase_ci(phases.before),
+                     phase_ci(phases.during), phase_ci(phases.after),
+                     phase_p95(phases.during), int_of(results[p].value_stats.decided),
+                     int_of(results[p].value_stats.undecided),
+                     int_of(results[p].instances_replayed)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec membership_growth_spec() {
+  ScenarioSpec spec;
+  spec.name = "membership_growth";
+  spec.description = "Live group growth 3 -> 5 under load, changes decided in-stream";
+  spec.notes =
+      "The stream starts on members {0,1,2} of a 5-host cluster; add_host\n"
+      "control instances decide hosts 3 and 4 in at ~35% and ~65% of the\n"
+      "measured span. Each change is agreed by the then-current members and\n"
+      "applied view-synchronously at its decision instant; in-flight\n"
+      "instances keep their launch epoch's quorum, so no value is lost\n"
+      "across either switch (undecided stays 0). The three phase columns\n"
+      "show the majority price of growth: 2-of-3 -> 3-of-4 -> 3-of-5\n"
+      "acknowledgements on the same contended hub.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::ints("n", {5}),
+                                ParamAxis::reals("offered_per_s", {200})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"n3_ms", ColumnType::kMeanCI},
+                  {"n4_ms", ColumnType::kMeanCI},
+                  {"n5_ms", ColumnType::kMeanCI},
+                  {"n5_p95_ms", ColumnType::kReal},
+                  {"epochs", ColumnType::kInt},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    std::vector<faults::FaultPlan> plans;
+    std::vector<WorkloadSpec> streams;
+    std::vector<std::pair<double, double>> nominal;  // scheduled change times
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      const auto at = [&](double frac) {
+        return stream.start_ms + 1000.0 *
+                                     (static_cast<double>(stream.warmup) +
+                                      frac * static_cast<double>(stream.measured)) /
+                                     stream.offered_per_s;
+      };
+      nominal.emplace_back(at(0.35), at(0.65));
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+      } else {
+        plans.push_back(faults::FaultPlan{}
+                            .add(faults::FaultPlan::add_host(3, nominal[p].first))
+                            .add(faults::FaultPlan::add_host(4, nominal[p].second)));
+      }
+      streams.push_back(stream);
+    }
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = ctx.timers;
+      cfg.fault_plan = &plans[p];
+      cfg.initial_members = {0, 1, 2};
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      return run_workload(cfg, streams[p]);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      // Bucket against the *decision* instants when both changes landed
+      // (the scheduled times otherwise): before = 3 members, during = 4,
+      // after = 5.
+      double t1 = nominal[p].first;
+      double t2 = nominal[p].second;
+      const auto& changes = results[p].membership_changes;
+      if (changes.size() >= 2) {
+        t1 = changes.front().at_ms;
+        t2 = changes.back().at_ms;
+      }
+      const PhasedWorkload phases = split_workload_by_window(results[p], t1, t2);
+      const std::size_t undecided =
+          phases.before.undecided + phases.during.undecided + phases.after.undecided;
+      table.add_row({point.get_int("n"), point.get_real("offered_per_s"),
+                     phase_ci(phases.before), phase_ci(phases.during), phase_ci(phases.after),
+                     phase_p95(phases.after), int_of(changes.size()), int_of(undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
 SANPERF_REGISTER_SCENARIO(load_latency_sweep_spec);
 SANPERF_REGISTER_SCENARIO(batch_throughput_sweep_spec);
 SANPERF_REGISTER_SCENARIO(closed_loop_clients_spec);
 SANPERF_REGISTER_SCENARIO(crash_under_load_spec);
+SANPERF_REGISTER_SCENARIO(recovery_under_load_spec);
+SANPERF_REGISTER_SCENARIO(rolling_restart_spec);
+SANPERF_REGISTER_SCENARIO(membership_growth_spec);
 
 // The fault scenarios self-register next to builtin() (same translation
 // unit, so any registry user links them in): the satellite registration

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <functional>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -231,6 +232,36 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     suspected.insert(static_cast<runtime::HostId>(cfg.initially_crashed));
   }
 
+  // Dynamic membership: one shared epoch-history view, advanced
+  // view-synchronously at the instant a membership-change control instance
+  // decides. Null (the common case) keeps every layer on its
+  // fixed-membership code paths, bit-exact with the legacy engine.
+  bool dynamic_membership = !cfg.initial_members.empty();
+  if (cfg.fault_plan != nullptr) {
+    for (const faults::FaultEvent& e : cfg.fault_plan->events()) {
+      if (e.kind == faults::FaultKind::kAddHost || e.kind == faults::FaultKind::kRemoveHost) {
+        dynamic_membership = true;
+      }
+    }
+  }
+  std::optional<consensus::MembershipView> view;
+  if (dynamic_membership) {
+    std::vector<consensus::MemberId> init;
+    if (cfg.initial_members.empty()) {
+      for (std::size_t h = 0; h < cfg.n; ++h) {
+        init.push_back(static_cast<consensus::MemberId>(h));
+      }
+    } else {
+      for (const int h : cfg.initial_members) {
+        if (h < 0 || static_cast<std::size_t>(h) >= cfg.n) {
+          throw std::invalid_argument{"run_workload: initial member out of range"};
+        }
+        init.push_back(static_cast<consensus::MemberId>(h));
+      }
+    }
+    view.emplace(std::move(init));
+  }
+
   struct Slot {
     des::TimePoint start;
     std::optional<des::TimePoint> decided_at;
@@ -256,14 +287,23 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     auto& proc = cluster.process(pid);
     fd::FailureDetector* fd_layer = nullptr;
     if (cfg.heartbeat_timeout_ms) {
-      fd_layer = &proc.add_layer<fd::HeartbeatFd>(
+      auto& hb = proc.add_layer<fd::HeartbeatFd>(
           fd::HeartbeatFdParams::from_timeout_ms(*cfg.heartbeat_timeout_ms));
+      if (view) hb.set_membership(&*view);
+      fd_layer = &hb;
     } else {
       fd_layer = &proc.add_layer<fd::StaticFd>(suspected);
     }
     auto& cons = proc.add_layer<ConsensusLayer>(*fd_layer);
     cons.set_gc_decided(true);  // memory bounded by the in-flight window
     cons.set_rotate_coordinators(cfg.rotate_coordinators);
+    if (cfg.durable_log) {
+      consensus::DurableLogConfig dcfg;
+      dcfg.enabled = true;
+      dcfg.append_latency_ms = cfg.durable_append_ms;
+      cons.set_durable_log(dcfg);
+    }
+    if (view) cons.set_membership(&*view);
     cons.set_decide_callback([&close_instance](const consensus::DecisionEvent& ev) {
       // Simulated time is monotone, so the first callback carries the
       // globally first decision of the instance.
@@ -273,6 +313,13 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   if (injector) injector->arm();
   if (cfg.initially_crashed >= 0) {
     cluster.crash_initially(static_cast<runtime::HostId>(cfg.initially_crashed));
+  }
+  if (view) {
+    // Hosts outside the starting member set sit crashed until an add_host
+    // control instance decides them in.
+    for (runtime::HostId h = 0; h < static_cast<runtime::HostId>(cfg.n); ++h) {
+      if (!view->is_member(h) && !cluster.process(h).crashed()) cluster.crash_initially(h);
+    }
   }
 
   auto skew_rng = cluster.rng_stream("ntp-skew");
@@ -307,7 +354,7 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
       rec.cid = cid;
       rec.queue_ms = (slot.start - v.enqueued_at).to_ms();
     }
-    for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
+    const auto schedule_propose = [&](runtime::HostId pid) {
       auto& proc = cluster.process(pid);
       const des::TimePoint start =
           slot.start + consensus::draw_ntp_start_offset(skew_rng, spec.ntp_skew_ms);
@@ -316,6 +363,17 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
           proc.layer<ConsensusLayer>().propose(cid, payload);
         }
       });
+    };
+    if (view) {
+      // Only current members propose; the instance pins this epoch's member
+      // set at first touch and keeps it for life.
+      for (const consensus::MemberId m : view->members()) {
+        schedule_propose(static_cast<runtime::HostId>(m));
+      }
+    } else {
+      for (runtime::HostId pid = 0; pid < static_cast<runtime::HostId>(cfg.n); ++pid) {
+        schedule_propose(pid);
+      }
     }
     sim.schedule_at(slot.start + des::Duration::from_ms(spec.instance_timeout_ms),
                     [&close_instance, cid] {
@@ -331,31 +389,6 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     }
   };
 
-  close_instance = [&](std::int32_t cid, std::optional<des::TimePoint> at,
-                       std::int32_t rounds) {
-    if (cid < 0 || static_cast<std::size_t>(cid) >= slots.size()) return;
-    Slot& slot = slots[static_cast<std::size_t>(cid)];
-    if (slot.closed) return;
-    slot.closed = true;
-    slot.decided_at = at;
-    slot.rounds = rounds;
-    ++closed_instances;
-    closed_values += slot.value_count;
-    if (at) {
-      const double consensus_ms = (*at - slot.start).to_ms();
-      for (std::size_t vid = slot.first_vid; vid < slot.first_vid + slot.value_count; ++vid) {
-        values[vid].consensus_ms = consensus_ms;
-      }
-    }
-    if (on_value_closed) {
-      // Fan the close back out to the clients, in value order.
-      for (std::size_t vid = slot.first_vid; vid < slot.first_vid + slot.value_count; ++vid) {
-        on_value_closed(vid);
-      }
-    }
-    maybe_launch_ready();
-  };
-
   consensus::BatcherConfig bcfg;
   bcfg.max_batch = std::max<std::size_t>(1, spec.batch_size);
   bcfg.linger_ms = spec.batch_linger_ms;
@@ -368,6 +401,99 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
           ready.push_back(std::move(batch));  // FIFO behind the window
         }
       }};
+
+  // Membership-change control instances: agreed in-stream like any other
+  // instance but carrying no client values; the engine applies the change
+  // keyed on the instance id at the first decision (the negative payload is
+  // inert, it only has to be agreed on).
+  struct PendingChange {
+    bool add = false;
+    runtime::HostId host = 0;
+  };
+  std::map<std::int32_t, PendingChange> pending_changes;
+  std::vector<WorkloadResult::MembershipChange> membership_changes;
+
+  close_instance = [&](std::int32_t cid, std::optional<des::TimePoint> at,
+                       std::int32_t rounds) {
+    if (cid < 0 || static_cast<std::size_t>(cid) >= slots.size()) return;
+    Slot& slot = slots[static_cast<std::size_t>(cid)];
+    if (slot.closed) return;
+    slot.closed = true;
+    slot.decided_at = at;
+    slot.rounds = rounds;
+    ++closed_instances;
+    const std::size_t first_vid = slot.first_vid;
+    const std::size_t value_count = slot.value_count;
+    // A gave-up value can be resubmitted: it stays open (the termination
+    // predicate waits for its next carrier) and re-enters the batcher after
+    // every other side effect of this close.
+    const bool resubmit = !at && spec.resubmit_undecided && value_count > 0;
+    if (!resubmit) closed_values += value_count;
+    if (at) {
+      const double consensus_ms = (*at - slot.start).to_ms();
+      for (std::size_t vid = first_vid; vid < first_vid + value_count; ++vid) {
+        values[vid].consensus_ms = consensus_ms;
+      }
+    }
+    // `slot` may dangle past this point: resubmission and the pipeline
+    // refill below can grow `slots`.
+    if (const auto change = pending_changes.find(cid); change != pending_changes.end()) {
+      const PendingChange pc = change->second;
+      pending_changes.erase(change);
+      if (at && view && pc.add != view->is_member(static_cast<consensus::MemberId>(pc.host))) {
+        // View-synchronous switch at the decision instant: restart-then-add
+        // so the joiner is alive when epoch listeners reset their reception
+        // clocks; remove-then-crash so nobody suspects a still-member host.
+        std::uint32_t epoch = 0;
+        if (pc.add) {
+          if (cluster.process(pc.host).crashed()) cluster.process(pc.host).restart();
+          epoch = view->add(static_cast<consensus::MemberId>(pc.host));
+        } else {
+          epoch = view->remove(static_cast<consensus::MemberId>(pc.host));
+          if (!cluster.process(pc.host).crashed()) cluster.process(pc.host).crash();
+        }
+        membership_changes.push_back({at->to_ms(), pc.add, static_cast<int>(pc.host), epoch});
+      }
+    }
+    if (resubmit) {
+      for (std::size_t vid = first_vid; vid < first_vid + value_count; ++vid) {
+        batcher.submit(static_cast<std::int64_t>(vid));
+      }
+    } else if (on_value_closed) {
+      // Fan the close back out to the clients, in value order.
+      for (std::size_t vid = first_vid; vid < first_vid + value_count; ++vid) {
+        on_value_closed(vid);
+      }
+    }
+    maybe_launch_ready();
+  };
+
+  // Launches the control instance deciding `host` in or out of the group.
+  // Bypasses the batcher and the pipeline window: a membership change must
+  // not queue behind the very backlog it is meant to relieve.
+  auto launch_control = [&](bool add, runtime::HostId host) {
+    if (!view || add == view->is_member(static_cast<consensus::MemberId>(host))) return;
+    const auto cid = static_cast<std::int32_t>(slots.size());
+    ++launched_instances;
+    slots.emplace_back();
+    Slot& slot = slots.back();
+    slot.start = sim.now();
+    pending_changes.emplace(cid, PendingChange{add, host});
+    const std::vector<std::int64_t> payload{
+        add ? -(static_cast<std::int64_t>(host) + 1) : -(static_cast<std::int64_t>(host) + 1001)};
+    for (const consensus::MemberId m : view->members()) {
+      auto& proc = cluster.process(static_cast<runtime::HostId>(m));
+      const des::TimePoint start =
+          slot.start + consensus::draw_ntp_start_offset(skew_rng, spec.ntp_skew_ms);
+      sim.schedule_at(start, [&proc, cid, payload] {
+        if (!proc.crashed()) {
+          proc.layer<ConsensusLayer>().propose(cid, payload);
+        }
+      });
+    }
+    sim.schedule_at(slot.start + des::Duration::from_ms(spec.instance_timeout_ms),
+                    [&close_instance, cid] { close_instance(cid, std::nullopt, 0); });
+  };
 
   // Submits the next client value of the stream at the current time.
   auto submit_value = [&] {
@@ -435,6 +561,20 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     }
   }
 
+  // Membership changes ride the plan's schedule: at each event's time the
+  // engine launches a control instance among the then-current members.
+  if (view && cfg.fault_plan != nullptr) {
+    for (const faults::FaultEvent& e : cfg.fault_plan->events()) {
+      if (e.kind != faults::FaultKind::kAddHost && e.kind != faults::FaultKind::kRemoveHost) {
+        continue;
+      }
+      const bool add = e.kind == faults::FaultKind::kAddHost;
+      const auto host = static_cast<runtime::HostId>(e.host);
+      sim.schedule_at(des::TimePoint::origin() + des::Duration::from_ms(std::max(e.at_ms, 0.0)),
+                      [&launch_control, add, host] { launch_control(add, host); });
+    }
+  }
+
   // Safety net only: every launched instance closes by its give-up
   // deadline and every arrival process keeps submitting, so the predicate
   // fires long before this.
@@ -480,7 +620,10 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     out.peak_active_instances = std::max(out.peak_active_instances,
                                          cons.peak_active_instances());
     out.instances_collected += cons.instances_collected();
+    out.instances_replayed += cons.durable_log().stats().replayed;
+    out.durable_appends += cons.durable_log().stats().appends;
   }
+  out.membership_changes = std::move(membership_changes);
   return out;
 }
 

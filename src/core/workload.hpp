@@ -51,6 +51,18 @@ struct WorkloadConfig {
   /// pinning host 0 (see CtConsensus::set_rotate_coordinators). Off by
   /// default: paper-pinned scenarios and their goldens keep host 0.
   bool rotate_coordinators = false;
+  /// Stable-storage write-ahead log (consensus/durable_log.hpp): estimate,
+  /// round and decision records persist before they become visible, and a
+  /// warm-restarted host replays its log to rejoin in-flight instances.
+  /// Off (the default) is bit-exact with the volatile engine.
+  bool durable_log = false;
+  /// Modelled latency of one log append; back-to-back appends queue on a
+  /// serialised device. 0 = durable but free, still bit-exact with volatile.
+  double durable_append_ms = 0.0;
+  /// Starting member set for dynamic membership (empty = all n hosts,
+  /// fixed membership, the legacy code paths). Hosts outside the set begin
+  /// crashed and join via add_host plan events, decided in-stream.
+  std::vector<int> initial_members;
   std::uint64_t seed = 1;
 };
 
@@ -110,6 +122,12 @@ struct WorkloadSpec {
   /// Closed-loop think-time distribution (kFixed preserves bit-identical
   /// streams; kExp draws from the dedicated "think" RNG substream).
   ThinkTimeDist think_dist = ThinkTimeDist::kFixed;
+  /// Re-enqueue the values of an instance that closes undecided (give-up
+  /// deadline) through the batcher, so a stream under restarts still
+  /// delivers every submitted value exactly once at the engine level (each
+  /// value records the one instance that decided it). Off = historic
+  /// semantics: a gave-up value stays undecided forever.
+  bool resubmit_undecided = false;
 };
 
 /// One instance of the stream, in cid order.
@@ -191,6 +209,18 @@ struct WorkloadResult {
   std::size_t peak_active_instances = 0;
   /// Decided instances garbage-collected, summed over processes.
   std::uint64_t instances_collected = 0;
+  /// One entry per applied membership change, in decision order (dynamic
+  /// membership only; the change decided in-stream as a control instance).
+  struct MembershipChange {
+    double at_ms = 0;          ///< decision instant the epoch switched
+    bool added = false;        ///< add_host vs remove_host
+    int host = -1;
+    std::uint32_t epoch = 0;   ///< epoch installed by the change
+  };
+  std::vector<MembershipChange> membership_changes;
+  /// Durable-log totals summed over processes (0 when the log is off).
+  std::uint64_t instances_replayed = 0;
+  std::uint64_t durable_appends = 0;
 
   /// Measured-window latencies in the campaign-facing shape.
   [[nodiscard]] MeasuredLatency measured_latency() const;

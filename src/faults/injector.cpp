@@ -15,35 +15,73 @@ void FaultInjector::arm() {
   if (armed_) throw std::logic_error{"FaultInjector::arm: already armed"};
   armed_ = true;
 
+  // Lower every crash-shaped event to per-host downtime windows, in plan
+  // order. kRollingRestart becomes one window per host, staggered; windows
+  // entirely before the start (negative at_ms, finite duration) have
+  // nothing left to apply -- and their ends must not be scheduled in the
+  // simulator's past.
+  struct Window {
+    runtime::HostId host;
+    double at_ms;
+    double end_ms;
+    bool permanent;
+  };
+  std::vector<Window> windows;
   for (const FaultEvent& event : plan_.events()) {
-    // A window entirely before the start (negative at_ms, finite duration)
-    // has nothing left to apply -- and its end must not be scheduled in
-    // the simulator's past.
+    if (event.end_ms() <= 0) continue;
+    if (event.kind == FaultKind::kCrash) {
+      windows.push_back({static_cast<runtime::HostId>(event.host), event.at_ms, event.end_ms(),
+                         event.permanent()});
+    } else if (event.kind == FaultKind::kRollingRestart) {
+      for (runtime::HostId h = 0; h < static_cast<runtime::HostId>(cluster_->n()); ++h) {
+        const double at = event.at_ms + static_cast<double>(h) * event.stagger_ms;
+        const double end = at + event.duration_ms;
+        if (end <= 0) continue;
+        windows.push_back({h, at, end, false});
+      }
+    }
+  }
+
+  // Two passes, recoveries first: the DES fires same-instant events in
+  // scheduling order, so a crash landing exactly on another window's
+  // recovery boundary deterministically sees the host recover *then* crash
+  // (back-to-back windows leave the host down across the boundary, with a
+  // restart blip at it) -- regardless of plan order. Events at distinct
+  // times are untouched by scheduling order, so existing plans replay
+  // bit-identically.
+  for (const Window& w : windows) {
+    if (!w.permanent) {
+      cluster_->recover_at(w.host, des::TimePoint::origin() + des::Duration::from_ms(w.end_ms));
+    }
+  }
+  for (const Window& w : windows) {
+    if (w.at_ms <= 0) {
+      // Eager, exactly like crash_initially: the process is down before
+      // any event (or RNG draw) happens, so a crash-at-0 plan is
+      // bit-identical to the paper's pre-crashed runs.
+      cluster_->process(w.host).crash();
+    } else {
+      cluster_->crash_at(w.host, des::TimePoint::origin() + des::Duration::from_ms(w.at_ms));
+    }
+  }
+
+  for (const FaultEvent& event : plan_.events()) {
     if (event.end_ms() <= 0) continue;
     switch (event.kind) {
-      case FaultKind::kCrash: {
-        const auto host = static_cast<runtime::HostId>(event.host);
-        if (event.at_ms <= 0) {
-          // Eager, exactly like crash_initially: the process is down before
-          // any event (or RNG draw) happens, so a crash-at-0 plan is
-          // bit-identical to the paper's pre-crashed runs.
-          cluster_->process(host).crash();
-        } else {
-          cluster_->crash_at(host, des::TimePoint::origin() + des::Duration::from_ms(event.at_ms));
-        }
-        if (!event.permanent()) {
-          cluster_->recover_at(host,
-                               des::TimePoint::origin() + des::Duration::from_ms(event.end_ms()));
-        }
-        break;
-      }
       case FaultKind::kCpuSlow:
       case FaultKind::kPipelineSlow:
         schedule_slowdown(event);
         break;
+      case FaultKind::kCrash:
+      case FaultKind::kRollingRestart:  // lowered above
       case FaultKind::kPartition:
-      case FaultKind::kLoss:
-        break;  // time-driven through the frame filter below
+      case FaultKind::kLoss:  // time-driven through the frame filter below
+        break;
+      case FaultKind::kAddHost:
+      case FaultKind::kRemoveHost:
+        // Membership changes are consensus decisions driven by the workload
+        // engine, not injections; the injector deliberately ignores them.
+        break;
     }
   }
 

@@ -29,7 +29,11 @@ class FaultInjector {
 
   /// Installs the hooks and schedules the plan. Crashes at or before time
   /// zero are applied eagerly (exactly like Cluster::crash_initially);
-  /// everything else is scheduled on the simulator. Call once, before the
+  /// everything else is scheduled on the simulator. Rolling restarts lower
+  /// to per-host staggered crash/recover windows; membership events are
+  /// ignored (the workload engine decides them in-stream). Tie-break: a
+  /// crash scheduled exactly at another window's recovery boundary applies
+  /// recover-then-crash, independent of plan order. Call once, before the
   /// cluster starts running.
   void arm();
 

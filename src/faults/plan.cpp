@@ -16,6 +16,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLoss: return "loss";
     case FaultKind::kCpuSlow: return "cpu_slow";
     case FaultKind::kPipelineSlow: return "pipeline_slow";
+    case FaultKind::kAddHost: return "add_host";
+    case FaultKind::kRemoveHost: return "remove_host";
+    case FaultKind::kRollingRestart: return "rolling_restart";
   }
   return "?";
 }
@@ -26,6 +29,9 @@ FaultKind fault_kind_from_string(std::string_view text) {
   if (text == "loss") return FaultKind::kLoss;
   if (text == "cpu_slow") return FaultKind::kCpuSlow;
   if (text == "pipeline_slow") return FaultKind::kPipelineSlow;
+  if (text == "add_host") return FaultKind::kAddHost;
+  if (text == "remove_host") return FaultKind::kRemoveHost;
+  if (text == "rolling_restart") return FaultKind::kRollingRestart;
   throw std::invalid_argument{"FaultPlan: unknown fault kind '" + std::string{text} + "'"};
 }
 
@@ -81,6 +87,30 @@ FaultEvent FaultPlan::pipeline_slow(double at_ms, double duration_ms, double fac
   return e;
 }
 
+FaultEvent FaultPlan::add_host(int host, double at_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kAddHost;
+  e.at_ms = at_ms;
+  e.host = host;
+  e.duration_ms = kForeverMs;  // membership changes have no window
+  return e;
+}
+
+FaultEvent FaultPlan::remove_host(int host, double at_ms) {
+  FaultEvent e = add_host(host, at_ms);
+  e.kind = FaultKind::kRemoveHost;
+  return e;
+}
+
+FaultEvent FaultPlan::rolling_restart(double at_ms, double downtime_ms, double stagger_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kRollingRestart;
+  e.at_ms = at_ms;
+  e.duration_ms = downtime_ms;
+  e.stagger_ms = stagger_ms;
+  return e;
+}
+
 namespace {
 
 [[noreturn]] void bad_event(std::size_t index, const std::string& what) {
@@ -125,6 +155,18 @@ void FaultPlan::validate(std::size_t n) const {
         [[fallthrough]];
       case FaultKind::kPipelineSlow:
         if (!(e.factor > 0)) bad_event(i, "factor must be > 0");
+        break;
+      case FaultKind::kAddHost:
+      case FaultKind::kRemoveHost:
+        if (e.host < 0 || static_cast<std::size_t>(e.host) >= n) {
+          bad_event(i, "membership host out of range");
+        }
+        break;
+      case FaultKind::kRollingRestart:
+        if (e.permanent()) bad_event(i, "rolling_restart needs a finite downtime");
+        if (std::isnan(e.stagger_ms) || e.stagger_ms < 0) {
+          bad_event(i, "stagger_ms must be >= 0");
+        }
         break;
     }
   }
@@ -186,9 +228,13 @@ std::string FaultPlan::to_json() const {
     os << (i == 0 ? "" : ",") << "{\"kind\":\"" << to_string(e.kind) << "\",\"at_ms\":"
        << core::detail::json_exact(e.at_ms);
     if (!e.permanent()) os << ",\"duration_ms\":" << core::detail::json_exact(e.duration_ms);
-    if (e.kind == FaultKind::kCrash ||
+    if (e.kind == FaultKind::kCrash || e.kind == FaultKind::kAddHost ||
+        e.kind == FaultKind::kRemoveHost ||
         (e.kind == FaultKind::kCpuSlow && e.host >= 0)) {
       os << ",\"host\":" << e.host;
+    }
+    if (e.kind == FaultKind::kRollingRestart && e.stagger_ms != 0) {
+      os << ",\"stagger_ms\":" << core::detail::json_exact(e.stagger_ms);
     }
     if (e.kind == FaultKind::kPartition) {
       os << ",\"group\":[";
@@ -239,6 +285,7 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
     e.loss_p = number(JsonParser::field(ev, "loss_p"), 0.0);
     e.duplicate_p = number(JsonParser::field(ev, "duplicate_p"), 0.0);
     e.factor = number(JsonParser::field(ev, "factor"), 1.0);
+    e.stagger_ms = number(JsonParser::field(ev, "stagger_ms"), 0.0);
     if (const auto* group = JsonParser::field(ev, "group"); group != nullptr) {
       if (!group->array) {
         throw std::invalid_argument{"FaultPlan::from_json: \"group\" must be an array"};

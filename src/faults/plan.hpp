@@ -28,11 +28,15 @@ using HostId = std::uint32_t;
 inline constexpr double kForeverMs = std::numeric_limits<double>::infinity();
 
 enum class FaultKind : std::uint8_t {
-  kCrash,         ///< host crash at `at_ms`; warm restart after `duration_ms`
-  kPartition,     ///< `group` vs the rest cannot exchange frames
-  kLoss,          ///< probabilistic frame loss / duplication window
-  kCpuSlow,       ///< host CPU service times stretched by `factor`
-  kPipelineSlow,  ///< protocol-stack pipeline latency stretched by `factor`
+  kCrash,           ///< host crash at `at_ms`; warm restart after `duration_ms`
+  kPartition,       ///< `group` vs the rest cannot exchange frames
+  kLoss,            ///< probabilistic frame loss / duplication window
+  kCpuSlow,         ///< host CPU service times stretched by `factor`
+  kPipelineSlow,    ///< protocol-stack pipeline latency stretched by `factor`
+  kAddHost,         ///< membership: decide `host` into the group at `at_ms`
+  kRemoveHost,      ///< membership: decide `host` out of the group at `at_ms`
+  kRollingRestart,  ///< every host in turn: crash at `at_ms + i*stagger_ms`,
+                    ///< recover after `duration_ms`
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -57,6 +61,9 @@ struct FaultEvent {
   double duplicate_p = 0;
   /// Slowdown multiplier (> 1 slows, 1 restores nominal service times).
   double factor = 1.0;
+  /// Rolling restart: gap between consecutive hosts' crash times (0 = all
+  /// hosts bounce together).
+  double stagger_ms = 0;
 
   [[nodiscard]] bool permanent() const { return duration_ms == kForeverMs; }
   /// End of the window / downtime (kForeverMs-safe).
@@ -83,6 +90,14 @@ class FaultPlan {
   [[nodiscard]] static FaultEvent cpu_slow(int host, double at_ms, double duration_ms,
                                            double factor);
   [[nodiscard]] static FaultEvent pipeline_slow(double at_ms, double duration_ms, double factor);
+  /// Membership changes, decided in-stream by the workload engine (the
+  /// injector ignores them: they are consensus decisions, not injections).
+  [[nodiscard]] static FaultEvent add_host(int host, double at_ms);
+  [[nodiscard]] static FaultEvent remove_host(int host, double at_ms);
+  /// Crash/recover every host in turn: host i goes down at
+  /// `at_ms + i*stagger_ms` for `downtime_ms`.
+  [[nodiscard]] static FaultEvent rolling_restart(double at_ms, double downtime_ms,
+                                                  double stagger_ms);
 
   FaultPlan& add(FaultEvent event) {
     events_.push_back(std::move(event));

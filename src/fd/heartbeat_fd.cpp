@@ -1,6 +1,16 @@
 #include "fd/heartbeat_fd.hpp"
 
+#include <algorithm>
+
 namespace sanperf::fd {
+
+void HeartbeatFd::set_membership(consensus::MembershipView* view) {
+  view_ = view;
+  if (view_ != nullptr) {
+    view_->add_listener(
+        [this](consensus::MembershipView::Epoch epoch) { on_epoch_change(epoch); });
+  }
+}
 
 void HeartbeatFd::on_start() {
   const std::size_t n = process().n();
@@ -19,7 +29,17 @@ void HeartbeatFd::send_heartbeat_round() {
   if (stopped_) return;
   runtime::Message hb;
   hb.kind = runtime::MsgKind::kHeartbeat;
-  process().broadcast(hb);
+  if (view_ == nullptr) {
+    process().broadcast(hb);
+  } else {
+    // Only current members monitor this host; heartbeating a non-member
+    // would wake a removed (crashed) process for nothing.
+    for (const consensus::MemberId m : view_->members()) {
+      const auto peer = static_cast<HostId>(m);
+      if (peer == process().id()) continue;
+      process().send(hb, peer);
+    }
+  }
   ++heartbeats_sent_;
   // Thread-style sleep: subject to tick quantisation and stalls.
   process().set_os_timer(params_.heartbeat_period, [this] { send_heartbeat_round(); });
@@ -34,6 +54,14 @@ void HeartbeatFd::arm_check(HostId peer, des::TimePoint nominal) {
 void HeartbeatFd::check_timeout(HostId peer) {
   if (stopped_) return;
   const des::TimePoint now = process().now();
+  if (view_ != nullptr && !view_->is_member(peer)) {
+    // Not (or no longer) a member: its silence means nothing. Keep the
+    // wake-up alive -- the peer may join later, and on_epoch_change resets
+    // its reception clock at that instant.
+    last_msg_[peer] = now;
+    arm_check(peer, now + params_.timeout);
+    return;
+  }
   if (!suspected_[peer] && now - last_msg_[peer] >= params_.timeout) {
     suspected_[peer] = 1;
     history_[peer].record(now, /*to_suspect=*/true);
@@ -104,6 +132,42 @@ bool HeartbeatFd::is_suspected(HostId peer) const {
 
 void HeartbeatFd::notify(HostId peer, bool suspected) {
   for (const auto& l : listeners_) l(peer, suspected);
+}
+
+void HeartbeatFd::on_epoch_change(consensus::MembershipView::Epoch epoch) {
+  // Fires synchronously inside MembershipView::add/remove. Crashed monitors
+  // (and ones whose host never started) re-derive everything on restart.
+  if (stopped_ || epoch == 0 || last_msg_.size() != process().n()) return;
+  const des::TimePoint now = process().now();
+  const auto& cur = view_->members_at(epoch);
+  const auto& prev = view_->members_at(epoch - 1);
+  const auto in = [](const std::vector<consensus::MemberId>& group, HostId h) {
+    return std::find(group.begin(), group.end(), static_cast<consensus::MemberId>(h)) !=
+           group.end();
+  };
+  for (const consensus::MemberId m : cur) {
+    const auto peer = static_cast<HostId>(m);
+    if (peer == process().id() || in(prev, peer)) continue;
+    // Newly added member: start trusted with a fresh reception clock (its
+    // pre-join silence must not fire an instant suspicion).
+    last_msg_[peer] = now;
+    if (suspected_[peer]) {
+      suspected_[peer] = 0;
+      history_[peer].record(now, /*to_suspect=*/false);
+      notify(peer, false);
+    }
+  }
+  for (const consensus::MemberId m : prev) {
+    const auto peer = static_cast<HostId>(m);
+    if (peer == process().id() || in(cur, peer)) continue;
+    if (suspected_[peer]) {
+      // Removed member: the suspicion is moot; retire it so the history
+      // keeps alternating.
+      suspected_[peer] = 0;
+      history_[peer].record(now, /*to_suspect=*/false);
+      notify(peer, false);
+    }
+  }
 }
 
 }  // namespace sanperf::fd

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "consensus/membership.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/history.hpp"
 #include "runtime/process.hpp"
@@ -57,6 +58,14 @@ class HeartbeatFd : public runtime::Layer, public FailureDetector {
 
   [[nodiscard]] const HeartbeatFdParams& params() const { return params_; }
 
+  /// Attaches the cluster's dynamic membership view (nullptr = monitor all
+  /// n hosts, bit-exact with the fixed-membership behaviour). Heartbeats go
+  /// only to current members, non-members are never suspected, and on an
+  /// epoch change newly added members start trusted with a fresh reception
+  /// clock while removed members' suspicions are retired. Call before the
+  /// cluster starts; `view` must outlive the layer.
+  void set_membership(consensus::MembershipView* view);
+
   /// Full trust/suspect history per monitored peer (index = host id).
   [[nodiscard]] const std::vector<PairHistory>& histories() const { return history_; }
 
@@ -70,8 +79,10 @@ class HeartbeatFd : public runtime::Layer, public FailureDetector {
   /// The monitoring thread's wake-up: suspects when the timeout elapsed.
   void check_timeout(HostId peer);
   void notify(HostId peer, bool suspected);
+  void on_epoch_change(consensus::MembershipView::Epoch epoch);
 
   HeartbeatFdParams params_;
+  consensus::MembershipView* view_ = nullptr;
   std::vector<char> suspected_;             // per peer
   std::vector<des::TimePoint> last_msg_;    // per peer: last reception
   std::vector<PairHistory> history_;        // per peer

@@ -17,6 +17,7 @@ const char* to_string(MsgKind kind) {
     case MsgKind::kPing: return "PING";
     case MsgKind::kPong: return "PONG";
     case MsgKind::kApp: return "APP";
+    case MsgKind::kReplayQuery: return "REPLAYQ";
   }
   return "?";
 }

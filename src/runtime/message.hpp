@@ -29,6 +29,8 @@ enum class MsgKind : std::uint8_t {
   kPing,       ///< delay-probe request (Fig 6 experiments)
   kPong,       ///< delay-probe reply
   kApp,        ///< generic application payload
+  kReplayQuery,  ///< durable-recovery: restarted host asks peers to re-send
+                 ///< the round-r traffic it missed for an in-flight instance
 };
 
 [[nodiscard]] const char* to_string(MsgKind kind);
@@ -54,6 +56,11 @@ struct Message {
   /// since the last message -- the crash-recovery completeness hook for
   /// failure detection (0 for never-restarted processes).
   std::uint32_t incarnation = 0;
+  /// Membership epoch of the carrying consensus instance. Instances capture
+  /// the epoch current at launch and resolve coordinators/majorities against
+  /// that epoch's member set for their whole life; the epoch rides on every
+  /// message so late joiners adopt it (0 under fixed membership).
+  std::uint32_t view_epoch = 0;
   des::TimePoint sent_at;             ///< stamped by Process::send
 
   [[nodiscard]] std::string to_string() const;

@@ -57,6 +57,25 @@ TEST(FaultPlanTest, ParsesHandwrittenJsonWithDefaults) {
   plan.validate(3);
 }
 
+TEST(FaultPlanTest, MembershipAndRollingKindsRoundTrip) {
+  FaultPlan plan;
+  plan.add(FaultPlan::add_host(3, 35));
+  plan.add(FaultPlan::remove_host(1, 80));
+  plan.add(FaultPlan::rolling_restart(30, 60, 150));
+  plan.add(FaultPlan::rolling_restart(200, 10, 0));  // all hosts together
+  const FaultPlan back = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(plan, back);
+  EXPECT_EQ(back.events()[2].stagger_ms, 150.0);
+  // Omitted stagger_ms reads back as 0 (simultaneous bounce).
+  const FaultPlan hand = FaultPlan::from_json(
+      R"({"events": [{"kind": "rolling_restart", "at_ms": 5, "duration_ms": 10}]})");
+  EXPECT_EQ(hand.events()[0].stagger_ms, 0.0);
+  // Membership changes are consensus decisions, not initial crashes, and
+  // need no frame filtering.
+  EXPECT_TRUE(plan.initially_down().empty());
+  EXPECT_FALSE(plan.filters_frames());
+}
+
 TEST(FaultPlanTest, ValidateRejectsBadEvents) {
   const auto bad = [](FaultEvent e, std::size_t n = 3) {
     EXPECT_THROW(FaultPlan{{e}}.validate(n), std::invalid_argument);
@@ -70,6 +89,12 @@ TEST(FaultPlanTest, ValidateRejectsBadEvents) {
   bad(FaultPlan::loss(0, 10, 1.5));                    // p > 1
   bad(FaultPlan::loss(0, 10, 0));                      // p = 0 window
   bad(FaultPlan::cpu_slow(0, 0, 10, 0));               // factor <= 0
+  bad(FaultPlan::add_host(3, 0));                      // member out of range
+  bad(FaultPlan::remove_host(-1, 0));                  // no target
+  bad(FaultPlan::rolling_restart(0, kForeverMs, 10));  // needs finite downtime
+  FaultEvent neg_stagger = FaultPlan::rolling_restart(0, 10, 1);
+  neg_stagger.stagger_ms = -1;
+  bad(neg_stagger);                                    // stagger >= 0
   EXPECT_THROW(FaultPlan::from_json("{}"), std::invalid_argument);
   EXPECT_THROW(FaultPlan::from_json(R"({"events":[{"at_ms":1}]})"), std::invalid_argument);
 }
@@ -101,6 +126,16 @@ class CounterLayer : public runtime::Layer {
  public:
   void on_message(const runtime::Message&) override { ++received; }
   int received = 0;
+};
+
+/// Counts crash/restart transitions; used to probe recovery boundaries.
+class LifecycleLayer : public runtime::Layer {
+ public:
+  void on_message(const runtime::Message&) override {}
+  void on_crash() override { ++crashes; }
+  void on_restart() override { ++restarts; }
+  int crashes = 0;
+  int restarts = 0;
 };
 
 void send_app(runtime::Cluster& cluster, runtime::HostId from, runtime::HostId to) {
@@ -138,6 +173,79 @@ TEST(FaultInjectorTest, ImmediateCrashMatchesCrashInitially) {
   EXPECT_TRUE(cluster.process(0).crashed());  // before the first event runs
   cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(5));
   EXPECT_EQ(cluster.process(0).messages_sent(), 0u);
+}
+
+TEST(FaultInjectorTest, SameInstantBoundaryRecoversBeforeCrashing) {
+  // Two windows sharing the instant 150 ms: the first window's recovery and
+  // the second's crash. The injector arms every recovery before any crash,
+  // so the host warm-restarts (running on_restart) and then goes straight
+  // back down -- in either plan order.
+  for (const bool reversed : {false, true}) {
+    FaultPlan plan;
+    if (reversed) {
+      plan.add(FaultPlan::crash_recover(0, 150, 50));
+      plan.add(FaultPlan::crash_recover(0, 100, 50));
+    } else {
+      plan.add(FaultPlan::crash_recover(0, 100, 50));
+      plan.add(FaultPlan::crash_recover(0, 150, 50));
+    }
+    runtime::Cluster cluster{tiny_cluster(2)};
+    auto& life = cluster.process(0).add_layer<LifecycleLayer>();
+    cluster.process(1).add_layer<LifecycleLayer>();
+    FaultInjector injector{cluster, plan};
+    injector.arm();
+    cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(175));
+    EXPECT_TRUE(cluster.process(0).crashed()) << reversed;  // inside [150, 200)
+    cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(210));
+    EXPECT_FALSE(cluster.process(0).crashed()) << reversed;
+    EXPECT_EQ(life.crashes, 2) << reversed;
+    EXPECT_EQ(life.restarts, 2) << reversed;  // bounced at 150, final at 200
+  }
+}
+
+TEST(FaultInjectorTest, RestartStormBouncesOneHostRepeatedly) {
+  // Five contiguous crash/recover windows on host 1: every interior
+  // boundary is a recover-then-crash tie, and the host ends up alive with
+  // exactly five restarts.
+  FaultPlan plan;
+  for (int i = 0; i < 5; ++i) plan.add(FaultPlan::crash_recover(1, 10 + 20 * i, 20));
+  runtime::Cluster cluster{tiny_cluster(2)};
+  cluster.process(0).add_layer<LifecycleLayer>();
+  auto& life = cluster.process(1).add_layer<LifecycleLayer>();
+  FaultInjector injector{cluster, plan};
+  injector.arm();
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(105));
+  EXPECT_TRUE(cluster.process(1).crashed());  // last window [90, 110)
+  cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(120));
+  EXPECT_FALSE(cluster.process(1).crashed());
+  EXPECT_EQ(life.crashes, 5);
+  EXPECT_EQ(life.restarts, 5);
+}
+
+TEST(FaultInjectorTest, RollingRestartStaggersHosts) {
+  // rolling_restart(10, 20, 30) on n = 3: host h is down over
+  // [10 + 30h, 30 + 30h) -- one host at a time, each restarted once.
+  runtime::Cluster cluster{tiny_cluster(3)};
+  std::vector<LifecycleLayer*> lives;
+  for (runtime::HostId h = 0; h < 3; ++h) {
+    lives.push_back(&cluster.process(h).add_layer<LifecycleLayer>());
+  }
+  FaultInjector injector{cluster, FaultPlan{}.add(FaultPlan::rolling_restart(10, 20, 30))};
+  injector.arm();
+  const auto probe = [&](double ms, bool h0, bool h1, bool h2) {
+    cluster.run_until(des::TimePoint::origin() + des::Duration::from_ms(ms));
+    EXPECT_EQ(cluster.process(0).crashed(), h0) << ms;
+    EXPECT_EQ(cluster.process(1).crashed(), h1) << ms;
+    EXPECT_EQ(cluster.process(2).crashed(), h2) << ms;
+  };
+  probe(15, true, false, false);
+  probe(45, false, true, false);
+  probe(75, false, false, true);
+  probe(95, false, false, false);
+  for (const auto* life : lives) {
+    EXPECT_EQ(life->crashes, 1);
+    EXPECT_EQ(life->restarts, 1);
+  }
 }
 
 TEST(FaultInjectorTest, PartitionDropsAcrossSidesThenHeals) {
@@ -330,14 +438,15 @@ core::Scale tiny_scale() {
 TEST(FaultScenarioTest, GlobalRegistryListsFaultScenarios) {
   const auto& registry = core::CampaignRegistry::global();
   for (const char* name : {"crash_recovery_latency", "partition_heal", "lossy_consensus",
-                           "slowdown_sweep"}) {
+                           "slowdown_sweep", "recovery_under_load", "rolling_restart",
+                           "membership_growth"}) {
     const auto* spec = registry.find(name);
     ASSERT_NE(spec, nullptr) << name;
     EXPECT_FALSE(spec->needs_calibration) << name;
   }
   // The builtin paper artifacts are all present too.
   EXPECT_NE(registry.find("table1"), nullptr);
-  EXPECT_GE(registry.specs().size(), core::CampaignRegistry::builtin().specs().size() + 4);
+  EXPECT_GE(registry.specs().size(), core::CampaignRegistry::builtin().specs().size() + 7);
 }
 
 TEST(FaultScenarioTest, EveryFaultScenarioThreadCountInvariant) {
