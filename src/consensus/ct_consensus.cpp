@@ -1,6 +1,7 @@
 #include "consensus/ct_consensus.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "consensus/payload.hpp"
@@ -288,6 +289,15 @@ void CtConsensus::decide(std::int32_t cid, Instance& inst, const std::vector<std
 }
 
 void CtConsensus::finish_decide(std::int32_t cid, Instance& inst) {
+#if SANPERF_AUDIT_ENABLED
+  // One decision per instance per incarnation: a second pass through here
+  // means a decided guard was lost somewhere upstream.
+  SANPERF_AUDIT_CHECK(
+      "consensus.no_double_decide",
+      audit_.decided.emplace(cid, detail::LayerAudit::hash_values(inst.decision)).second,
+      "instance " + std::to_string(cid) + " decided twice on host " +
+          std::to_string(process().id()));
+#endif
   inst.decided = true;
   inst.decide_pending = false;
   if (on_decide_ && inst.started) {
@@ -328,6 +338,17 @@ void CtConsensus::on_message(const Message& m) {
   }
   Instance& inst = instance(m.cid);
   touch_epoch(inst, m.view_epoch);
+#if SANPERF_AUDIT_ENABLED
+  audit_check_sender(inst, m);
+  if (m.kind == MsgKind::kDecide && inst.decided) {
+    // Agreement: every DECIDE for an instance must carry the value this
+    // host already decided.
+    SANPERF_AUDIT_CHECK("consensus.decision_agreement",
+                        inst.decision.empty() || detail::payload_of(m) == inst.decision,
+                        "conflicting DECIDE for instance " + std::to_string(m.cid) +
+                            " from host " + std::to_string(m.from));
+  }
+#endif
   if (inst.decided || inst.decide_pending) return;
 
   switch (m.kind) {
@@ -378,9 +399,33 @@ void CtConsensus::on_suspicion(HostId peer, bool suspected) {
   }
 }
 
+void CtConsensus::on_crash() {
+#if SANPERF_AUDIT_ENABLED
+  // Snapshot what a durable replay must reproduce. Only instances the log
+  // can know about qualify: started ones (propose records before anything
+  // leaves) and decided/pending ones (the decision record is durable before
+  // the decide path defers). Passive tally-only instances have no record
+  // and legitimately vanish.
+  audit_.precrash.clear();
+  for (const auto& [cid, inst] : instances_) {
+    if (!inst.started && !inst.decided && !inst.decide_pending) continue;
+    detail::LayerAudit::Snapshot snap;
+    snap.round = inst.round;
+    snap.decided = inst.decided || inst.decide_pending;
+    snap.decision_hash = detail::LayerAudit::hash_values(inst.decision);
+    audit_.precrash.emplace(cid, snap);
+  }
+#endif
+}
+
 void CtConsensus::on_restart() {
   instances_.clear();
-  if (!log_.enabled()) return;
+  if (!log_.enabled()) {
+    // Volatile restart: a fresh incarnation may legitimately re-learn and
+    // re-report old decisions, so the audit ledgers reset with the state.
+    SANPERF_AUDIT_ONLY(audit_.decided.clear(); audit_.precrash.clear();)
+    return;
+  }
   log_.compact(gc_.floor());
   std::uint64_t replayed = 0;
   // Iterate a snapshot: replay re-records state (in-place log writes) and a
@@ -434,7 +479,64 @@ void CtConsensus::on_restart() {
     bcast(inst, q);
   }
   log_.note_replayed(replayed);
+  SANPERF_AUDIT_ONLY(audit_check_replay();)
 }
+
+#if SANPERF_AUDIT_ENABLED
+void CtConsensus::audit_check_sender(const Instance& inst, const Message& m) const {
+  // Quorum membership: traffic for an instance must come from the member
+  // set of the epoch it runs under (Message::view_epoch pins the epoch at
+  // first touch), so no quorum can be assembled across epoch boundaries.
+  if (view_ == nullptr) {
+    SANPERF_AUDIT_CHECK("consensus.quorum_in_epoch",
+                        m.from < static_cast<HostId>(process().n()),
+                        "sender " + std::to_string(m.from) + " outside the fixed group");
+    return;
+  }
+  SANPERF_AUDIT_CHECK("consensus.quorum_in_epoch",
+                      inst.epoch <= view_->epoch() &&
+                          view_->is_member_at(inst.epoch, static_cast<MemberId>(m.from)),
+                      "sender " + std::to_string(m.from) + " not a member of epoch " +
+                          std::to_string(inst.epoch) + " (instance " + std::to_string(m.cid) +
+                          ")");
+}
+
+void CtConsensus::audit_check_replay() {
+  // Durable replay must reproduce the pre-crash trajectory: every decided
+  // instance comes back with the same value, every started in-flight one
+  // re-enters a round no earlier than the one it crashed in.
+  for (const auto& [cid, snap] : audit_.precrash) {
+    if (gc_.collected(cid)) continue;
+    const auto it = instances_.find(cid);
+    if (it == instances_.end()) {
+      SANPERF_AUDIT_CHECK("consensus.replay_matches_precrash", false,
+                          "instance " + std::to_string(cid) + " lost across replay");
+      continue;
+    }
+    const Instance& inst = it->second;
+    if (snap.decided) {
+      SANPERF_AUDIT_CHECK(
+          "consensus.replay_matches_precrash",
+          inst.decided && detail::LayerAudit::hash_values(inst.decision) == snap.decision_hash,
+          "instance " + std::to_string(cid) + " decision changed across replay");
+    } else {
+      SANPERF_AUDIT_CHECK("consensus.replay_matches_precrash", inst.round >= snap.round,
+                          "instance " + std::to_string(cid) + " replayed into round " +
+                              std::to_string(inst.round) + " behind pre-crash round " +
+                              std::to_string(snap.round));
+    }
+  }
+  audit_.precrash.clear();
+}
+
+void CtConsensus::audit_corrupt_clear_decided(std::int32_t cid) {
+  const auto it = instances_.find(cid);
+  if (it == instances_.end()) return;
+  it->second.decided = false;
+  it->second.decide_pending = false;
+  it->second.decide_broadcast = true;  // the corrupted re-decide must not re-flood
+}
+#endif
 
 void CtConsensus::handle_replay_query(const Message& m) {
   const auto it = instances_.find(m.cid);

@@ -25,6 +25,7 @@
 
 #include "consensus/durable_log.hpp"
 #include "consensus/instance_gc.hpp"
+#include "consensus/layer_audit.hpp"
 #include "consensus/membership.hpp"
 #include "fd/failure_detector.hpp"
 #include "runtime/process.hpp"
@@ -54,6 +55,7 @@ class CtConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
+  void on_crash() override;
   /// Warm restart. Without a durable log, consensus state is volatile: a
   /// rebooted process forgets every in-flight instance and rejoins
   /// passively -- it takes part in instances proposed after the restart,
@@ -135,6 +137,16 @@ class CtConsensus : public runtime::Layer {
   /// High-water mark of active_instances over the layer's lifetime.
   [[nodiscard]] std::size_t peak_active_instances() const { return peak_active_; }
   [[nodiscard]] std::uint64_t instances_collected() const { return gc_.collected_count(); }
+
+#if SANPERF_AUDIT_ENABLED
+  /// Test-only corruption backdoor: forgets that `cid` decided (the decided
+  /// flag, the pending flag and the broadcast marker), so a re-delivered
+  /// DECIDE re-drives the decide path and the no-double-decide audit trips.
+  void audit_corrupt_clear_decided(std::int32_t cid);
+  /// Test-only: mutable log access for corrupting records between a crash
+  /// and its replay (the replay-matches-precrash audit must notice).
+  [[nodiscard]] DurableLog& audit_mutable_log() { return log_; }
+#endif
 
  private:
   enum class Phase : std::uint8_t {
@@ -227,6 +239,10 @@ class CtConsensus : public runtime::Layer {
   void finish_decide(std::int32_t cid, Instance& inst);
   void send_nack(std::int32_t cid, Instance& inst);
   void on_suspicion(HostId peer, bool suspected);
+#if SANPERF_AUDIT_ENABLED
+  void audit_check_sender(const Instance& inst, const Message& m) const;
+  void audit_check_replay();
+#endif
 
   FailureDetector* fd_;
   DurableLog log_;
@@ -238,6 +254,7 @@ class CtConsensus : public runtime::Layer {
   Stats stats_;
   bool relay_decide_ = false;
   bool rotate_coordinators_ = false;
+  SANPERF_AUDIT_ONLY(detail::LayerAudit audit_;)
 };
 
 }  // namespace sanperf::consensus

@@ -24,7 +24,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
+
+#include "core/audit.hpp"
 
 namespace sanperf::consensus {
 
@@ -91,6 +94,15 @@ class DurableLog {
   /// so replay must not resurrect them. Bit-exact: the surviving suffix is
   /// untouched.
   void compact(std::int32_t floor) {
+#if SANPERF_AUDIT_ENABLED
+    // Compaction follows the GC watermark, which only advances; truncating
+    // to a lower floor would mean records already folded into the snapshot
+    // could be asked for again.
+    SANPERF_AUDIT_CHECK("consensus.gc_watermark_monotonic", floor >= audit_compact_floor_,
+                        "log compacted to floor " + std::to_string(floor) + " below " +
+                            std::to_string(audit_compact_floor_));
+    if (floor > audit_compact_floor_) audit_compact_floor_ = floor;
+#endif
     const auto end = states_.lower_bound(floor);
     if (end == states_.begin()) return;
     stats_.truncated +=
@@ -108,6 +120,9 @@ class DurableLog {
   std::map<std::int32_t, InstanceState> states_;
   double tail_ms_ = 0.0;  ///< completion time of the last append (device tail)
   Stats stats_;
+#if SANPERF_AUDIT_ENABLED
+  std::int32_t audit_compact_floor_ = 0;  ///< highest floor ever compacted to
+#endif
 };
 
 }  // namespace sanperf::consensus

@@ -16,7 +16,10 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
+
+#include "core/audit.hpp"
 
 namespace sanperf::consensus::detail {
 
@@ -40,6 +43,15 @@ class InstanceGc {
   /// collected. Call only from entry points where no Instance& is live.
   template <typename Map>
   void sweep(Map& instances) {
+#if SANPERF_AUDIT_ENABLED
+    // The watermark is a promise ("everything below decided or was written
+    // off"); moving it backwards would resurrect collected instances as
+    // undecided. Checked at every sweep against its own high-water mark.
+    SANPERF_AUDIT_CHECK("consensus.gc_watermark_monotonic", floor_ >= audit_floor_seen_,
+                        "floor moved back to " + std::to_string(floor_) + " from " +
+                            std::to_string(audit_floor_seen_));
+    if (floor_ > audit_floor_seen_) audit_floor_seen_ = floor_;
+#endif
     if (!enabled_ || ready_.empty()) return;
     for (const std::int32_t cid : ready_) {
       // Note the decision even when the state is already gone (a warm
@@ -53,6 +65,9 @@ class InstanceGc {
     // never-decided entries; their state is unreachable now (every entry
     // point short-circuits on collected()), so drop it.
     instances.erase(instances.begin(), instances.lower_bound(floor_));
+    // Record the post-advance watermark too, or a rewind between two
+    // sweeps would hide below the previous entry's stale high-water mark.
+    SANPERF_AUDIT_ONLY(if (floor_ > audit_floor_seen_) audit_floor_seen_ = floor_;)
   }
 
   /// Lifetime count of collected instances.
@@ -71,6 +86,13 @@ class InstanceGc {
   /// the give-up semantics, any that never decided here: they then report
   /// has_decided() and stop participating.
   static constexpr std::size_t kMaxOutOfOrder = 256;
+
+#if SANPERF_AUDIT_ENABLED
+  /// Test-only corruption backdoor: rewinds the watermark without touching
+  /// the audit high-water mark, so the next sweep trips the monotonicity
+  /// check.
+  void audit_corrupt_floor(std::int32_t floor) { floor_ = floor; }
+#endif
 
  private:
   void note_decided(std::int32_t cid) {
@@ -100,6 +122,9 @@ class InstanceGc {
   std::set<std::int32_t> out_of_order_;  ///< collected cids >= floor_
   std::vector<std::int32_t> ready_;      ///< decided, awaiting the next sweep
   std::uint64_t collected_ = 0;
+#if SANPERF_AUDIT_ENABLED
+  std::int32_t audit_floor_seen_ = 0;  ///< high-water mark of floor_ at sweeps
+#endif
 };
 
 }  // namespace sanperf::consensus::detail

@@ -30,6 +30,7 @@
 #include "consensus/ct_consensus.hpp"  // DecisionEvent, FailureDetector
 #include "consensus/durable_log.hpp"
 #include "consensus/instance_gc.hpp"
+#include "consensus/layer_audit.hpp"
 #include "consensus/membership.hpp"
 #include "runtime/process.hpp"
 
@@ -41,6 +42,7 @@ class MrConsensus : public runtime::Layer {
 
   void on_start() override;
   void on_message(const Message& m) override;
+  void on_crash() override;
   /// Warm restart: volatile-state loss exactly as CtConsensus models it,
   /// unless the durable log is enabled -- then the logged suffix is
   /// replayed (round/estimate/AUX-vote state restored, REPLAYQ asks peers
@@ -88,6 +90,12 @@ class MrConsensus : public runtime::Layer {
     std::uint64_t bottom_aux = 0;  ///< AUX messages carrying bottom
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+#if SANPERF_AUDIT_ENABLED
+  /// Test-only corruption backdoors; identical contract to CtConsensus.
+  void audit_corrupt_clear_decided(std::int32_t cid);
+  [[nodiscard]] DurableLog& audit_mutable_log() { return log_; }
+#endif
 
  private:
   enum class Phase : std::uint8_t {
@@ -157,6 +165,10 @@ class MrConsensus : public runtime::Layer {
               std::int32_t round);
   void finish_decide(std::int32_t cid, Instance& inst);
   void on_suspicion(HostId peer, bool suspected);
+#if SANPERF_AUDIT_ENABLED
+  void audit_check_sender(const Instance& inst, const Message& m) const;
+  void audit_check_replay();
+#endif
 
   FailureDetector* fd_;
   DurableLog log_;
@@ -168,6 +180,7 @@ class MrConsensus : public runtime::Layer {
   Stats stats_;
   bool relay_decide_ = false;
   bool rotate_coordinators_ = false;
+  SANPERF_AUDIT_ONLY(detail::LayerAudit audit_;)
 };
 
 }  // namespace sanperf::consensus

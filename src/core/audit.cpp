@@ -1,0 +1,42 @@
+#include "core/audit.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sanperf::audit {
+
+namespace {
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "sanperf audit: invariant '%s' violated at %s:%d%s%s\n", v.invariant,
+               v.file, v.line, v.detail.empty() ? "" : ": ", v.detail.c_str());
+  std::abort();
+}
+
+Handler g_handler = &default_handler;
+std::atomic<std::uint64_t> g_checks{0};
+
+}  // namespace
+
+Handler set_handler(Handler handler) {
+  const Handler prev = g_handler;
+  g_handler = handler != nullptr ? handler : &default_handler;
+  return prev;
+}
+
+void fail(const char* invariant, const char* file, int line, std::string detail) {
+  const Violation v{invariant, file, line, std::move(detail)};
+  g_handler(v);
+  // A handler must abort or throw; returning would let a corrupted
+  // simulation keep running with the violation swallowed.
+  default_handler(v);
+}
+
+std::uint64_t checks_run() { return g_checks.load(std::memory_order_relaxed); }
+
+namespace detail {
+void note_check() noexcept { g_checks.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace detail
+
+}  // namespace sanperf::audit

@@ -1,0 +1,85 @@
+// The compiled-out invariant-audit layer.
+//
+// Every subsystem carries runtime checks for invariants the protocol stack
+// relies on but the type system cannot express: simulated time never runs
+// backwards, a freed event slot never fires, a crashed host never receives
+// a delivery, an instance never decides twice, a quorum never reaches
+// outside its launch epoch's member set. The checks are compiled in only
+// when the build sets SANPERF_AUDIT (cmake -DSANPERF_AUDIT=ON): in normal
+// builds every SANPERF_AUDIT_* macro expands to nothing, so the audit layer
+// is zero-cost and the audited binaries remain bit-identical with the
+// unaudited ones.
+//
+// Audit checks are observers, never actors: they must not consume RNG
+// draws, schedule or cancel events, or mutate any state the simulation
+// reads. That discipline is what keeps an audit-on build bit-identical to
+// an audit-off build (CI diffs the quick goldens at --tol 0.0 against the
+// audited binaries to enforce it).
+//
+// A failed check reports through a process-wide handler: the default
+// prints the violated invariant and aborts (so CI catches corruptions as
+// hard failures); tests install a throwing handler and assert that a
+// deliberately corrupted simulation trips the right invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sanperf::audit {
+
+/// Everything known about one failed invariant check.
+struct Violation {
+  const char* invariant;  ///< dotted name, e.g. "des.monotonic_time"
+  const char* file;
+  int line;
+  std::string detail;  ///< human-readable state summary, may be empty
+};
+
+/// Called exactly once per failed check. Must not return normally: either
+/// abort (the default) or throw. A handler that returns is itself a bug;
+/// fail() aborts after it returns as a backstop.
+using Handler = void (*)(const Violation&);
+
+/// Installs a failure handler and returns the previous one. Passing nullptr
+/// restores the default print-and-abort handler. Not thread-safe: install
+/// handlers before fanning out replications (tests are single-threaded).
+Handler set_handler(Handler handler);
+
+/// Reports a violated invariant through the installed handler.
+void fail(const char* invariant, const char* file, int line, std::string detail = {});
+
+/// Lifetime count of audit checks evaluated (audit builds only; stays 0
+/// otherwise). Tests assert it grows to prove the hooks actually run.
+[[nodiscard]] std::uint64_t checks_run();
+
+namespace detail {
+void note_check() noexcept;
+}  // namespace detail
+
+}  // namespace sanperf::audit
+
+#ifdef SANPERF_AUDIT
+
+#define SANPERF_AUDIT_ENABLED 1
+
+/// Evaluates `cond`; on failure reports `invariant` (plus the optional
+/// detail string expression, evaluated lazily) through the audit handler.
+/// `cond` must be free of side effects visible to the simulation.
+#define SANPERF_AUDIT_CHECK(invariant, cond, ...)                               \
+  do {                                                                          \
+    ::sanperf::audit::detail::note_check();                                     \
+    if (!(cond)) {                                                              \
+      ::sanperf::audit::fail(invariant, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                           \
+  } while (0)
+
+/// Declares members / runs statements that exist only in audit builds.
+#define SANPERF_AUDIT_ONLY(...) __VA_ARGS__
+
+#else
+
+#define SANPERF_AUDIT_ENABLED 0
+#define SANPERF_AUDIT_CHECK(invariant, cond, ...) ((void)0)
+#define SANPERF_AUDIT_ONLY(...)
+
+#endif

@@ -1,6 +1,7 @@
 #include "des/event_queue.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace sanperf::des {
@@ -75,9 +76,14 @@ EventId EventQueue::push(TimePoint at, Action action) {
   s.at = at;
   s.seq = next_seq_++;
   s.action = std::move(action);
+  SANPERF_AUDIT_ONLY(s.audit_live_gen = s.gen;)
   heap_.push_back(slot);
   s.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
+#if SANPERF_AUDIT_ENABLED
+  // Periodic O(n) self-check, after the slot is fully linked in.
+  if (++audit_ops_ % kAuditPeriod == 0) audit_check_heap();
+#endif
   return make_id(slot, s.gen);
 }
 
@@ -98,6 +104,16 @@ EventQueue::Popped EventQueue::pop() {
   if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
   const std::uint32_t slot = heap_.front();
   Slot& s = slots_[slot];
+  // The slot about to fire must be alive: at the heap top, in its pushed
+  // generation (a bumped generation means the event was released yet would
+  // still run) and holding a callable action.
+  SANPERF_AUDIT_CHECK("des.no_dead_slot_fire",
+                      s.heap_pos == 0 && s.gen == s.audit_live_gen && static_cast<bool>(s.action),
+                      "slot " + std::to_string(slot) + " gen " + std::to_string(s.gen) +
+                          " heap_pos " + std::to_string(s.heap_pos));
+#if SANPERF_AUDIT_ENABLED
+  if (++audit_ops_ % kAuditPeriod == 0) audit_check_heap();
+#endif
   Popped out{s.at, make_id(slot, s.gen), std::move(s.action)};
   heap_remove(0);
   release_slot(slot);
@@ -110,6 +126,40 @@ void EventQueue::clear() {
   for (const std::uint32_t slot : heap_) release_slot(slot);
   heap_.clear();
 }
+
+#if SANPERF_AUDIT_ENABLED
+void EventQueue::audit_check_heap() const {
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t slot = heap_[i];
+    SANPERF_AUDIT_CHECK("des.heap_index_consistency",
+                        slot < slots_.size() && slots_[slot].heap_pos == i,
+                        "heap[" + std::to_string(i) + "] = slot " + std::to_string(slot));
+    SANPERF_AUDIT_CHECK("des.no_dead_slot_fire",
+                        slots_[slot].gen == slots_[slot].audit_live_gen &&
+                            static_cast<bool>(slots_[slot].action),
+                        "heap-resident slot " + std::to_string(slot) + " is dead");
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      SANPERF_AUDIT_CHECK("des.heap_index_consistency", earlier(heap_[parent], slot),
+                          "heap order violated between " + std::to_string(parent) + " and " +
+                              std::to_string(i));
+    }
+  }
+  // The free list must account for exactly the slots not in the heap.
+  std::size_t free_count = 0;
+  for (std::uint32_t f = free_head_; f != kNpos; f = slots_[f].next_free) {
+    SANPERF_AUDIT_CHECK("des.heap_index_consistency",
+                        f < slots_.size() && slots_[f].heap_pos == kNpos,
+                        "free-listed slot " + std::to_string(f) + " is heap-resident");
+    ++free_count;
+    if (free_count > slots_.size()) break;  // cycle; the count check below fires
+  }
+  SANPERF_AUDIT_CHECK("des.heap_index_consistency", free_count + heap_.size() == slots_.size(),
+                      "free " + std::to_string(free_count) + " + live " +
+                          std::to_string(heap_.size()) + " != slots " +
+                          std::to_string(slots_.size()));
+}
+#endif
 
 void EventQueue::shrink_to_fit() {
   // Only tail slots can go: interior slots are addressed by index from the

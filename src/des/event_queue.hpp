@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "des/time.hpp"
 
 namespace sanperf::des {
@@ -203,6 +204,25 @@ class EventQueue {
   /// assert steady-state slot reuse (no slab growth under churn).
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
+#if SANPERF_AUDIT_ENABLED
+  /// Full O(n) structural self-check: every heap entry back-references its
+  /// position, the heap order holds, live slots carry a live generation and
+  /// a callable action, and the free list accounts for exactly the slots
+  /// not in the heap. Runs automatically every kAuditPeriod push/pop in
+  /// audit builds; callable directly from tests.
+  void audit_check_heap() const;
+
+  // Test-only corruption backdoors for the negative audit tests: each
+  // injects exactly the inconsistency one invariant class guards against.
+  /// Rewrites a pending event's firing time WITHOUT re-sifting the heap.
+  void audit_corrupt_slot_time(EventId id, TimePoint at) { slots_[slot_of(id)].at = at; }
+  /// Bumps a pending slot's generation while it stays heap-resident: the
+  /// slot is dead (its handle is stale) yet would still fire.
+  void audit_corrupt_kill_slot(EventId id) { ++slots_[slot_of(id)].gen; }
+  /// Breaks a pending slot's heap back-reference.
+  void audit_corrupt_heap_pos(EventId id) { ++slots_[slot_of(id)].heap_pos; }
+#endif
+
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
 
@@ -213,6 +233,11 @@ class EventQueue {
     std::uint32_t gen = 0;         ///< bumped on release; stales old EventIds
     std::uint32_t heap_pos = kNpos;  ///< index into heap_, kNpos when free
     std::uint32_t next_free = kNpos;
+#if SANPERF_AUDIT_ENABLED
+    /// Generation the slot was pushed with: while heap-resident, gen must
+    /// still equal it -- a mismatch means a dead-generation slot would fire.
+    std::uint32_t audit_live_gen = 0;
+#endif
   };
 
   static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
@@ -241,6 +266,10 @@ class EventQueue {
   std::uint32_t free_head_ = kNpos;
   std::uint32_t gen_floor_ = 0;  ///< new slots start here; > any dropped gen
   std::uint64_t next_seq_ = 0;
+#if SANPERF_AUDIT_ENABLED
+  static constexpr std::uint64_t kAuditPeriod = 1024;  ///< ops between self-checks
+  mutable std::uint64_t audit_ops_ = 0;
+#endif
 };
 
 }  // namespace sanperf::des

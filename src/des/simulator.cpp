@@ -1,6 +1,7 @@
 #include "des/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace sanperf::des {
@@ -18,6 +19,9 @@ EventId Simulator::schedule_at(TimePoint at, Action action) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto ev = queue_.pop();
+  SANPERF_AUDIT_CHECK("des.monotonic_time", ev.at >= now_,
+                      "event at " + std::to_string(ev.at.to_ms()) + " ms behind clock " +
+                          std::to_string(now_.to_ms()) + " ms");
   now_ = ev.at;
   ++processed_;
   ev.action();

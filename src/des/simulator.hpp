@@ -47,6 +47,12 @@ class Simulator {
   /// Clears all pending events and resets the clock to the origin.
   void reset();
 
+#if SANPERF_AUDIT_ENABLED
+  /// Audit-build test access to the underlying queue, so negative tests can
+  /// corrupt pending events and assert the audit layer trips.
+  [[nodiscard]] EventQueue& audit_queue() { return queue_; }
+#endif
+
  private:
   EventQueue queue_;
   TimePoint now_ = TimePoint::origin();

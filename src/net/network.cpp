@@ -38,9 +38,14 @@ void FifoServer::complete() {
   if (!dropped && done) done();
 }
 
-void FifoServer::drain(bool drop_in_service) {
+std::size_t FifoServer::drain(bool drop_in_service) {
+  std::size_t dropped = waiting_.size();
   waiting_.clear();
-  if (drop_in_service && busy_) drop_current_ = true;
+  if (drop_in_service && busy_ && !drop_current_) {
+    drop_current_ = true;
+    ++dropped;
+  }
+  return dropped;
 }
 
 HubMedium::HubMedium(des::Simulator& sim, des::RandomEngine rng, std::size_t hosts)
@@ -104,6 +109,7 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
   pkt->body = std::move(body);
   pkt->sent_at = sim_->now();
   ++frames_sent_;
+  SANPERF_AUDIT_ONLY(++audit_in_flight_;)
 
   // TCP towards a dead peer: only the pair's first frame reaches the wire;
   // later sends cost the sender CPU but are absorbed by the socket buffer.
@@ -121,6 +127,7 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
                     [this, pkt, wire, cls] {
     if (!wire) {
       ++frames_dropped_;
+      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
       return;
     }
     // Step 4: the shared medium (exclusive wire occupancy).
@@ -135,6 +142,7 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
       sim_->schedule(pipeline, [this, pkt] {
         if (down_[pkt->dst]) {
           ++frames_dropped_;
+          SANPERF_AUDIT_ONLY(--audit_in_flight_;)
           return;
         }
         // Receiver edge: the fault-injection filter sees every frame that
@@ -145,10 +153,14 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
         if (fate == FrameFate::kDrop) {
           ++frames_dropped_;
           ++frames_filtered_;
+          SANPERF_AUDIT_ONLY(--audit_in_flight_;)
           return;
         }
         const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
-        if (copies == 2) ++frames_duplicated_;
+        if (copies == 2) {
+          ++frames_duplicated_;
+          SANPERF_AUDIT_ONLY(++audit_in_flight_;)  // the extra copy is live too
+        }
         for (int c = 0; c < copies; ++c) {
           // Step 6: receiver CPU.
           cpus_[pkt->dst].submit(
@@ -156,8 +168,14 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
               [this, pkt] {
                 if (down_[pkt->dst]) {
                   ++frames_dropped_;
+                  SANPERF_AUDIT_ONLY(--audit_in_flight_;)
                   return;
                 }
+                // A crashed host must never see a delivery: the guard above
+                // is the last line of defence and this audit proves it held.
+                SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[pkt->dst],
+                                    "delivery to crashed host " + std::to_string(pkt->dst));
+                SANPERF_AUDIT_ONLY(++audit_delivered_; --audit_in_flight_;)
                 if (deliver_) deliver_(*pkt);  // step 7
               });
         }
@@ -170,8 +188,12 @@ void ContentionNetwork::host_down(HostId h) {
   if (h >= cpus_.size()) throw std::invalid_argument{"ContentionNetwork::host_down: bad host"};
   down_[h] = 1;
   // The CPU abandons queued work; the job in service finishes occupying the
-  // resource but its completion is suppressed.
-  cpus_[h].drain(/*drop_in_service=*/true);
+  // resource but its completion is suppressed. Every vaporised job is one
+  // frame that reaches no other terminal -- account it as crash loss so the
+  // conservation audit stays balanced across crashes.
+  const std::size_t lost = cpus_[h].drain(/*drop_in_service=*/true);
+  static_cast<void>(lost);
+  SANPERF_AUDIT_ONLY(audit_crash_lost_ += lost; audit_in_flight_ -= lost;)
 }
 
 void ContentionNetwork::host_restart(HostId h) {

@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "des/random.hpp"
 #include "des/simulator.hpp"
 #include "net/params.hpp"
@@ -44,8 +46,11 @@ class FifoServer {
   [[nodiscard]] std::uint64_t jobs_served() const { return served_; }
 
   /// Discards queued jobs (used when a host crashes). The in-service job,
-  /// if any, still completes unless `drop_in_service`.
-  void drain(bool drop_in_service);
+  /// if any, still completes unless `drop_in_service`. Returns how many
+  /// jobs will never run their completion (queued ones discarded here plus
+  /// an in-service one whose completion was suppressed), so callers can
+  /// keep conservation accounting over the submitted work.
+  std::size_t drain(bool drop_in_service);
 
  private:
   struct Job {
@@ -168,6 +173,43 @@ class ContentionNetwork {
   [[nodiscard]] const FifoServer& cpu(HostId h) const { return cpus_.at(h); }
   [[nodiscard]] const HubMedium& medium() const { return medium_; }
 
+#if SANPERF_AUDIT_ENABLED
+  /// Frame conservation: every frame submitted (plus duplicated copies) is
+  /// eventually delivered, dropped with accounting, or lost to a crash
+  /// drain -- and nothing materialises out of thin air. The identity is
+  /// checked continuously; `at_drain` additionally requires that no frame
+  /// remains in flight (call when the event queue has emptied).
+  void audit_check_frame_conservation(bool at_drain) const {
+    SANPERF_AUDIT_CHECK("net.frame_conservation",
+                        frames_sent_ + frames_duplicated_ ==
+                            audit_delivered_ + frames_dropped_ + audit_crash_lost_ +
+                                audit_in_flight_,
+                        "sent " + std::to_string(frames_sent_) + " + dup " +
+                            std::to_string(frames_duplicated_) + " != delivered " +
+                            std::to_string(audit_delivered_) + " + dropped " +
+                            std::to_string(frames_dropped_) + " + crash-lost " +
+                            std::to_string(audit_crash_lost_) + " + in-flight " +
+                            std::to_string(audit_in_flight_));
+    if (at_drain) {
+      SANPERF_AUDIT_CHECK("net.frame_conservation", audit_in_flight_ == 0,
+                          std::to_string(audit_in_flight_) +
+                              " frames still in flight after the event queue drained");
+    }
+  }
+  [[nodiscard]] std::uint64_t audit_frames_delivered() const { return audit_delivered_; }
+
+  /// Test-only corruption backdoor: runs the step-7 delivery tail without
+  /// the crashed-host guard (and without a matching send), so both the
+  /// no-delivery-to-crashed audit and the conservation audit can be made
+  /// to trip deliberately.
+  void audit_force_deliver(const Packet& pkt) {
+    SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[pkt.dst],
+                        "forced delivery to crashed host " + std::to_string(pkt.dst));
+    ++audit_delivered_;
+    if (deliver_) deliver_(pkt);
+  }
+#endif
+
  private:
   [[nodiscard]] des::Duration sample(const stats::BimodalUniform& dist);
 
@@ -186,6 +228,11 @@ class ContentionNetwork {
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_filtered_ = 0;
   std::uint64_t frames_duplicated_ = 0;
+#if SANPERF_AUDIT_ENABLED
+  std::uint64_t audit_delivered_ = 0;   ///< frames handed to deliver_ (step 7)
+  std::uint64_t audit_in_flight_ = 0;   ///< submitted, not yet at a terminal
+  std::uint64_t audit_crash_lost_ = 0;  ///< jobs vaporised by a crash drain
+#endif
 };
 
 }  // namespace sanperf::net

@@ -1,6 +1,7 @@
 #include "runtime/process.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace sanperf::runtime {
@@ -31,16 +32,40 @@ void Process::broadcast(Message m) {
 
 TimerId Process::set_timer(des::Duration delay, std::function<void()> fn) {
   return sim_->schedule(delay, [this, epoch = epoch_, fn = std::move(fn)] {
-    if (!crashed_ && epoch == epoch_) fn();
+    if (!crashed_ && epoch == epoch_) {
+      // A timer body must only ever run in the epoch it was armed in, on a
+      // live process -- the guard just established both.
+      SANPERF_AUDIT_CHECK("runtime.timer_epoch_guard", !crashed_ && epoch == epoch_);
+      fn();
+    } else {
+      SANPERF_AUDIT_ONLY(++audit_suppressed_;)
+    }
   });
 }
 
 TimerId Process::set_os_timer(des::Duration delay, std::function<void()> fn) {
   const des::TimePoint actual = net::quantize_timer(timers_, sim_->now() + delay, rng_);
   return sim_->schedule_at(actual, [this, epoch = epoch_, fn = std::move(fn)] {
-    if (!crashed_ && epoch == epoch_) fn();
+    if (!crashed_ && epoch == epoch_) {
+      SANPERF_AUDIT_CHECK("runtime.timer_epoch_guard", !crashed_ && epoch == epoch_);
+      fn();
+    } else {
+      SANPERF_AUDIT_ONLY(++audit_suppressed_;)
+    }
   });
 }
+
+#if SANPERF_AUDIT_ENABLED
+TimerId Process::audit_arm_unguarded_timer(des::Duration delay, std::function<void()> fn) {
+  return sim_->schedule(delay, [this, epoch = epoch_, fn = std::move(fn)] {
+    SANPERF_AUDIT_CHECK("runtime.timer_epoch_guard", !crashed_ && epoch == epoch_,
+                        "pre-crash timer fired on host " + std::to_string(id_) +
+                            " (armed epoch " + std::to_string(epoch) + ", now " +
+                            std::to_string(epoch_) + (crashed_ ? ", crashed)" : ")"));
+    fn();
+  });
+}
+#endif
 
 void Process::crash() {
   if (crashed_) return;

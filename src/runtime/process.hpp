@@ -111,6 +111,18 @@ class Process {
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_received() const { return received_; }
 
+#if SANPERF_AUDIT_ENABLED
+  /// Timers whose firing was suppressed because the process crashed (or
+  /// crash-restarted) after arming them: evidence the epoch guard kills
+  /// pre-crash timers instead of letting them run into post-restart state.
+  [[nodiscard]] std::uint64_t audit_timers_suppressed() const { return audit_suppressed_; }
+  /// Test-only corruption backdoor: arms a timer WITHOUT the epoch guard,
+  /// so a pre-crash timer chain survives into the post-crash process. The
+  /// audit check inside trips when the unguarded timer fires on a crashed
+  /// or restarted process.
+  TimerId audit_arm_unguarded_timer(des::Duration delay, std::function<void()> fn);
+#endif
+
  private:
   HostId id_;
   std::size_t n_;
@@ -126,6 +138,9 @@ class Process {
   std::uint64_t epoch_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+#if SANPERF_AUDIT_ENABLED
+  std::uint64_t audit_suppressed_ = 0;
+#endif
 };
 
 }  // namespace sanperf::runtime

@@ -190,7 +190,9 @@ class SanModel {
   std::vector<Activity> activities_;
   std::vector<InputGate> input_gates_;
   std::vector<OutputGate> output_gates_;
+  // det-lint: allow(unordered-container) name->id lookup only, never iterated
   std::unordered_map<std::string, PlaceId> place_index_;
+  // det-lint: allow(unordered-container) name->id lookup only, never iterated
   std::unordered_map<std::string, ActivityId> activity_index_;
 
   mutable bool dependents_dirty_ = true;
