@@ -23,6 +23,7 @@
 #include "core/campaign.hpp"
 #include "core/report.hpp"
 #include "faults/plan.hpp"
+#include "faults/synth.hpp"
 #include "stats/ecdf.hpp"
 
 namespace {
@@ -40,6 +41,9 @@ int usage(std::ostream& os, int code) {
         "  sanperf run --all|--match <glob> --out-dir DIR [run options]\n"
         "  sanperf knee <scenario> [--axis offered_per_s] [--target RATIO]\n"
         "              [--iters N] [run options]\n"
+        "  sanperf plan [--scope host|rack] [--domains N] [--shape K]\n"
+        "              [--scale-ms MS] [--horizon-ms MS] [--downtime-ms MS]\n"
+        "              [--seed S] [--out FILE] [--spec-out FILE]\n"
         "  sanperf diff <expected.csv> <actual.csv> [--tol REL]\n"
         "  sanperf help\n"
         "\n"
@@ -54,7 +58,10 @@ int usage(std::ostream& os, int code) {
         "axis unknown to every matched scenario is an error). knee\n"
         "binary-searches the scenario's load axis for the saturation knee:\n"
         "the highest load whose delivered_per_s still covers --target\n"
-        "(default 0.9) of the offered load on every grid row.\n"
+        "(default 0.9) of the offered load on every grid row. plan\n"
+        "synthesizes a FaultPlan JSON from a Weibull fault-rate spec\n"
+        "(deterministic in --seed; feed the file back via --fault-plan).\n"
+        "--downtime-ms inf makes each domain's first crash permanent.\n"
         "SANPERF_SCALE / SANPERF_THREADS are honoured when flags are absent.\n";
   return code;
 }
@@ -510,6 +517,88 @@ int cmd_knee(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- plan --------------------------------------------------------------------
+
+/// Synthesizes a FaultPlan from a Weibull fault-rate spec and writes it as
+/// JSON (stdout or --out). The emitted plan is a pure function of the spec,
+/// and the plan JSON round-trips (the command re-parses what it writes and
+/// re-synthesizes from the spec as a self-check), so a checked-in plan file
+/// replays bit-identically via `sanperf run ... --fault-plan plan.json`.
+int cmd_plan(const std::vector<std::string>& args) {
+  faults::WeibullPlanSpec spec;
+  std::optional<std::string> out_path;
+  std::optional<std::string> spec_out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw std::invalid_argument{"missing value after " + arg};
+      }
+      return args[++i];
+    };
+    if (arg == "--scope") {
+      spec.scope = next();
+    } else if (arg == "--domains") {
+      spec.domains = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--shape") {
+      spec.shape = std::stod(next());
+    } else if (arg == "--scale-ms") {
+      spec.scale_ms = std::stod(next());
+    } else if (arg == "--horizon-ms") {
+      spec.horizon_ms = std::stod(next());
+    } else if (arg == "--downtime-ms") {
+      const std::string& v = next();
+      spec.downtime_ms = (v == "inf" || v == "forever") ? faults::kForeverMs : std::stod(v);
+    } else if (arg == "--seed") {
+      spec.seed = std::stoull(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--spec-out") {
+      spec_out_path = next();
+    } else {
+      std::cerr << "sanperf plan: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    }
+  }
+
+  const faults::FaultPlan plan = faults::synthesize_weibull_plan(spec);
+  const std::string json = plan.to_json();
+
+  // Self-check both round trips before anything is written: the plan JSON
+  // must re-parse to the same serialization, and the spec must replay to
+  // the same plan (the determinism contract --fault-plan relies on).
+  if (faults::FaultPlan::from_json(json).to_json() != json) {
+    std::cerr << "sanperf plan: internal error: plan JSON does not round-trip\n";
+    return 1;
+  }
+  if (faults::synthesize_weibull_plan(faults::WeibullPlanSpec::from_json(spec.to_json()))
+          .to_json() != json) {
+    std::cerr << "sanperf plan: internal error: spec does not replay to the same plan\n";
+    return 1;
+  }
+
+  if (spec_out_path) {
+    std::ofstream file{*spec_out_path};
+    if (!file) {
+      std::cerr << "sanperf plan: cannot open '" << *spec_out_path << "' for writing\n";
+      return 1;
+    }
+    file << spec.to_json() << "\n";
+  }
+  if (out_path) {
+    std::ofstream file{*out_path};
+    if (!file) {
+      std::cerr << "sanperf plan: cannot open '" << *out_path << "' for writing\n";
+      return 1;
+    }
+    file << json << "\n";
+    std::cout << "wrote " << plan.events().size() << " event(s) to " << *out_path << "\n";
+  } else {
+    std::cout << json << "\n";
+  }
+  return 0;
+}
+
 // --- diff --------------------------------------------------------------------
 
 struct DiffReport {
@@ -677,6 +766,7 @@ int main(int argc, char** argv) {
     }
     if (command == "run") return cmd_run(args);
     if (command == "knee") return cmd_knee(args);
+    if (command == "plan") return cmd_plan(args);
     if (command == "diff") return cmd_diff(args);
     std::cerr << "sanperf: unknown command '" << command << "'\n";
     return usage(std::cerr, 2);

@@ -10,15 +10,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 
 #include "core/measurement.hpp"
 #include "faults/injector.hpp"
+#include "faults/lowering.hpp"
 #include "faults/plan.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/params.hpp"
 #include "runtime/cluster.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf::core::detail {
 
@@ -30,17 +33,28 @@ template <typename ConsensusLayer>
 ExecOutcome run_one_consensus_execution(std::size_t n, const net::NetworkParams& params,
                                         const net::TimerModel& timers, int initially_crashed,
                                         std::size_t k, std::uint64_t exec_seed,
-                                        const faults::FaultPlan* plan = nullptr) {
+                                        const faults::FaultPlan* plan = nullptr,
+                                        std::shared_ptr<const topo::Topology> topology = nullptr) {
   // Independent executions: a fresh cluster per run keeps them perfectly
   // isolated (the cluster equivalent of the paper's 10 ms separation).
   runtime::ClusterConfig cfg;
   cfg.n = n;
   cfg.network = params;
   cfg.timers = timers;
+  cfg.topology = topology;
   cfg.seed = exec_seed;
   runtime::Cluster cluster{cfg};
   std::optional<faults::FaultInjector> injector;
   if (plan != nullptr) injector.emplace(cluster, *plan);
+
+  // Domain-scoped events lower against the topology here too, so
+  // initially_down sees the per-host form the injector replays.
+  std::optional<faults::FaultPlan> lowered;
+  if (plan != nullptr && plan->has_domain_events()) {
+    lowered =
+        faults::lower_plan(*plan, topology ? *topology : topo::Topology::single_hub(n));
+    plan = &*lowered;
+  }
 
   // The static detector pre-suspects every host down at the start: the
   // explicitly crashed one and everything the plan crashes at t <= 0.

@@ -14,6 +14,7 @@
 #include "des/random.hpp"
 #include "faults/experiments.hpp"
 #include "stats/ecdf.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf::core {
 
@@ -637,7 +638,9 @@ double fault_strike_ms(const Scale& scale) {
 std::pair<double, double> fold_window(const faults::FaultPlan& plan) {
   for (const auto& event : plan.events()) {
     if (event.kind == faults::FaultKind::kCrash ||
-        event.kind == faults::FaultKind::kPartition) {
+        event.kind == faults::FaultKind::kPartition ||
+        event.kind == faults::FaultKind::kKillRack ||
+        event.kind == faults::FaultKind::kPartitionSwitch) {
       return {event.at_ms, event.end_ms()};
     }
   }
@@ -1161,7 +1164,9 @@ ScenarioSpec closed_loop_clients_spec() {
             other.get_size("warmup") == point.get_size("warmup") &&
             other.get_size("instances") == point.get_size("instances") &&
             results[q].stats.delivered_per_s > 0) {
-          vs_one = Value{stats.delivered_per_s / results[q].stats.delivered_per_s};
+          // emplace<> rather than variant assignment: gcc-12 under ASan flags
+          // the move-assign visitor's string alternative as maybe-uninitialized.
+          vs_one.emplace<double>(stats.delivered_per_s / results[q].stats.delivered_per_s);
         }
       }
       table.add_row({point.get_int("n"), point.get_int("clients"), point.get_real("think_ms"),
@@ -1572,6 +1577,189 @@ ScenarioSpec membership_growth_spec() {
   return spec;
 }
 
+// --- Topology scenarios (src/topo) -------------------------------------------
+
+/// The shared 2-rack layout of the topology scenarios: hosts split
+/// contiguously (rack 0 takes the remainder, so the round-1 coordinator
+/// host 0 always sits in the majority rack) with the given uplink latency.
+std::shared_ptr<const topo::Topology> two_rack_topology(std::size_t n, std::size_t racks,
+                                                        double uplink_latency_ms) {
+  topo::LinkParams uplink;
+  uplink.latency_ms = uplink_latency_ms;
+  return std::make_shared<const topo::Topology>(
+      topo::Topology::uniform(n, racks, topo::LinkParams{}, uplink));
+}
+
+ScenarioSpec rack_loss_consensus_spec() {
+  ScenarioSpec spec;
+  spec.name = "rack_loss_consensus";
+  spec.description =
+      "CT vs MR through the correlated crash of a whole rack (kill_rack) on a 2-rack topology";
+  spec.notes =
+      "The result class the single-hub model cannot express: every host of\n"
+      "the minority rack dies at the same instant (one kill_rack event\n"
+      "lowered against the failure-domain tree), so the survivors lose\n"
+      "several peers at once instead of one. The contiguous split keeps the\n"
+      "round-1 coordinator in the surviving majority rack, so decisions\n"
+      "continue through the outage -- and the during window is typically\n"
+      "*faster*: once the heartbeat detector times the dead rack out, the\n"
+      "quorum goes rack-local (no uplink crossings) and the per-link load\n"
+      "drops. Recovery re-adds the remote rack and latency returns to the\n"
+      "cross-rack baseline; CT vs MR compares round structure through that\n"
+      "membership dip.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", scale.sim_ns),
+                                ParamAxis::sizes("racks", {2}),
+                                ParamAxis::strings("algorithm", {"ct", "mr"}),
+                                ParamAxis::reals("downtime_ms", {60}),
+                                ParamAxis::reals("offered_per_s", {200})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"racks", ColumnType::kInt},
+                  {"algorithm", ColumnType::kString},
+                  {"downtime_ms", ColumnType::kReal},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"before_ms", ColumnType::kMeanCI},
+                  {"during_ms", ColumnType::kMeanCI},
+                  {"after_ms", ColumnType::kMeanCI},
+                  {"during_execs", ColumnType::kInt},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    // Plans and topologies stay alive across the fan-out; one per grid
+    // point (an explicit --fault-plan replaces every plan, still lowered
+    // against the point's topology).
+    std::vector<faults::FaultPlan> plans;
+    std::vector<std::shared_ptr<const topo::Topology>> topologies;
+    std::vector<WorkloadSpec> streams;
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const std::size_t racks = point.get_size("racks");
+      topologies.push_back(
+          two_rack_topology(point.get_size("n"), racks, /*uplink_latency_ms=*/0.05));
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      // Strike 40% into the measured window (the crash_under_load shape).
+      const double strike_ms =
+          stream.start_ms + 1000.0 *
+                                (static_cast<double>(stream.warmup) +
+                                 0.4 * static_cast<double>(stream.measured)) /
+                                stream.offered_per_s;
+      if (run.fault_plan != nullptr) {
+        plans.push_back(*run.fault_plan);
+      } else {
+        // Kill the last (minority) rack: the contiguous split leaves host 0
+        // -- and with it the round-1 coordinator -- in rack 0.
+        plans.push_back(faults::FaultPlan{}.add(faults::FaultPlan::kill_rack(
+            static_cast<int>(racks) - 1, strike_ms, point.get_real("downtime_ms"))));
+      }
+      streams.push_back(stream);
+    }
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = ctx.timers;
+      cfg.topology = topologies[p];
+      cfg.heartbeat_timeout_ms = kFaultTimeoutMs;
+      cfg.algorithm = algorithm_of(point.get_string("algorithm"));
+      cfg.fault_plan = &plans[p];
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      return run_workload(cfg, streams[p]);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const auto [start_ms, end_ms] = fold_window(plans[p]);
+      const PhasedWorkload phases = split_workload_by_window(results[p], start_ms, end_ms);
+      const std::size_t undecided =
+          phases.before.undecided + phases.during.undecided + phases.after.undecided;
+      table.add_row({point.get_int("n"), point.get_int("racks"),
+                     point.get_string("algorithm"), point.get_real("downtime_ms"),
+                     point.get_real("offered_per_s"), phase_ci(phases.before),
+                     phase_ci(phases.during), phase_ci(phases.after),
+                     int_of(phases.during.latencies_ms.size() + phases.during.undecided),
+                     int_of(undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+ScenarioSpec cross_rack_latency_sweep_spec() {
+  ScenarioSpec spec;
+  spec.name = "cross_rack_latency_sweep";
+  spec.description =
+      "Steady-state stream latency vs cross-rack uplink latency on a 2-rack topology";
+  spec.notes =
+      "The load engine over routed delivery: inter-rack frames pay two\n"
+      "uplink occupancies plus twice the swept propagation latency. Whether\n"
+      "that reaches the end-to-end latency depends on where the quorum\n"
+      "lives: at odd n the majority rack holds a full quorum by itself and\n"
+      "the sweep stays flat (n = 3 is the control row), while the even\n"
+      "sizes split 2+2 / 3+3 so every quorum must cross the spine and the\n"
+      "latency floor rises with the uplink. That quorum-placement effect is\n"
+      "exactly what the single-hub model cannot express.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    // Fixed sizes rather than scale.sim_ns: the even rows (no rack holds
+    // a quorum alone) are the point of the sweep, the odd row the control.
+    std::vector<ParamAxis> axes{ParamAxis::sizes("n", {3, 4, 6}),
+                                ParamAxis::sizes("racks", {2}),
+                                ParamAxis::reals("uplink_ms", {0, 0.1, 0.5, 2.0}),
+                                ParamAxis::reals("offered_per_s", {200})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"n", ColumnType::kInt},
+                  {"racks", ColumnType::kInt},
+                  {"uplink_ms", ColumnType::kReal},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"delivered_per_s", ColumnType::kReal},
+                  {"latency_ms", ColumnType::kMeanCI},
+                  {"p95_ms", ColumnType::kReal},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      WorkloadConfig cfg;
+      cfg.n = point.get_size("n");
+      cfg.network = ctx.network;
+      cfg.timers = timers;
+      cfg.topology = two_rack_topology(cfg.n, point.get_size("racks"),
+                                       point.get_real("uplink_ms"));
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      stream.offered_per_s = point.get_real("offered_per_s");
+      stream.warmup = point.get_size("warmup");
+      stream.measured = point.get_size("instances");
+      return run_workload(cfg, stream);
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const WorkloadStats& stats = results[p].stats;
+      table.add_row({point.get_int("n"), point.get_int("racks"), point.get_real("uplink_ms"),
+                     point.get_real("offered_per_s"), stats.delivered_per_s,
+                     latency_ci_cell(stats),
+                     stats.decided > 0 ? Value{stats.p95_latency_ms} : Value{},
+                     int_of(stats.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
 SANPERF_REGISTER_SCENARIO(load_latency_sweep_spec);
 SANPERF_REGISTER_SCENARIO(batch_throughput_sweep_spec);
 SANPERF_REGISTER_SCENARIO(closed_loop_clients_spec);
@@ -1579,6 +1767,8 @@ SANPERF_REGISTER_SCENARIO(crash_under_load_spec);
 SANPERF_REGISTER_SCENARIO(recovery_under_load_spec);
 SANPERF_REGISTER_SCENARIO(rolling_restart_spec);
 SANPERF_REGISTER_SCENARIO(membership_growth_spec);
+SANPERF_REGISTER_SCENARIO(rack_loss_consensus_spec);
+SANPERF_REGISTER_SCENARIO(cross_rack_latency_sweep_spec);
 
 // The fault scenarios self-register next to builtin() (same translation
 // unit, so any registry user links them in): the satellite registration

@@ -15,6 +15,7 @@
 #include "consensus/sequencer.hpp"  // draw_ntp_start_offset
 #include "core/exec_harness.hpp"
 #include "faults/injector.hpp"
+#include "faults/lowering.hpp"
 #include "fd/failure_detector.hpp"
 #include "fd/heartbeat_fd.hpp"
 #include "runtime/cluster.hpp"
@@ -219,14 +220,26 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   ccfg.n = cfg.n;
   ccfg.network = cfg.network;
   ccfg.timers = cfg.timers;
+  ccfg.topology = cfg.topology;
   ccfg.seed = cfg.seed;
   runtime::Cluster cluster{ccfg};
   std::optional<faults::FaultInjector> injector;
   if (cfg.fault_plan != nullptr) injector.emplace(cluster, *cfg.fault_plan);
 
+  // Domain-scoped events expand against the run topology up front (the
+  // injector lowers identically), so the static detector's initially_down
+  // and the membership scan below see the per-host form.
+  std::optional<faults::FaultPlan> lowered_plan;
+  const faults::FaultPlan* plan = cfg.fault_plan;
+  if (plan != nullptr && plan->has_domain_events()) {
+    lowered_plan = faults::lower_plan(
+        *plan, cfg.topology ? *cfg.topology : topo::Topology::single_hub(cfg.n));
+    plan = &*lowered_plan;
+  }
+
   std::set<runtime::HostId> suspected;
-  if (cfg.fault_plan != nullptr) {
-    for (const faults::HostId h : cfg.fault_plan->initially_down()) suspected.insert(h);
+  if (plan != nullptr) {
+    for (const faults::HostId h : plan->initially_down()) suspected.insert(h);
   }
   if (cfg.initially_crashed >= 0) {
     suspected.insert(static_cast<runtime::HostId>(cfg.initially_crashed));
@@ -237,8 +250,8 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   // decides. Null (the common case) keeps every layer on its
   // fixed-membership code paths, bit-exact with the legacy engine.
   bool dynamic_membership = !cfg.initial_members.empty();
-  if (cfg.fault_plan != nullptr) {
-    for (const faults::FaultEvent& e : cfg.fault_plan->events()) {
+  if (plan != nullptr) {
+    for (const faults::FaultEvent& e : plan->events()) {
       if (e.kind == faults::FaultKind::kAddHost || e.kind == faults::FaultKind::kRemoveHost) {
         dynamic_membership = true;
       }
@@ -563,8 +576,8 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
 
   // Membership changes ride the plan's schedule: at each event's time the
   // engine launches a control instance among the then-current members.
-  if (view && cfg.fault_plan != nullptr) {
-    for (const faults::FaultEvent& e : cfg.fault_plan->events()) {
+  if (view && plan != nullptr) {
+    for (const faults::FaultEvent& e : plan->events()) {
       if (e.kind != faults::FaultKind::kAddHost && e.kind != faults::FaultKind::kRemoveHost) {
         continue;
       }
@@ -643,10 +656,12 @@ ExecOutcome run_one_shot(const WorkloadConfig& cfg, std::size_t k, std::uint64_t
   switch (cfg.algorithm) {
     case Algorithm::kChandraToueg:
       return detail::run_one_consensus_execution<consensus::CtConsensus>(
-          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan);
+          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan,
+          cfg.topology);
     case Algorithm::kMostefaouiRaynal:
       return detail::run_one_consensus_execution<consensus::MrConsensus>(
-          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan);
+          cfg.n, cfg.network, cfg.timers, cfg.initially_crashed, k, exec_seed, cfg.fault_plan,
+          cfg.topology);
   }
   throw std::invalid_argument{"run_one_shot: unknown algorithm"};
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "faults/plan.hpp"
 #include "net/params.hpp"
 #include "stats/summary.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf::core {
 
@@ -36,6 +38,11 @@ struct WorkloadConfig {
   std::size_t n = 3;
   net::NetworkParams network = net::NetworkParams::defaults();
   net::TimerModel timers = net::TimerModel::defaults();
+  /// Network topology (topo::Topology). Null or single-rack = the paper's
+  /// shared hub, bit-exact with the legacy engine; multi-rack routes
+  /// frames over per-link servers and scopes domain fault events
+  /// (kill_rack, partition_switch, domain loss) to its rack tree.
+  std::shared_ptr<const topo::Topology> topology;
   Algorithm algorithm = Algorithm::kChandraToueg;
   /// Live heartbeat detection (timeout T, Th = 0.7 T) when set; otherwise a
   /// static complete-and-accurate detector pre-suspecting the hosts down at

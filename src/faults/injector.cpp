@@ -1,6 +1,9 @@
 #include "faults/injector.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "faults/lowering.hpp"
 
 namespace sanperf::faults {
 
@@ -8,6 +11,16 @@ using FrameFate = net::ContentionNetwork::FrameFate;
 
 FaultInjector::FaultInjector(runtime::Cluster& cluster, FaultPlan plan)
     : cluster_{&cluster}, plan_{std::move(plan)}, rng_{cluster.rng_stream("faults")} {
+  // Domain-scoped events expand against the cluster's failure-domain tree
+  // before anything else sees the plan; with no topology configured the
+  // degenerate single-rack tree applies (kill_rack(0) = kill everything).
+  if (plan_.has_domain_events()) {
+    if (cluster.config().topology) {
+      plan_ = lower_plan(plan_, *cluster.config().topology);
+    } else {
+      plan_ = lower_plan(plan_, topo::Topology::single_hub(cluster.n()));
+    }
+  }
   plan_.validate(cluster.n());
 }
 
@@ -82,12 +95,24 @@ void FaultInjector::arm() {
         // Membership changes are consensus decisions driven by the workload
         // engine, not injections; the injector deliberately ignores them.
         break;
+      case FaultKind::kKillRack:
+      case FaultKind::kPartitionSwitch:
+        // Unreachable: lowered to crash/partition events in the constructor.
+        break;
     }
   }
 
   if (plan_.filters_frames()) {
     cluster_->network().set_frame_filter(
         [this](const net::Packet& pkt) { return classify(pkt); });
+#if SANPERF_AUDIT_ENABLED
+    // Audit builds cross-check the filter against the plan itself: any
+    // frame the filter lets through across a pair the plan says is
+    // partitioned at that instant trips net.no_delivery_across_partition.
+    cluster_->network().set_partition_oracle([this](net::HostId a, net::HostId b) {
+      return plan_.partitioned_at(cluster_->now().to_ms(), a, b);
+    });
+#endif
   }
 }
 
@@ -102,6 +127,16 @@ FrameFate FaultInjector::classify(const net::Packet& pkt) {
   }
   for (const FaultEvent& event : plan_.events()) {
     if (event.kind != FaultKind::kLoss || !event.active_at(now_ms)) continue;
+    // A scoped window (non-empty group: a flaky rack switch) only touches
+    // frames with an endpoint in the group -- and draws nothing for the
+    // rest, so out-of-scope traffic sees the exact un-scoped RNG stream.
+    if (!event.group.empty()) {
+      const bool src_in =
+          std::find(event.group.begin(), event.group.end(), pkt.src) != event.group.end();
+      const bool dst_in =
+          std::find(event.group.begin(), event.group.end(), pkt.dst) != event.group.end();
+      if (!src_in && !dst_in) continue;
+    }
     if (event.loss_p > 0 && rng_.bernoulli(event.loss_p)) {
       ++frames_lost_;
       return FrameFate::kDrop;

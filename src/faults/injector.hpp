@@ -20,8 +20,11 @@ namespace sanperf::faults {
 
 class FaultInjector {
  public:
-  /// Validates `plan` against the cluster size. The injector must outlive
-  /// the cluster's run (the frame filter calls back into it).
+  /// Lowers `plan`'s domain-scoped events against the cluster's topology
+  /// (faults::lower_plan; single-rack fallback when none is configured)
+  /// and validates the result against the cluster size -- `plan()` returns
+  /// the lowered, per-host form. The injector must outlive the cluster's
+  /// run (the frame filter calls back into it).
   FaultInjector(runtime::Cluster& cluster, FaultPlan plan);
 
   FaultInjector(const FaultInjector&) = delete;

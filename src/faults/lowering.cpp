@@ -1,0 +1,68 @@
+#include "faults/lowering.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace sanperf::faults {
+
+namespace {
+
+std::size_t checked_domain(const FaultEvent& e, const topo::Topology& topology) {
+  if (e.domain < 0 || static_cast<std::size_t>(e.domain) >= topology.racks().size()) {
+    throw std::invalid_argument{"lower_plan: " + std::string{to_string(e.kind)} + " domain " +
+                                std::to_string(e.domain) + " outside topology '" +
+                                topology.name() + "' (" +
+                                std::to_string(topology.racks().size()) + " racks)"};
+  }
+  return static_cast<std::size_t>(e.domain);
+}
+
+}  // namespace
+
+FaultPlan lower_plan(const FaultPlan& plan, const topo::Topology& topology) {
+  FaultPlan lowered;
+  for (const FaultEvent& e : plan.events()) {
+    switch (e.kind) {
+      case FaultKind::kKillRack: {
+        const std::size_t rack = checked_domain(e, topology);
+        for (const topo::HostId h : topology.hosts_in_rack(rack)) {
+          FaultEvent crash = e;
+          crash.kind = FaultKind::kCrash;
+          crash.host = static_cast<int>(h);
+          crash.domain = -1;
+          lowered.add(std::move(crash));
+        }
+        break;
+      }
+      case FaultKind::kPartitionSwitch: {
+        const std::size_t rack = checked_domain(e, topology);
+        FaultEvent partition = e;
+        partition.kind = FaultKind::kPartition;
+        partition.group.assign(topology.hosts_in_rack(rack).begin(),
+                               topology.hosts_in_rack(rack).end());
+        partition.domain = -1;
+        lowered.add(std::move(partition));
+        break;
+      }
+      case FaultKind::kLoss: {
+        if (e.domain < 0) {
+          lowered.add(e);
+          break;
+        }
+        const std::size_t rack = checked_domain(e, topology);
+        FaultEvent loss = e;
+        loss.group.assign(topology.hosts_in_rack(rack).begin(),
+                          topology.hosts_in_rack(rack).end());
+        loss.domain = -1;
+        lowered.add(std::move(loss));
+        break;
+      }
+      default:
+        lowered.add(e);
+        break;
+    }
+  }
+  return lowered;
+}
+
+}  // namespace sanperf::faults

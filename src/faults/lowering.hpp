@@ -1,0 +1,28 @@
+// Lowers domain-scoped fault events to per-host events by walking a
+// topology's failure-domain tree (cortx-motr style: the rack is the unit
+// of correlated failure).
+//
+//   kill_rack(r)        -> one crash (or crash_recover) per host in rack r
+//   partition_switch(r) -> a partition of rack r's hosts vs the rest
+//   domain loss(r)      -> the loss window scoped to frames touching rack r
+//
+// Lowering is idempotent on host-scoped plans (they pass through
+// untouched), so callers may lower defensively. The FaultInjector lowers
+// automatically against the cluster's topology (falling back to the
+// degenerate single-rack topology when none is configured -- where
+// kill_rack(0) means "kill everything" and partition_switch is rejected by
+// validation, exactly as a one-switch network behaves).
+#pragma once
+
+#include "faults/plan.hpp"
+#include "topo/topology.hpp"
+
+namespace sanperf::faults {
+
+/// Expands every domain-scoped event of `plan` against `topology`,
+/// preserving event order (a kill_rack expands to its per-host crashes in
+/// rack-member order, in place). Throws std::invalid_argument on a domain
+/// index outside the topology.
+[[nodiscard]] FaultPlan lower_plan(const FaultPlan& plan, const topo::Topology& topology);
+
+}  // namespace sanperf::faults

@@ -19,6 +19,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kAddHost: return "add_host";
     case FaultKind::kRemoveHost: return "remove_host";
     case FaultKind::kRollingRestart: return "rolling_restart";
+    case FaultKind::kKillRack: return "kill_rack";
+    case FaultKind::kPartitionSwitch: return "partition_switch";
   }
   return "?";
 }
@@ -32,6 +34,8 @@ FaultKind fault_kind_from_string(std::string_view text) {
   if (text == "add_host") return FaultKind::kAddHost;
   if (text == "remove_host") return FaultKind::kRemoveHost;
   if (text == "rolling_restart") return FaultKind::kRollingRestart;
+  if (text == "kill_rack") return FaultKind::kKillRack;
+  if (text == "partition_switch") return FaultKind::kPartitionSwitch;
   throw std::invalid_argument{"FaultPlan: unknown fault kind '" + std::string{text} + "'"};
 }
 
@@ -111,6 +115,31 @@ FaultEvent FaultPlan::rolling_restart(double at_ms, double downtime_ms, double s
   return e;
 }
 
+FaultEvent FaultPlan::kill_rack(int rack, double at_ms, double downtime_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kKillRack;
+  e.at_ms = at_ms;
+  e.duration_ms = downtime_ms;
+  e.domain = rack;
+  return e;
+}
+
+FaultEvent FaultPlan::partition_switch(int rack, double at_ms, double heal_after_ms) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartitionSwitch;
+  e.at_ms = at_ms;
+  e.duration_ms = heal_after_ms;
+  e.domain = rack;
+  return e;
+}
+
+FaultEvent FaultPlan::domain_loss(int rack, double at_ms, double duration_ms, double loss_p,
+                                  double duplicate_p) {
+  FaultEvent e = loss(at_ms, duration_ms, loss_p, duplicate_p);
+  e.domain = rack;
+  return e;
+}
+
 namespace {
 
 [[noreturn]] void bad_event(std::size_t index, const std::string& what) {
@@ -143,13 +172,23 @@ void FaultPlan::validate(std::size_t n) const {
         if (e.group.size() >= n) bad_event(i, "partition group covers every host");
         break;
       }
-      case FaultKind::kLoss:
+      case FaultKind::kLoss: {
         if (!(e.loss_p >= 0) || e.loss_p > 1) bad_event(i, "loss_p outside [0, 1]");
         if (!(e.duplicate_p >= 0) || e.duplicate_p > 1) {
           bad_event(i, "duplicate_p outside [0, 1]");
         }
         if (e.loss_p == 0 && e.duplicate_p == 0) bad_event(i, "loss window with p = 0");
+        if (e.domain >= 0 && !e.group.empty()) {
+          bad_event(i, "loss window with both a domain and an explicit group");
+        }
+        std::vector<char> seen(n, 0);
+        for (const HostId h : e.group) {
+          if (h >= n) bad_event(i, "loss group host out of range");
+          if (seen[h]) bad_event(i, "loss group host repeated");
+          seen[h] = 1;
+        }
         break;
+      }
       case FaultKind::kCpuSlow:
         if (e.host >= static_cast<int>(n)) bad_event(i, "cpu_slow host out of range");
         [[fallthrough]];
@@ -167,6 +206,15 @@ void FaultPlan::validate(std::size_t n) const {
         if (std::isnan(e.stagger_ms) || e.stagger_ms < 0) {
           bad_event(i, "stagger_ms must be >= 0");
         }
+        break;
+      case FaultKind::kKillRack:
+        // The rack index is range-checked against the topology at lowering
+        // time (faults::lower_plan); an n-host validation only knows it
+        // must be a real domain.
+        if (e.domain < 0) bad_event(i, "kill_rack without a domain");
+        break;
+      case FaultKind::kPartitionSwitch:
+        if (e.domain < 0) bad_event(i, "partition_switch without a domain");
         break;
     }
   }
@@ -214,7 +262,15 @@ double FaultPlan::pipeline_scale_at(double now_ms) const {
 
 bool FaultPlan::filters_frames() const {
   return std::any_of(events_.begin(), events_.end(), [](const FaultEvent& e) {
-    return e.kind == FaultKind::kPartition || e.kind == FaultKind::kLoss;
+    return e.kind == FaultKind::kPartition || e.kind == FaultKind::kLoss ||
+           e.kind == FaultKind::kPartitionSwitch;
+  });
+}
+
+bool FaultPlan::has_domain_events() const {
+  return std::any_of(events_.begin(), events_.end(), [](const FaultEvent& e) {
+    return e.kind == FaultKind::kKillRack || e.kind == FaultKind::kPartitionSwitch ||
+           (e.kind == FaultKind::kLoss && e.domain >= 0);
   });
 }
 
@@ -236,7 +292,8 @@ std::string FaultPlan::to_json() const {
     if (e.kind == FaultKind::kRollingRestart && e.stagger_ms != 0) {
       os << ",\"stagger_ms\":" << core::detail::json_exact(e.stagger_ms);
     }
-    if (e.kind == FaultKind::kPartition) {
+    if (e.domain >= 0) os << ",\"domain\":" << e.domain;
+    if (e.kind == FaultKind::kPartition || (e.kind == FaultKind::kLoss && !e.group.empty())) {
       os << ",\"group\":[";
       for (std::size_t g = 0; g < e.group.size(); ++g) {
         os << (g == 0 ? "" : ",") << e.group[g];
@@ -286,6 +343,7 @@ FaultPlan FaultPlan::from_json(const std::string& text) {
     e.duplicate_p = number(JsonParser::field(ev, "duplicate_p"), 0.0);
     e.factor = number(JsonParser::field(ev, "factor"), 1.0);
     e.stagger_ms = number(JsonParser::field(ev, "stagger_ms"), 0.0);
+    e.domain = static_cast<int>(number(JsonParser::field(ev, "domain"), -1.0));
     if (const auto* group = JsonParser::field(ev, "group"); group != nullptr) {
       if (!group->array) {
         throw std::invalid_argument{"FaultPlan::from_json: \"group\" must be an array"};

@@ -37,6 +37,10 @@ enum class FaultKind : std::uint8_t {
   kRemoveHost,      ///< membership: decide `host` out of the group at `at_ms`
   kRollingRestart,  ///< every host in turn: crash at `at_ms + i*stagger_ms`,
                     ///< recover after `duration_ms`
+  kKillRack,        ///< domain-scoped: every host in rack `domain` crashes at
+                    ///< `at_ms`, recovering after `duration_ms`
+  kPartitionSwitch, ///< domain-scoped: rack `domain`'s ToR switch cut off --
+                    ///< lowers to a partition of its hosts vs the rest
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -55,6 +59,8 @@ struct FaultEvent {
   /// Crash / cpu-slow target host; -1 on kCpuSlow means every host.
   int host = -1;
   /// Partition: the hosts on one side (the rest form the other side).
+  /// Loss: when non-empty, the window applies only to frames with src or
+  /// dst in the group (a flaky rack switch); empty = every frame (legacy).
   std::vector<HostId> group;
   /// Loss window: per-frame drop and duplication probabilities.
   double loss_p = 0;
@@ -64,6 +70,12 @@ struct FaultEvent {
   /// Rolling restart: gap between consecutive hosts' crash times (0 = all
   /// hosts bounce together).
   double stagger_ms = 0;
+  /// Failure-domain index (a rack in the topology's rack tree) for
+  /// kKillRack / kPartitionSwitch, or for a kLoss window scoped to one
+  /// domain. -1 = not domain-scoped. Domain events are expanded to
+  /// per-host events by faults::lower_plan walking a topo::Topology (the
+  /// injector lowers automatically against the cluster's topology).
+  int domain = -1;
 
   [[nodiscard]] bool permanent() const { return duration_ms == kForeverMs; }
   /// End of the window / downtime (kForeverMs-safe).
@@ -98,6 +110,15 @@ class FaultPlan {
   /// `at_ms + i*stagger_ms` for `downtime_ms`.
   [[nodiscard]] static FaultEvent rolling_restart(double at_ms, double downtime_ms,
                                                   double stagger_ms);
+  /// Domain-scoped events (lowered against a topo::Topology): kill every
+  /// host in a rack, cut a rack's ToR switch off, or scope a loss window
+  /// to the frames touching one rack.
+  [[nodiscard]] static FaultEvent kill_rack(int rack, double at_ms,
+                                            double downtime_ms = kForeverMs);
+  [[nodiscard]] static FaultEvent partition_switch(int rack, double at_ms,
+                                                   double heal_after_ms);
+  [[nodiscard]] static FaultEvent domain_loss(int rack, double at_ms, double duration_ms,
+                                              double loss_p, double duplicate_p = 0);
 
   FaultPlan& add(FaultEvent event) {
     events_.push_back(std::move(event));
@@ -130,6 +151,11 @@ class FaultPlan {
   /// True when any loss window or partition is scheduled (whether the
   /// injector needs the receiver-edge frame filter at all).
   [[nodiscard]] bool filters_frames() const;
+
+  /// True when the plan carries domain-scoped events (kKillRack,
+  /// kPartitionSwitch, domain-scoped loss) that must be lowered against a
+  /// topology before the injector can replay them.
+  [[nodiscard]] bool has_domain_events() const;
 
   // JSON round-trip: {"events":[{"kind":"crash","at_ms":0,"host":0}, ...]}.
   // Writers omit defaulted fields; omitted duration_ms reads back as

@@ -1,0 +1,108 @@
+#include "faults/synth.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+#include "des/random.hpp"
+
+namespace sanperf::faults {
+
+void WeibullPlanSpec::validate() const {
+  if (!(shape > 0)) throw std::invalid_argument{"WeibullPlanSpec: shape must be > 0"};
+  if (!(scale_ms > 0)) throw std::invalid_argument{"WeibullPlanSpec: scale_ms must be > 0"};
+  if (!(horizon_ms > 0)) throw std::invalid_argument{"WeibullPlanSpec: horizon_ms must be > 0"};
+  if (!(downtime_ms > 0)) {
+    throw std::invalid_argument{"WeibullPlanSpec: downtime_ms must be > 0 (kForeverMs ok)"};
+  }
+  if (scope != "host" && scope != "rack") {
+    throw std::invalid_argument{"WeibullPlanSpec: scope must be \"host\" or \"rack\", got '" +
+                                scope + "'"};
+  }
+  if (domains == 0) throw std::invalid_argument{"WeibullPlanSpec: domains must be >= 1"};
+}
+
+FaultPlan synthesize_weibull_plan(const WeibullPlanSpec& spec) {
+  spec.validate();
+  const bool rack_scope = spec.scope == "rack";
+  const bool permanent = spec.downtime_ms == kForeverMs;
+  std::vector<FaultEvent> events;
+  for (std::size_t d = 0; d < spec.domains; ++d) {
+    // One renewal process per domain on its own substream: adding a domain
+    // (or reordering the loop) never perturbs another domain's draws.
+    des::RandomEngine rng = des::RandomEngine{spec.seed}.substream("weibull_plan", d);
+    double clock_ms = 0;
+    for (;;) {
+      clock_ms += rng.weibull(spec.shape, spec.scale_ms);
+      if (!(clock_ms < spec.horizon_ms)) break;
+      if (rack_scope) {
+        events.push_back(FaultPlan::kill_rack(static_cast<int>(d), clock_ms, spec.downtime_ms));
+      } else if (permanent) {
+        events.push_back(FaultPlan::crash(static_cast<int>(d), clock_ms));
+      } else {
+        events.push_back(
+            FaultPlan::crash_recover(static_cast<int>(d), clock_ms, spec.downtime_ms));
+      }
+      if (permanent) break;  // the domain never comes back; its process ends
+      clock_ms += spec.downtime_ms;
+    }
+  }
+  // Chronological order reads naturally and is deterministic: within a
+  // domain times strictly increase, and ties across domains break on the
+  // domain/host index.
+  std::sort(events.begin(), events.end(), [](const FaultEvent& a, const FaultEvent& b) {
+    if (a.at_ms != b.at_ms) return a.at_ms < b.at_ms;
+    if (a.host != b.host) return a.host < b.host;
+    return a.domain < b.domain;
+  });
+  return FaultPlan{std::move(events)};
+}
+
+// --- JSON --------------------------------------------------------------------
+
+std::string WeibullPlanSpec::to_json() const {
+  std::ostringstream os;
+  os << "{\"shape\":" << core::detail::json_exact(shape)
+     << ",\"scale_ms\":" << core::detail::json_exact(scale_ms)
+     << ",\"horizon_ms\":" << core::detail::json_exact(horizon_ms);
+  if (downtime_ms != kForeverMs) {
+    os << ",\"downtime_ms\":" << core::detail::json_exact(downtime_ms);
+  }
+  os << ",\"scope\":\"" << scope << "\",\"domains\":" << domains << ",\"seed\":" << seed << '}';
+  return os.str();
+}
+
+WeibullPlanSpec WeibullPlanSpec::from_json(const std::string& text) {
+  using core::detail::JsonParser;
+  const auto root = JsonParser{text, "WeibullPlanSpec::from_json"}.parse();
+  const auto number = [](const JsonParser::JsonValue* v, double fallback) {
+    if (v == nullptr) return fallback;
+    if (!v->number) throw std::invalid_argument{"WeibullPlanSpec::from_json: expected a number"};
+    return *v->number;
+  };
+  WeibullPlanSpec spec;
+  spec.shape = number(JsonParser::field(root, "shape"), spec.shape);
+  spec.scale_ms = number(JsonParser::field(root, "scale_ms"), spec.scale_ms);
+  spec.horizon_ms = number(JsonParser::field(root, "horizon_ms"), spec.horizon_ms);
+  spec.downtime_ms = number(JsonParser::field(root, "downtime_ms"), kForeverMs);
+  if (const auto* scope = JsonParser::field(root, "scope"); scope != nullptr) {
+    if (!scope->string) {
+      throw std::invalid_argument{"WeibullPlanSpec::from_json: \"scope\" must be a string"};
+    }
+    spec.scope = *scope->string;
+  }
+  spec.domains = static_cast<std::size_t>(number(JsonParser::field(root, "domains"),
+                                                 static_cast<double>(spec.domains)));
+  if (const auto* seed = JsonParser::field(root, "seed"); seed != nullptr) {
+    if (!seed->number) {
+      throw std::invalid_argument{"WeibullPlanSpec::from_json: \"seed\" must be a number"};
+    }
+    // The raw token keeps 64-bit seeds exact past 2^53.
+    spec.seed = std::stoull(seed->number_text);
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace sanperf::faults

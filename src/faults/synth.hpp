@@ -1,0 +1,58 @@
+// Synthesizes FaultPlans from a fault-rate spec: a Weibull-distributed
+// random-crash renewal process per failure domain.
+//
+// The dependability literature's standard lifetime model: inter-failure
+// times draw Weibull(shape, scale) -- shape < 1 captures infant mortality
+// (hazard decreasing over a domain's uptime), shape = 1 degenerates to a
+// Poisson process, shape > 1 to wear-out. Each domain (a host, or a rack
+// as the unit of correlated failure) runs its own renewal process on a
+// named RNG substream derived from the spec seed, so a synthesized plan is
+// a pure function of its spec: same seed, same plan, bit for bit --
+// `sanperf plan` emits JSON that replays identically anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "faults/plan.hpp"
+
+namespace sanperf::faults {
+
+/// Fault-rate spec for synthesize_weibull_plan. Round-trips through JSON
+/// (canonical %.17g form) so specs are artifacts like plans are.
+struct WeibullPlanSpec {
+  /// Weibull shape k (1 = memoryless, <1 infant mortality, >1 wear-out).
+  double shape = 1.0;
+  /// Weibull scale lambda in ms: the characteristic time to failure.
+  double scale_ms = 20000.0;
+  /// Crashes are generated while the domain clock is below this horizon.
+  double horizon_ms = 60000.0;
+  /// Downtime after each crash before the warm restart; kForeverMs makes
+  /// the first crash of each domain permanent (and the process stops).
+  double downtime_ms = kForeverMs;
+  /// "host": domain i crashes host i. "rack": domain i is a kill_rack(i)
+  /// event, lowered against the run topology's failure-domain tree.
+  std::string scope = "host";
+  /// Number of failure domains the process covers (hosts or racks).
+  std::size_t domains = 1;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on a non-positive shape/scale/horizon,
+  /// zero domains, or an unknown scope.
+  void validate() const;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static WeibullPlanSpec from_json(const std::string& text);
+
+  bool operator==(const WeibullPlanSpec&) const = default;
+};
+
+/// Generates the plan: per domain d, a renewal process on substream
+/// ("weibull_plan", d) of the spec seed emits crash (host scope) or
+/// kill_rack (rack scope) events until the horizon; finite downtimes
+/// advance the domain clock across each outage. Events are ordered by
+/// (at_ms, domain), so the result is a deterministic pure function of the
+/// spec. Validates the spec first.
+[[nodiscard]] FaultPlan synthesize_weibull_plan(const WeibullPlanSpec& spec);
+
+}  // namespace sanperf::faults

@@ -81,9 +81,23 @@ void HubMedium::start_next() {
 }
 
 ContentionNetwork::ContentionNetwork(des::Simulator& sim, des::RandomEngine rng,
-                                     NetworkParams params, std::size_t hosts)
+                                     NetworkParams params, std::size_t hosts,
+                                     const topo::Topology* topology)
     : sim_{&sim}, rng_{rng}, params_{params}, medium_{sim, rng.substream("hub"), hosts} {
   if (hosts < 2) throw std::invalid_argument{"ContentionNetwork: need at least 2 hosts"};
+  // The hub medium is constructed either way (its "hub" substream is derived
+  // but never drawn from unless used), so a degenerate topology leaves the
+  // RNG stream -- and therefore every existing golden -- bit-identical.
+  if (topology != nullptr && !topology->single_hub_equivalent()) {
+    if (topology->n_hosts() != hosts) {
+      throw std::invalid_argument{"ContentionNetwork: topology covers " +
+                                  std::to_string(topology->n_hosts()) + " hosts, cluster has " +
+                                  std::to_string(hosts)};
+    }
+    routes_.emplace(*topology);
+    links_.reserve(routes_->link_count());
+    for (std::size_t i = 0; i < routes_->link_count(); ++i) links_.emplace_back(sim);
+  }
   cpus_.reserve(hosts);
   for (std::size_t i = 0; i < hosts; ++i) cpus_.emplace_back(sim);
   down_.assign(hosts, 0);
@@ -130,57 +144,115 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
       SANPERF_AUDIT_ONLY(--audit_in_flight_;)
       return;
     }
+    if (routes_) {
+      // Step 4, routed: walk the compiled route link by link.
+      route_hop(pkt, cls, 0);
+      return;
+    }
     // Step 4: the shared medium (exclusive wire occupancy).
     const auto& wire_dist =
         cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
-    medium_.submit(pkt->src, sample(wire_dist), [this, pkt] {
-      // Non-exclusive pipeline latency: stack traversal overlaps freely.
-      des::Duration pipeline = sample(params_.pipeline_latency);
-      if (pipeline_scale_ != 1.0) {
-        pipeline = des::Duration::from_ms(pipeline.to_ms() * pipeline_scale_);
-      }
-      sim_->schedule(pipeline, [this, pkt] {
-        if (down_[pkt->dst]) {
-          ++frames_dropped_;
-          SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-          return;
-        }
-        // Receiver edge: the fault-injection filter sees every frame that
-        // survived the medium -- partition and loss drop here, duplication
-        // pays the receiver CPU twice.
-        FrameFate fate = FrameFate::kDeliver;
-        if (filter_) fate = filter_(*pkt);
-        if (fate == FrameFate::kDrop) {
-          ++frames_dropped_;
-          ++frames_filtered_;
-          SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-          return;
-        }
-        const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
-        if (copies == 2) {
-          ++frames_duplicated_;
-          SANPERF_AUDIT_ONLY(++audit_in_flight_;)  // the extra copy is live too
-        }
-        for (int c = 0; c < copies; ++c) {
-          // Step 6: receiver CPU.
-          cpus_[pkt->dst].submit(
-              des::Duration::from_ms(params_.recv_cpu_ms * cpu_scale_[pkt->dst]),
-              [this, pkt] {
-                if (down_[pkt->dst]) {
-                  ++frames_dropped_;
-                  SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-                  return;
-                }
-                // A crashed host must never see a delivery: the guard above
-                // is the last line of defence and this audit proves it held.
-                SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[pkt->dst],
-                                    "delivery to crashed host " + std::to_string(pkt->dst));
-                SANPERF_AUDIT_ONLY(++audit_delivered_; --audit_in_flight_;)
-                if (deliver_) deliver_(*pkt);  // step 7
-              });
-        }
-      });
-    });
+    medium_.submit(pkt->src, sample(wire_dist), [this, pkt] { receiver_edge(pkt); });
+  });
+}
+
+void ContentionNetwork::route_hop(std::shared_ptr<Packet> pkt, FrameClass cls,
+                                  std::uint32_t step) {
+  const topo::RouteTable::Route& route = routes_->route(pkt->src, pkt->dst);
+  if (step >= route.hops) {
+    receiver_edge(std::move(pkt));
+    return;
+  }
+  const std::uint32_t li = route.links[step];
+  Link& link = links_[li];
+  const topo::LinkParams& lp = routes_->link(li).params;
+  // A shallow switch buffer sheds load instead of queueing without bound.
+  if (lp.queue_limit > 0 && link.server.busy() && link.server.queue_length() >= lp.queue_limit) {
+    ++frames_dropped_;
+    ++link.overflow_dropped;
+    SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+    return;
+  }
+  ++link.entered;
+  const auto& wire_dist =
+      cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
+  des::Duration service = sample(wire_dist);
+  if (lp.service_scale != 1.0) {
+    service = des::Duration::from_ms(service.to_ms() * lp.service_scale);
+  }
+  link.server.submit(service, [this, pkt = std::move(pkt), cls, step, li] {
+    ++links_[li].exited;
+    // The link's propagation delay is non-exclusive: the server frees up
+    // while the frame is still on the wire towards the next hop.
+    const double latency_ms = routes_->link(li).params.latency_ms;
+    if (latency_ms > 0) {
+      sim_->schedule(des::Duration::from_ms(latency_ms),
+                     [this, pkt, cls, step] { route_hop(pkt, cls, step + 1); });
+    } else {
+      route_hop(pkt, cls, step + 1);
+    }
+  });
+}
+
+void ContentionNetwork::receiver_edge(std::shared_ptr<Packet> pkt) {
+  // Non-exclusive pipeline latency: stack traversal overlaps freely.
+  des::Duration pipeline = sample(params_.pipeline_latency);
+  if (pipeline_scale_ != 1.0) {
+    pipeline = des::Duration::from_ms(pipeline.to_ms() * pipeline_scale_);
+  }
+  sim_->schedule(pipeline, [this, pkt] {
+    if (down_[pkt->dst]) {
+      ++frames_dropped_;
+      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+      return;
+    }
+    // Receiver edge: the fault-injection filter sees every frame that
+    // survived the medium -- partition and loss drop here, duplication
+    // pays the receiver CPU twice.
+    FrameFate fate = FrameFate::kDeliver;
+    if (filter_) fate = filter_(*pkt);
+    if (fate == FrameFate::kDrop) {
+      ++frames_dropped_;
+      ++frames_filtered_;
+      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+      return;
+    }
+#if SANPERF_AUDIT_ENABLED
+    // A frame the filter lets through must not cross a pair the ground-truth
+    // oracle says is partitioned right now. Checked at the filter instant --
+    // not at delivery -- so frames already past the filter when a partition
+    // opens are legitimately delivered.
+    if (partition_oracle_) {
+      SANPERF_AUDIT_CHECK("net.no_delivery_across_partition",
+                          !partition_oracle_(pkt->src, pkt->dst),
+                          "frame " + std::to_string(pkt->src) + " -> " +
+                              std::to_string(pkt->dst) +
+                              " passed the filter across an active partition");
+    }
+#endif
+    const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
+    if (copies == 2) {
+      ++frames_duplicated_;
+      SANPERF_AUDIT_ONLY(++audit_in_flight_;)  // the extra copy is live too
+    }
+    for (int c = 0; c < copies; ++c) {
+      // Step 6: receiver CPU.
+      cpus_[pkt->dst].submit(
+          des::Duration::from_ms(params_.recv_cpu_ms * cpu_scale_[pkt->dst]),
+          [this, pkt] {
+            if (down_[pkt->dst]) {
+              ++frames_dropped_;
+              SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+              return;
+            }
+            // A crashed host must never see a delivery: the guard above
+            // is the last line of defence and this audit proves it held.
+            SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[pkt->dst],
+                                "delivery to crashed host " + std::to_string(pkt->dst));
+            SANPERF_AUDIT_ONLY(++audit_delivered_; --audit_in_flight_;)
+            if (deliver_) deliver_(*pkt);  // step 7
+          });
+    }
   });
 }
 

@@ -11,12 +11,24 @@
 // end-to-end delay lives on the emulated testbed. Frames addressed to a
 // crashed host still occupy the medium (the wire does not know) but are
 // dropped before consuming the destination CPU.
+//
+// Routed mode: constructed with a multi-rack topo::Topology, step 4 is no
+// longer one shared hub but the frame's compiled route -- each link on the
+// path (src access edge, the two rack uplinks when crossing racks, dst
+// access edge) is its own exclusive FIFO server whose occupancy is the
+// calibrated wire sample scaled by the link's service_scale, followed by
+// the link's non-exclusive latency_ms. Steps 1-2 and 5-7 (CPUs, pipeline,
+// receiver-edge filter) are byte-identical to hub mode. A null or
+// single-rack topology keeps the hub code path exactly: every existing
+// golden reproduces bit for bit.
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +36,7 @@
 #include "des/random.hpp"
 #include "des/simulator.hpp"
 #include "net/params.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf::net {
 
@@ -117,9 +130,12 @@ class HubMedium {
 
 class ContentionNetwork {
  public:
-  /// Both `sim` and the callback outlive the network.
+  /// Both `sim` and the callback outlive the network. A null `topology`
+  /// (or one with a single rack) is the paper's shared hub; a multi-rack
+  /// topology switches step 4 to routed per-link delivery. The topology is
+  /// compiled into a RouteTable at construction and not referenced after.
   ContentionNetwork(des::Simulator& sim, des::RandomEngine rng, NetworkParams params,
-                    std::size_t hosts);
+                    std::size_t hosts, const topo::Topology* topology = nullptr);
 
   /// Called at step 7 with the destination and the packet.
   void set_deliver(std::function<void(const Packet&)> deliver) { deliver_ = std::move(deliver); }
@@ -173,6 +189,25 @@ class ContentionNetwork {
   [[nodiscard]] const FifoServer& cpu(HostId h) const { return cpus_.at(h); }
   [[nodiscard]] const HubMedium& medium() const { return medium_; }
 
+  // Routed-mode introspection. `route_table()` is null in hub mode.
+  [[nodiscard]] bool routed() const { return routes_.has_value(); }
+  [[nodiscard]] const topo::RouteTable* route_table() const {
+    return routes_ ? &*routes_ : nullptr;
+  }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::uint64_t link_entered(std::size_t link) const {
+    return links_.at(link).entered;
+  }
+  [[nodiscard]] std::uint64_t link_exited(std::size_t link) const {
+    return links_.at(link).exited;
+  }
+  [[nodiscard]] std::uint64_t link_overflow_dropped(std::size_t link) const {
+    return links_.at(link).overflow_dropped;
+  }
+  [[nodiscard]] des::Duration link_busy_time(std::size_t link) const {
+    return links_.at(link).server.busy_time();
+  }
+
 #if SANPERF_AUDIT_ENABLED
   /// Frame conservation: every frame submitted (plus duplicated copies) is
   /// eventually delivered, dropped with accounting, or lost to a crash
@@ -195,8 +230,39 @@ class ContentionNetwork {
                           std::to_string(audit_in_flight_) +
                               " frames still in flight after the event queue drained");
     }
+    // Per-link conservation on the routed path: every frame that entered a
+    // link's queue exits its server exactly once. Between the two counts a
+    // frame legitimately occupies the link, so the exact identity holds
+    // only once the event queue has drained.
+    for (std::size_t li = 0; li < links_.size(); ++li) {
+      const Link& l = links_[li];
+      SANPERF_AUDIT_CHECK("net.link_conservation", l.entered >= l.exited,
+                          "link " + routes_->link_name(li) + " exited " +
+                              std::to_string(l.exited) + " frames but only " +
+                              std::to_string(l.entered) + " entered");
+      if (at_drain) {
+        SANPERF_AUDIT_CHECK("net.link_conservation", l.entered == l.exited,
+                            "link " + routes_->link_name(li) + ": entered " +
+                                std::to_string(l.entered) + " != exited " +
+                                std::to_string(l.exited) + " after the event queue drained");
+      }
+    }
   }
   [[nodiscard]] std::uint64_t audit_frames_delivered() const { return audit_delivered_; }
+
+  /// Ground-truth reachability oracle, audit builds only: when set, every
+  /// frame the receiver-edge filter lets through is cross-checked against
+  /// it -- a delivery (or duplication) across a pair the oracle says is
+  /// partitioned trips `net.no_delivery_across_partition`. The injector
+  /// installs the plan's partitioned_at as the oracle, so the filter path
+  /// and the declarative plan are verified against each other.
+  using PartitionOracle = std::function<bool(HostId src, HostId dst)>;
+  void set_partition_oracle(PartitionOracle oracle) { partition_oracle_ = std::move(oracle); }
+
+  /// Test-only corruption backdoor: fabricates a link entry with no
+  /// matching exit, so the per-link conservation audit can be made to trip
+  /// deliberately at drain.
+  void audit_corrupt_link_entry(std::size_t link) { ++links_.at(link).entered; }
 
   /// Test-only corruption backdoor: runs the step-7 delivery tail without
   /// the crashed-host guard (and without a matching send), so both the
@@ -211,13 +277,30 @@ class ContentionNetwork {
 #endif
 
  private:
+  /// One exclusive link of the routed path, with conservation counters.
+  struct Link {
+    explicit Link(des::Simulator& sim) : server{sim} {}
+    FifoServer server;
+    std::uint64_t entered = 0;
+    std::uint64_t exited = 0;
+    std::uint64_t overflow_dropped = 0;
+  };
+
   [[nodiscard]] des::Duration sample(const stats::BimodalUniform& dist);
+  /// Routed step 4: occupy route link `step`, pay its latency, recurse;
+  /// past the last hop the frame reaches the receiver edge.
+  void route_hop(std::shared_ptr<Packet> pkt, FrameClass cls, std::uint32_t step);
+  /// Steps 5-7 (pipeline latency, receiver-edge filter, receiver CPU,
+  /// delivery), shared verbatim by the hub and routed paths.
+  void receiver_edge(std::shared_ptr<Packet> pkt);
 
   des::Simulator* sim_;
   des::RandomEngine rng_;
   NetworkParams params_;
   std::vector<FifoServer> cpus_;
   HubMedium medium_;
+  std::optional<topo::RouteTable> routes_;  ///< engaged iff multi-rack (routed mode)
+  std::vector<Link> links_;                 ///< routed mode: one server per topology link
   std::vector<char> down_;
   std::vector<char> dead_pair_sent_;  // lazily sized n*n; see dead_peer_absorption
   std::vector<double> cpu_scale_;     // per-host CPU service-time multiplier
@@ -232,6 +315,7 @@ class ContentionNetwork {
   std::uint64_t audit_delivered_ = 0;   ///< frames handed to deliver_ (step 7)
   std::uint64_t audit_in_flight_ = 0;   ///< submitted, not yet at a terminal
   std::uint64_t audit_crash_lost_ = 0;  ///< jobs vaporised by a crash drain
+  PartitionOracle partition_oracle_;    ///< ground truth for the receiver edge
 #endif
 };
 

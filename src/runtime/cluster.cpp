@@ -8,7 +8,7 @@ namespace sanperf::runtime {
 Cluster::Cluster(const ClusterConfig& cfg)
     : cfg_{cfg},
       master_{cfg.seed},
-      net_{sim_, master_.substream("net"), cfg.network, cfg.n} {
+      net_{sim_, master_.substream("net"), cfg.network, cfg.n, cfg.topology.get()} {
   if (cfg.n < 2) throw std::invalid_argument{"Cluster: need at least 2 processes"};
   processes_.reserve(cfg.n);
   for (std::size_t i = 0; i < cfg.n; ++i) {

@@ -10,6 +10,7 @@
 #include "des/simulator.hpp"
 #include "net/network.hpp"
 #include "runtime/process.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf::runtime {
 
@@ -17,6 +18,11 @@ struct ClusterConfig {
   std::size_t n = 3;
   net::NetworkParams network = net::NetworkParams::defaults();
   net::TimerModel timers = net::TimerModel::defaults();
+  /// Optional network topology (shared so config copies stay cheap). Null
+  /// or single-rack = the paper's shared hub, bit-exact with every
+  /// existing golden; multi-rack switches the network to routed delivery
+  /// and scopes domain fault events (see faults::lower_plan).
+  std::shared_ptr<const topo::Topology> topology;
   std::uint64_t seed = 1;
 };
 

@@ -10,6 +10,7 @@
 
 #if SANPERF_AUDIT_ENABLED
 
+#include <any>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -23,6 +24,7 @@
 #include "fd/failure_detector.hpp"
 #include "net/network.hpp"
 #include "runtime/cluster.hpp"
+#include "topo/topology.hpp"
 
 namespace sanperf {
 namespace {
@@ -199,6 +201,39 @@ TEST_F(AuditTest, UnaccountedDeliveryTripsFrameConservation) {
   network.audit_force_deliver(pkt);
   EXPECT_EQ(tripped([&] { network.audit_check_frame_conservation(false); }),
             "net.frame_conservation");
+}
+
+TEST_F(AuditTest, PhantomLinkEntryTripsLinkConservation) {
+  // Routed delivery: per-link entered/exited must reconcile at drain.
+  des::Simulator sim;
+  des::RandomEngine rng{42};
+  const topo::Topology topology = topo::Topology::uniform(4, 2);
+  net::ContentionNetwork network{sim, rng.substream("net"), net::NetworkParams::defaults(), 4,
+                                 &topology};
+  ASSERT_TRUE(network.routed());
+  EXPECT_EQ(tripped([&] { network.audit_check_frame_conservation(true); }), "");
+  // A frame entered link 0 that no send ever routed (and never exits).
+  network.audit_corrupt_link_entry(0);
+  EXPECT_EQ(tripped([&] { network.audit_check_frame_conservation(true); }),
+            "net.link_conservation");
+}
+
+TEST_F(AuditTest, DeliveryAcrossPartitionedSwitchTrips) {
+  // The injector's frame filter is supposed to drop every frame crossing
+  // an open partition; an oracle that says "partitioned" while a frame
+  // still reaches the receiver edge undropped is a filter bug.
+  des::Simulator sim;
+  des::RandomEngine rng{42};
+  const topo::Topology topology = topo::Topology::uniform(4, 2);
+  net::ContentionNetwork network{sim, rng.substream("net"), net::NetworkParams::defaults(), 4,
+                                 &topology};
+  network.set_deliver([](const net::Packet&) {});
+  network.set_partition_oracle([](net::HostId, net::HostId) { return true; });
+  network.send(0, 3, std::any{});  // cross-rack, and no filter drops it
+  EXPECT_EQ(tripped([&] {
+              sim.run_until(des::TimePoint::origin() + des::Duration::from_ms(100.0));
+            }),
+            "net.no_delivery_across_partition");
 }
 
 // --- runtime/ ----------------------------------------------------------------
