@@ -11,6 +11,7 @@
 #include "core/replication.hpp"
 #include "core/workload.hpp"
 #include "des/event_queue.hpp"
+#include "des/ladder_queue.hpp"
 #include "des/simulator.hpp"
 #include "fd/failure_detector.hpp"
 #include "net/network.hpp"
@@ -64,6 +65,33 @@ void BM_EventQueueCancel(benchmark::State& state) {
   state.counters["slab_slots"] = static_cast<double>(q.slot_capacity());
 }
 BENCHMARK(BM_EventQueueCancel);
+
+// The classic hold model at a standing pending-set size (the Arg): pop the
+// earliest event, push a replacement at a random future offset. This is
+// where the heap's O(log n) pops separate from the ladder's amortised O(1)
+// bucket scans -- small pending sets favour the heap's tight loop, large
+// ones the ladder. Run both to locate the crossover on this machine.
+template <typename Queue>
+void BM_HoldModel(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  des::RandomEngine rng{5};
+  Queue q;
+  des::TimePoint now = des::TimePoint::origin();
+  for (std::size_t i = 0; i < pending; ++i) {
+    q.push(now + des::Duration::nanos(rng.uniform_int(0, 1'000'000)), [] {});
+  }
+  for (auto _ : state) {
+    const auto popped = q.pop();
+    now = popped.at;
+    benchmark::DoNotOptimize(
+        q.push(now + des::Duration::nanos(rng.uniform_int(1, 1'000'000)), [] {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_LadderVsHeap_Heap(benchmark::State& state) { BM_HoldModel<des::EventQueue>(state); }
+void BM_LadderVsHeap_Ladder(benchmark::State& state) { BM_HoldModel<des::LadderQueue>(state); }
+BENCHMARK(BM_LadderVsHeap_Heap)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+BENCHMARK(BM_LadderVsHeap_Ladder)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
 
 void BM_SimulatorEventChain(benchmark::State& state) {
   for (auto _ : state) {

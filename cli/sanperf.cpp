@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +46,7 @@ int usage(std::ostream& os, int code) {
         "              [--scale-ms MS] [--horizon-ms MS] [--downtime-ms MS]\n"
         "              [--seed S] [--out FILE] [--spec-out FILE]\n"
         "  sanperf diff <expected.csv> <actual.csv> [--tol REL]\n"
+        "              [--ignore-cols a,b,c]\n"
         "  sanperf help\n"
         "\n"
         "Scenario axes are restricted with --set (e.g. --set n=3,5 --set\n"
@@ -686,9 +688,17 @@ int cmd_diff(const std::vector<std::string>& args) {
     return usage(std::cerr, 2);
   }
   double tol = 0.10;
+  std::set<std::string> ignore_cols;
   for (std::size_t i = 2; i < args.size(); ++i) {
     if (args[i] == "--tol" && i + 1 < args.size()) {
       tol = std::stod(args[++i]);
+    } else if (args[i] == "--ignore-cols" && i + 1 < args.size()) {
+      // Comma-separated column names excluded from the comparison (schema
+      // still checked): wall-clock / machine-fact columns in goldens.
+      std::istringstream list{args[++i]};
+      for (std::string name; std::getline(list, name, ',');) {
+        if (!name.empty()) ignore_cols.insert(name);
+      }
     } else {
       std::cerr << "sanperf diff: unknown option '" << args[i] << "'\n";
       return usage(std::cerr, 2);
@@ -724,6 +734,7 @@ int cmd_diff(const std::vector<std::string>& args) {
   if (report.mismatches == 0) {
     for (std::size_t r = 0; r < expected.row_count(); ++r) {
       for (std::size_t c = 0; c < expected.columns().size(); ++c) {
+        if (ignore_cols.count(expected.columns()[c].name) != 0) continue;
         diff_cell(expected, actual, r, c, tol, report);
       }
     }

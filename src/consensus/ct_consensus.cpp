@@ -49,8 +49,14 @@ void CtConsensus::bcast(const Instance& inst, Message m) {
     return;
   }
   // Member-wise n-1 unicasts in ascending id order -- the same fan-out
-  // Process::broadcast produces when the epoch covers every host.
-  for (const MemberId peer : view_->members_at(inst.epoch)) {
+  // Process::broadcast produces when the epoch covers every host, so that
+  // case takes the pooled single-frame broadcast instead.
+  const std::vector<MemberId>& members = view_->members_at(inst.epoch);
+  if (covers_all_hosts(members, process().n())) {
+    process().broadcast(std::move(m));
+    return;
+  }
+  for (const MemberId peer : members) {
     if (static_cast<HostId>(peer) == process().id()) continue;
     process().send(m, static_cast<HostId>(peer));
   }
@@ -199,7 +205,12 @@ void CtConsensus::maybe_propose(std::int32_t cid, Instance& inst) {
       process().broadcast(prop);
       return;
     }
-    for (const MemberId peer : view_->members_at(epoch)) {
+    const std::vector<MemberId>& members = view_->members_at(epoch);
+    if (covers_all_hosts(members, process().n())) {
+      process().broadcast(prop);
+      return;
+    }
+    for (const MemberId peer : members) {
       if (static_cast<HostId>(peer) == process().id()) continue;
       process().send(prop, static_cast<HostId>(peer));
     }

@@ -33,6 +33,14 @@ namespace sanperf::consensus {
 /// workload engine and the fd layer both include this header).
 using MemberId = std::uint32_t;
 
+/// True when a (normalized: sorted, duplicate-free) member set is exactly
+/// every host 0..n-1 -- the case where a member-wise fan-out is identical
+/// to Process::broadcast and can take the pooled single-frame path.
+[[nodiscard]] inline bool covers_all_hosts(const std::vector<MemberId>& members, std::size_t n) {
+  return members.size() == n && members.front() == 0 &&
+         members.back() == static_cast<MemberId>(n - 1);
+}
+
 class MembershipView {
  public:
   using Epoch = std::uint32_t;

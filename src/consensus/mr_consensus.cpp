@@ -44,7 +44,14 @@ void MrConsensus::bcast(const Instance& inst, Message m) {
     process().broadcast(std::move(m));
     return;
   }
-  for (const MemberId peer : view_->members_at(inst.epoch)) {
+  // Full-coverage epochs take the pooled single-frame broadcast (identical
+  // fan-out; see CtConsensus::bcast).
+  const std::vector<MemberId>& members = view_->members_at(inst.epoch);
+  if (covers_all_hosts(members, process().n())) {
+    process().broadcast(std::move(m));
+    return;
+  }
+  for (const MemberId peer : members) {
     if (static_cast<HostId>(peer) == process().id()) continue;
     process().send(m, static_cast<HostId>(peer));
   }
@@ -170,7 +177,12 @@ void MrConsensus::send_aux(std::int32_t cid, Instance& inst, bool bottom,
       process().broadcast(aux);
       return;
     }
-    for (const MemberId peer : view_->members_at(epoch)) {
+    const std::vector<MemberId>& members = view_->members_at(epoch);
+    if (covers_all_hosts(members, process().n())) {
+      process().broadcast(aux);
+      return;
+    }
+    for (const MemberId peer : members) {
       if (static_cast<HostId>(peer) == process().id()) continue;
       process().send(aux, static_cast<HostId>(peer));
     }

@@ -1,0 +1,15 @@
+// Process peak-RSS probe for the scaling reports.
+#pragma once
+
+#include <cstdint>
+
+namespace sanperf::core {
+
+/// Peak resident-set size of this process in bytes, as the OS accounts it
+/// (getrusage ru_maxrss). Monotone over the process lifetime -- a sweep
+/// point reports the high-water mark up to its own completion, so only the
+/// largest-n row of a sweep is a clean per-run figure. Returns 0 where the
+/// platform offers no probe.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace sanperf::core

@@ -4,11 +4,14 @@
 // flattened ShardSpace fan-out. The per-figure logic lives in the typed
 // driver functions (experiments/extensions); the specs describe the axes,
 // the output schema, and the fold into a ResultTable.
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/campaign.hpp"
 #include "core/extensions.hpp"
+#include "core/rss.hpp"
 #include "core/simulation.hpp"
 #include "core/workload.hpp"
 #include "des/random.hpp"
@@ -1760,6 +1763,110 @@ ScenarioSpec cross_rack_latency_sweep_spec() {
   return spec;
 }
 
+ScenarioSpec scale_n_sweep_spec() {
+  ScenarioSpec spec;
+  spec.name = "scale_n_sweep";
+  spec.description =
+      "Engine throughput (events/s, ns/event, peak RSS) vs cluster size, heap vs ladder+batched";
+  spec.notes =
+      "The single-run scaling story: one open-loop MR stream per point at an\n"
+      "offered load ~1/n^2 (the per-instance frame count is Theta(n^2), so\n"
+      "this keeps utilisation comparable across sizes). The engine axis\n"
+      "compares the default configuration (binary-heap pending set,\n"
+      "per-receiver broadcast fan-out) against the scaling one (ladder\n"
+      "queue, batched hub broadcast). Simulated results -- delivered_per_s,\n"
+      "events, sim_ms -- are identical between heap_unicast rows and any\n"
+      "SANPERF_QUEUE override, and appear in the golden; the wall-clock\n"
+      "columns (events_per_s, ns_per_event, peak_rss_mb) are machine facts,\n"
+      "diffed with --ignore-cols in CI. peak_rss_mb is the process\n"
+      "high-water mark, so within a sweep only the largest n is clean.";
+  spec.needs_calibration = false;
+  spec.axes = [](const Scale& scale) {
+    std::vector<ParamAxis> axes{
+        ParamAxis::sizes("n", {3, 5, 9, 17, 33, 65, 129}),
+        ParamAxis::strings("engine", {"heap_unicast", "ladder_batched"})};
+    for (auto& axis : workload_size_axes(scale)) axes.push_back(std::move(axis));
+    return axes;
+  };
+  spec.columns = {{"engine", ColumnType::kString},
+                  {"n", ColumnType::kInt},
+                  {"offered_per_s", ColumnType::kReal},
+                  {"delivered_per_s", ColumnType::kReal},
+                  {"events", ColumnType::kReal},
+                  {"sim_ms", ColumnType::kReal},
+                  {"events_per_s", ColumnType::kReal},
+                  {"ns_per_event", ColumnType::kReal},
+                  {"peak_rss_mb", ColumnType::kReal},
+                  {"undecided", ColumnType::kInt}};
+  spec.run = [name = spec.name, columns = spec.columns](const ScenarioRun& run) {
+    const PaperContext& ctx = run.ctx;
+    const auto timers = net::TimerModel::ideal();
+    struct PointResult {
+      WorkloadResult workload;
+      double offered_per_s = 0;
+      double wall_s = 0;
+      double rss_mb = 0;
+    };
+    const auto results = ctx.runner->map(run.grid.size(), [&](std::size_t p) {
+      const auto point = run.grid.point(p);
+      const std::size_t n = point.get_size("n");
+      WorkloadConfig cfg;
+      cfg.n = n;
+      cfg.network = ctx.network;
+      cfg.timers = timers;
+      cfg.algorithm = Algorithm::kMostefaouiRaynal;
+      const std::string engine = point.get_string("engine");
+      if (engine == "ladder_batched") {
+        cfg.queue_backend = des::QueueBackend::kLadder;
+        cfg.network.batched_broadcast = true;
+      } else if (engine == "heap_unicast") {
+        cfg.queue_backend = des::QueueBackend::kHeap;
+        cfg.network.batched_broadcast = false;
+      } else {
+        throw std::invalid_argument{"unknown engine '" + engine + "'"};
+      }
+      cfg.seed = workload_point_seed(ctx.seed, name, point);
+      WorkloadSpec stream;
+      stream.arrivals = ArrivalProcess::kOpenLoop;
+      // Theta(n^2) frames per MR instance: an offered load ~1/n^2 keeps the
+      // medium at comparable utilisation across the whole size ladder.
+      stream.offered_per_s = 2000.0 / (static_cast<double>(n) * static_cast<double>(n));
+      // Instance cost grows ~n^2, so the stream shrinks with n to keep the
+      // largest sizes tractable at every scale preset.
+      const std::size_t base = point.get_size("instances");
+      stream.measured = std::min(base, std::max<std::size_t>(6, 8 * base / n));
+      stream.warmup = std::min(point.get_size("warmup"),
+                               std::max<std::size_t>(2, stream.measured / 8));
+      stream.instance_timeout_ms = 60'000.0;
+      PointResult res;
+      res.offered_per_s = stream.offered_per_s;
+      // Wall-clock engine throughput is the point of this sweep; the
+      // simulated outputs stay host-independent.
+      const auto wall_start = std::chrono::steady_clock::now();  // det-lint: allow(wall-clock) measures engine speed, not simulated time
+      res.workload = run_workload(cfg, stream);
+      const auto wall_end = std::chrono::steady_clock::now();  // det-lint: allow(wall-clock) measures engine speed, not simulated time
+      res.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+      res.rss_mb = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+      return res;
+    });
+    ResultTable table{name, columns};
+    for (std::size_t p = 0; p < run.grid.size(); ++p) {
+      const auto point = run.grid.point(p);
+      const PointResult& res = results[p];
+      const auto events = static_cast<double>(res.workload.events_processed);
+      const double events_per_s = res.wall_s > 0 ? events / res.wall_s : 0.0;
+      table.add_row({point.get_string("engine"), point.get_int("n"), res.offered_per_s,
+                     res.workload.stats.delivered_per_s, events, res.workload.sim_duration_ms,
+                     events_per_s, events_per_s > 0 ? Value{1e9 / events_per_s} : Value{},
+                     res.rss_mb > 0 ? Value{res.rss_mb} : Value{},
+                     int_of(res.workload.stats.undecided)});
+    }
+    return table;
+  };
+  return spec;
+}
+
+SANPERF_REGISTER_SCENARIO(scale_n_sweep_spec);
 SANPERF_REGISTER_SCENARIO(load_latency_sweep_spec);
 SANPERF_REGISTER_SCENARIO(batch_throughput_sweep_spec);
 SANPERF_REGISTER_SCENARIO(closed_loop_clients_spec);

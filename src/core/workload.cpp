@@ -221,6 +221,7 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
   ccfg.network = cfg.network;
   ccfg.timers = cfg.timers;
   ccfg.topology = cfg.topology;
+  ccfg.queue_backend = cfg.queue_backend;
   ccfg.seed = cfg.seed;
   runtime::Cluster cluster{ccfg};
   std::optional<faults::FaultInjector> injector;
@@ -637,6 +638,8 @@ WorkloadResult run_stream(const WorkloadConfig& cfg, const WorkloadSpec& spec) {
     out.durable_appends += cons.durable_log().stats().appends;
   }
   out.membership_changes = std::move(membership_changes);
+  out.events_processed = cluster.sim().events_processed();
+  out.sim_duration_ms = cluster.now().to_ms();
   return out;
 }
 

@@ -25,6 +25,7 @@
 
 #include "core/config.hpp"       // Algorithm
 #include "core/measurement.hpp"  // ExecOutcome, MeasuredLatency
+#include "des/simulator.hpp"     // QueueBackend
 #include "faults/plan.hpp"
 #include "net/params.hpp"
 #include "stats/summary.hpp"
@@ -70,6 +71,9 @@ struct WorkloadConfig {
   /// fixed membership, the legacy code paths). Hosts outside the set begin
   /// crashed and join via add_host plan events, decided in-stream.
   std::vector<int> initial_members;
+  /// Pending-set backend for the cluster's simulator (see ClusterConfig).
+  /// Pure performance knob: both backends pop the same event order.
+  des::QueueBackend queue_backend = des::default_queue_backend();
   std::uint64_t seed = 1;
 };
 
@@ -228,6 +232,11 @@ struct WorkloadResult {
   /// Durable-log totals summed over processes (0 when the log is off).
   std::uint64_t instances_replayed = 0;
   std::uint64_t durable_appends = 0;
+  /// Simulator events executed over the whole run (warm-up included) and
+  /// the simulated horizon reached -- the denominators of the engine
+  /// throughput figures the scaling sweep reports.
+  std::uint64_t events_processed = 0;
+  double sim_duration_ms = 0;
 
   /// Measured-window latencies in the campaign-facing shape.
   [[nodiscard]] MeasuredLatency measured_latency() const;

@@ -1,0 +1,396 @@
+#include "des/ladder_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sanperf::des {
+
+std::uint32_t LadderQueue::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNpos;
+    return slot;
+  }
+  slots_.emplace_back();
+  slots_.back().gen = gen_floor_;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void LadderQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  ++s.gen;  // stale every EventId handed out for this occupancy
+  s.where = Where::kFree;
+  s.pos = kNpos;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void LadderQueue::swap_remove(std::vector<std::uint32_t>& tier, std::uint32_t pos) {
+  const std::uint32_t moved = tier.back();
+  tier[pos] = moved;
+  slots_[moved].pos = pos;  // self-assignment when pos is last; harmless
+  tier.pop_back();
+}
+
+void LadderQueue::push_top(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.where = Where::kTop;
+  s.pos = static_cast<std::uint32_t>(top_.size());
+  top_.push_back(slot);
+}
+
+void LadderQueue::insert_bottom(std::uint32_t slot) {
+  // bottom_ is sorted descending by (at, seq): find the first entry the new
+  // event precedes-from-the-back, i.e. the first one earlier than it.
+  const auto it = std::lower_bound(
+      bottom_.begin(), bottom_.end(), slot,
+      [this](std::uint32_t e, std::uint32_t v) { return earlier(v, e); });
+  const auto idx = static_cast<std::size_t>(it - bottom_.begin());
+  bottom_.insert(it, slot);
+  slots_[slot].where = Where::kBottom;
+  for (std::size_t i = idx; i < bottom_.size(); ++i) {
+    slots_[bottom_[i]].pos = static_cast<std::uint32_t>(i);
+  }
+}
+
+void LadderQueue::place(std::uint32_t slot) {
+  const std::int64_t at = slots_[slot].at.ns();
+  if (at < bottom_limit_) {
+    insert_bottom(slot);
+    return;
+  }
+  if (depth_ == 0 || at >= top_floor_) {
+    push_top(slot);
+    return;
+  }
+  // The active rungs tile [bottom_limit_, top_floor_) contiguously from the
+  // innermost out, so the first rung whose end exceeds `at` owns it.
+  for (std::size_t d = depth_; d-- > 0;) {
+    Rung& r = rungs_[d];
+    if (at >= r.end_ns) continue;
+    const auto b = static_cast<std::size_t>((at - r.start_ns) / r.width_ns);
+    Slot& s = slots_[slot];
+    s.where = Where::kRung;
+    s.rung = static_cast<std::uint16_t>(d);
+    s.bucket = static_cast<std::uint32_t>(b);
+    s.pos = static_cast<std::uint32_t>(r.buckets[b].size());
+    r.buckets[b].push_back(slot);
+    return;
+  }
+  push_top(slot);  // unreachable: top_floor_ == rungs_[0].end_ns
+}
+
+void LadderQueue::reset_window() {
+  depth_ = 0;
+  bottom_limit_ = kFloorMin;
+  top_floor_ = kFloorMin;
+}
+
+void LadderQueue::seed_from_top() {
+  std::int64_t min_ns = slots_[top_.front()].at.ns();
+  std::int64_t max_ns = min_ns;
+  for (const std::uint32_t slot : top_) {
+    const std::int64_t at = slots_[slot].at.ns();
+    min_ns = std::min(min_ns, at);
+    max_ns = std::max(max_ns, at);
+  }
+  const std::int64_t range = max_ns - min_ns + 1;
+  const std::int64_t width = std::max<std::int64_t>(1, (range + kRungBuckets - 1) / kRungBuckets);
+  const std::int64_t nb = (range + width - 1) / width;
+  if (rungs_.empty()) rungs_.emplace_back();
+  Rung& r = rungs_.front();
+  r.start_ns = min_ns;
+  r.width_ns = width;
+  r.end_ns = min_ns + nb * width;
+  r.cur = 0;
+  r.buckets.resize(static_cast<std::size_t>(nb));
+  depth_ = 1;
+  bottom_limit_ = min_ns;
+  top_floor_ = r.end_ns;
+  for (const std::uint32_t slot : top_) {
+    Slot& s = slots_[slot];
+    const auto b = static_cast<std::size_t>((s.at.ns() - min_ns) / width);
+    s.where = Where::kRung;
+    s.rung = 0;
+    s.bucket = static_cast<std::uint32_t>(b);
+    s.pos = static_cast<std::uint32_t>(r.buckets[b].size());
+    r.buckets[b].push_back(slot);
+  }
+  top_.clear();
+}
+
+void LadderQueue::spawn_rung(std::size_t parent) {
+  // Compute the child's window before any rungs_ growth: emplace_back may
+  // relocate the vector and invalidate references into it.
+  const std::int64_t c_start = rungs_[parent].cur_start_ns();
+  const std::int64_t span =
+      std::min(c_start + rungs_[parent].width_ns, rungs_[parent].end_ns) - c_start;
+  const std::int64_t c_width = std::max<std::int64_t>(1, (span + kRungBuckets - 1) / kRungBuckets);
+  const std::int64_t nb = (span + c_width - 1) / c_width;
+  std::vector<std::uint32_t> moved = std::move(rungs_[parent].buckets[rungs_[parent].cur]);
+  rungs_[parent].buckets[rungs_[parent].cur].clear();
+  ++rungs_[parent].cur;  // the bucket's events now live one level down
+  if (rungs_.size() <= depth_) rungs_.emplace_back();
+  Rung& c = rungs_[depth_];
+  c.start_ns = c_start;
+  c.width_ns = c_width;
+  // Clamp to the parent bucket's true extent: the child must hand control
+  // back exactly at the parent's next bucket or same-instant events could
+  // fire out of insertion order across the seam.
+  c.end_ns = c_start + span;
+  c.cur = 0;
+  c.buckets.resize(static_cast<std::size_t>(nb));
+  ++depth_;
+  for (const std::uint32_t slot : moved) {
+    Slot& s = slots_[slot];
+    const auto b = static_cast<std::size_t>((s.at.ns() - c_start) / c_width);
+    s.rung = static_cast<std::uint16_t>(depth_ - 1);
+    s.bucket = static_cast<std::uint32_t>(b);
+    s.pos = static_cast<std::uint32_t>(c.buckets[b].size());
+    c.buckets[b].push_back(slot);
+  }
+  // bottom_limit_ is unchanged: the child's cur_start equals the parent
+  // bucket's start, which was the previous innermost cur_start.
+}
+
+void LadderQueue::refill_bottom() {
+  while (bottom_.empty()) {
+    if (depth_ == 0) seed_from_top();
+    Rung& r = rungs_[depth_ - 1];
+    while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) ++r.cur;
+    if (r.cur >= r.buckets.size()) {
+      --depth_;
+      bottom_limit_ = depth_ == 0 ? top_floor_ : rungs_[depth_ - 1].cur_start_ns();
+      continue;
+    }
+    bottom_limit_ = r.cur_start_ns();
+    std::vector<std::uint32_t>& bucket = r.buckets[r.cur];
+    if (bucket.size() > kBottomThreshold && r.width_ns > 1 && depth_ < kMaxRungs) {
+      spawn_rung(depth_ - 1);
+      continue;
+    }
+    // Small enough (or at 1 ns resolution): sort descending and make it
+    // the bottom tier. swap() recycles the two vectors' capacity.
+    std::sort(bucket.begin(), bucket.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return earlier(b, a); });
+    std::swap(bottom_, bucket);
+    ++r.cur;
+    bottom_limit_ = r.cur_start_ns();
+    for (std::size_t i = 0; i < bottom_.size(); ++i) {
+      Slot& s = slots_[bottom_[i]];
+      s.where = Where::kBottom;
+      s.pos = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+EventId LadderQueue::push(TimePoint at, Action action) {
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.action = std::move(action);
+  SANPERF_AUDIT_ONLY(s.audit_live_gen = s.gen;)
+  place(slot);
+  ++live_;
+#if SANPERF_AUDIT_ENABLED
+  // Periodic O(n) self-check, after the slot is fully linked in.
+  if (++audit_ops_ % kAuditPeriod == 0) audit_check_ladder();
+#endif
+  return make_id(slot, s.gen);
+}
+
+bool LadderQueue::cancel(EventId id) {
+  if (!pending(id)) return false;
+  const std::uint32_t slot = slot_of(id);
+  Slot& s = slots_[slot];
+  switch (s.where) {
+    case Where::kTop:
+      swap_remove(top_, s.pos);
+      break;
+    case Where::kRung:
+      swap_remove(rungs_[s.rung].buckets[s.bucket], s.pos);
+      break;
+    case Where::kBottom:
+      // The sorted tier cannot swap-remove; shift the (short) tail.
+      bottom_.erase(bottom_.begin() + s.pos);
+      for (std::size_t i = s.pos; i < bottom_.size(); ++i) {
+        slots_[bottom_[i]].pos = static_cast<std::uint32_t>(i);
+      }
+      break;
+    case Where::kFree:
+      break;  // unreachable: pending() filtered it
+  }
+  release_slot(slot);
+  --live_;
+  if (live_ == 0) reset_window();
+  return true;
+}
+
+TimePoint LadderQueue::next_time() {
+  if (live_ == 0) throw std::logic_error{"LadderQueue::next_time on empty queue"};
+  if (bottom_.empty()) refill_bottom();
+  return slots_[bottom_.back()].at;
+}
+
+LadderQueue::Popped LadderQueue::pop() {
+  if (live_ == 0) throw std::logic_error{"LadderQueue::pop on empty queue"};
+  if (bottom_.empty()) refill_bottom();
+  const std::uint32_t slot = bottom_.back();
+  Slot& s = slots_[slot];
+  // The slot about to fire must be alive: at the back of the sorted bottom
+  // tier, in its pushed generation and holding a callable action.
+  SANPERF_AUDIT_CHECK("des.no_dead_slot_fire",
+                      s.where == Where::kBottom &&
+                          s.pos == static_cast<std::uint32_t>(bottom_.size() - 1) &&
+                          s.gen == s.audit_live_gen && static_cast<bool>(s.action),
+                      "slot " + std::to_string(slot) + " gen " + std::to_string(s.gen));
+#if SANPERF_AUDIT_ENABLED
+  if (++audit_ops_ % kAuditPeriod == 0) audit_check_ladder();
+#endif
+  bottom_.pop_back();
+  Popped out{s.at, make_id(slot, s.gen), std::move(s.action)};
+  release_slot(slot);
+  --live_;
+  if (live_ == 0) reset_window();
+  return out;
+}
+
+void LadderQueue::clear() {
+  // Release every live slot; each release bumps the generation so stale
+  // ids cannot alias the next occupancy.
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].where != Where::kFree) release_slot(i);
+  }
+  top_.clear();
+  bottom_.clear();
+  for (Rung& r : rungs_) {
+    for (std::vector<std::uint32_t>& b : r.buckets) b.clear();
+  }
+  live_ = 0;
+  reset_window();
+}
+
+void LadderQueue::shrink_to_fit() {
+  // Only tail slots can go: interior slots are addressed by index from the
+  // tiers and from outstanding EventIds, so compaction would remap them.
+  while (!slots_.empty() && slots_.back().where == Where::kFree) {
+    // A handle to the dropped slot carries gen <= gen, so any slot later
+    // re-created at this index must start strictly above it.
+    if (slots_.back().gen >= gen_floor_) gen_floor_ = slots_.back().gen + 1;
+    slots_.pop_back();
+  }
+  // The free list may reference dropped slots; rebuild it over the
+  // survivors in ascending index order.
+  free_head_ = kNpos;
+  std::uint32_t* tail = &free_head_;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].where != Where::kFree) continue;
+    *tail = i;
+    tail = &slots_[i].next_free;
+  }
+  *tail = kNpos;
+  slots_.shrink_to_fit();
+  top_.shrink_to_fit();
+  bottom_.shrink_to_fit();
+  rungs_.resize(depth_);  // drop recycled storage of inactive depths
+  rungs_.shrink_to_fit();
+}
+
+#if SANPERF_AUDIT_ENABLED
+void LadderQueue::audit_check_ladder() const {
+  const auto check_live = [this](std::uint32_t slot, const char* tier) {
+    SANPERF_AUDIT_CHECK("des.no_dead_slot_fire",
+                        slots_[slot].gen == slots_[slot].audit_live_gen &&
+                            static_cast<bool>(slots_[slot].action),
+                        std::string{tier} + "-resident slot " + std::to_string(slot) + " is dead");
+  };
+  std::size_t tiered = 0;
+  for (std::size_t i = 0; i < bottom_.size(); ++i) {
+    const std::uint32_t slot = bottom_[i];
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        slot < slots_.size() && slots_[slot].where == Where::kBottom &&
+                            slots_[slot].pos == i,
+                        "bottom[" + std::to_string(i) + "] = slot " + std::to_string(slot));
+    check_live(slot, "bottom");
+    SANPERF_AUDIT_CHECK("des.ladder_consistency", slots_[slot].at.ns() < bottom_limit_,
+                        "bottom slot " + std::to_string(slot) + " at or past bottom_limit");
+    if (i + 1 < bottom_.size()) {
+      SANPERF_AUDIT_CHECK("des.ladder_consistency", earlier(bottom_[i + 1], bottom_[i]),
+                          "bottom order violated at " + std::to_string(i));
+    }
+  }
+  tiered += bottom_.size();
+  for (std::size_t i = 0; i < top_.size(); ++i) {
+    const std::uint32_t slot = top_[i];
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        slot < slots_.size() && slots_[slot].where == Where::kTop &&
+                            slots_[slot].pos == i,
+                        "top[" + std::to_string(i) + "] = slot " + std::to_string(slot));
+    check_live(slot, "top");
+    SANPERF_AUDIT_CHECK("des.ladder_consistency", slots_[slot].at.ns() >= top_floor_,
+                        "top slot " + std::to_string(slot) + " below top_floor");
+  }
+  tiered += top_.size();
+  for (std::size_t d = 0; d < depth_; ++d) {
+    const Rung& r = rungs_[d];
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        r.width_ns >= 1 && r.cur <= r.buckets.size() && r.start_ns < r.end_ns,
+                        "rung " + std::to_string(d) + " malformed window");
+    for (std::size_t b = 0; b < r.buckets.size(); ++b) {
+      const std::int64_t lo = r.start_ns + static_cast<std::int64_t>(b) * r.width_ns;
+      const std::int64_t hi = std::min(lo + r.width_ns, r.end_ns);
+      for (std::size_t j = 0; j < r.buckets[b].size(); ++j) {
+        const std::uint32_t slot = r.buckets[b][j];
+        SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                            slot < slots_.size() && slots_[slot].where == Where::kRung &&
+                                slots_[slot].rung == d && slots_[slot].bucket == b &&
+                                slots_[slot].pos == j && b >= r.cur,
+                            "rung " + std::to_string(d) + " bucket " + std::to_string(b) +
+                                " entry " + std::to_string(j) + " = slot " + std::to_string(slot));
+        check_live(slot, "rung");
+        SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                            slots_[slot].at.ns() >= lo && slots_[slot].at.ns() < hi,
+                            "slot " + std::to_string(slot) + " outside its bucket range");
+      }
+      tiered += r.buckets[b].size();
+    }
+  }
+  // The tier boundaries must partition the time axis contiguously.
+  if (depth_ > 0) {
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        bottom_limit_ == rungs_[depth_ - 1].cur_start_ns() &&
+                            top_floor_ == rungs_[0].end_ns,
+                        "tier boundaries out of sync with active rungs");
+    for (std::size_t d = 1; d < depth_; ++d) {
+      SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                          rungs_[d].end_ns == rungs_[d - 1].cur_start_ns(),
+                          "rung seam mismatch at depth " + std::to_string(d));
+    }
+  } else {
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        bottom_.empty() && bottom_limit_ == kFloorMin && top_floor_ == kFloorMin,
+                        "no active rung but window is not reset");
+  }
+  SANPERF_AUDIT_CHECK("des.ladder_consistency", tiered == live_,
+                      "tiered " + std::to_string(tiered) + " != live " + std::to_string(live_));
+  // The free list must account for exactly the slots in no tier.
+  std::size_t free_count = 0;
+  for (std::uint32_t f = free_head_; f != kNpos; f = slots_[f].next_free) {
+    SANPERF_AUDIT_CHECK("des.ladder_consistency",
+                        f < slots_.size() && slots_[f].where == Where::kFree,
+                        "free-listed slot " + std::to_string(f) + " is tier-resident");
+    ++free_count;
+    if (free_count > slots_.size()) break;  // cycle; the count check below fires
+  }
+  SANPERF_AUDIT_CHECK("des.ladder_consistency", free_count + live_ == slots_.size(),
+                      "free " + std::to_string(free_count) + " + live " + std::to_string(live_) +
+                          " != slots " + std::to_string(slots_.size()));
+}
+#endif
+
+}  // namespace sanperf::des

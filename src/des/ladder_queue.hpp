@@ -1,0 +1,211 @@
+// A ladder (calendar) queue: the EventQueue contract at O(1) amortised cost.
+//
+// Same generation-stamped EventId handles, same slot-slab storage
+// discipline, and crucially the same (time, insertion-seq) total order as
+// the indexed binary heap in event_queue.hpp -- identical push/cancel/pop
+// interleavings produce identical pop sequences, so either backend
+// reproduces every golden bit for bit (ladder_queue_test fuzzes exactly
+// this equivalence). Only the ordering structure differs. Pending events
+// spread across three tiers:
+//   * top    -- an unsorted far-future band (everything beyond the rungs);
+//   * rungs  -- a stack of bucket arrays; each rung refines one bucket of
+//               the rung above into narrower time slices;
+//   * bottom -- the current bucket, sorted descending so pop() takes the
+//               back; at most ~kBottomThreshold events at a time.
+// push and cancel touch a single bucket (O(1)); pop sorts one small bucket
+// every ~threshold pops (O(1) amortised). The DES literature (Tang et al.,
+// "Ladder queue", TOMACS 2005) reports the win over binary heaps past
+// ~10k pending events; BM_LadderVsHeap in bench/engine_micro.cpp measures
+// the crossover on this implementation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "des/event_queue.hpp"
+#include "des/time.hpp"
+
+namespace sanperf::des {
+
+class LadderQueue {
+ public:
+  using Action = EventAction;
+
+  /// Adds an event firing at `at`. Returns a handle for cancellation.
+  EventId push(TimePoint at, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or never existed. O(1): a swap-remove from the
+  /// event's bucket (bounded shift when it already sits in the sorted
+  /// bottom tier).
+  bool cancel(EventId id);
+
+  /// True iff the event is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool pending(EventId id) const {
+    const std::uint32_t slot = slot_of(id);
+    return slot < slots_.size() && slots_[slot].gen == gen_of(id) &&
+           slots_[slot].where != Where::kFree;
+  }
+
+  /// True when no live event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Firing time of the earliest live event. Requires !empty(). Non-const:
+  /// may pull the next bucket into the sorted bottom tier.
+  [[nodiscard]] TimePoint next_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Popped {
+    TimePoint at;
+    EventId id;
+    Action action;
+  };
+  Popped pop();
+
+  /// Removes every pending event. Slab capacity is retained; every
+  /// outstanding EventId goes stale.
+  void clear();
+
+  /// Releases capacity retained from past high-water marks: drops free
+  /// slots at the tail of the slab (after clear() that is the whole slab),
+  /// inactive rung storage and container slack. Stale EventIds remain
+  /// stale: generations of dropped slots fold into a floor future slots
+  /// start from, exactly like EventQueue::shrink_to_fit.
+  void shrink_to_fit();
+
+  /// clear() + shrink_to_fit(): the clear-with-shrink policy for
+  /// long-lived simulators with bursty schedules.
+  void clear_and_shrink() {
+    clear();
+    shrink_to_fit();
+  }
+
+  /// Slots ever allocated (live + free); asserts steady-state slot reuse.
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
+#if SANPERF_AUDIT_ENABLED
+  /// Full O(n) structural self-check: every tier entry back-references its
+  /// location, the bottom tier is sorted, bucket members lie inside their
+  /// bucket's time range, the tier boundaries partition the time axis, and
+  /// the free list accounts for exactly the slots in no tier. Runs every
+  /// kAuditPeriod push/pop in audit builds; callable directly from tests.
+  void audit_check_ladder() const;
+
+  /// Test-only corruption backdoor: rewrites a pending event's firing time
+  /// WITHOUT re-bucketing it, so a later pop returns out-of-order time and
+  /// the simulator's des.monotonic_time invariant trips.
+  void audit_corrupt_slot_time(EventId id, TimePoint at) { slots_[slot_of(id)].at = at; }
+#endif
+
+ private:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  /// Buckets per rung; each refinement narrows the slice ~this factor.
+  static constexpr std::int64_t kRungBuckets = 128;
+  /// Max events sorted into the bottom tier from one bucket; larger
+  /// buckets spawn a refining rung instead (unless already at 1 ns).
+  static constexpr std::size_t kBottomThreshold = 48;
+  /// Refinement depth bound (1 ns resolution is reached far earlier).
+  static constexpr std::size_t kMaxRungs = 24;
+
+  enum class Where : std::uint8_t { kFree, kTop, kRung, kBottom };
+
+  struct Slot {
+    TimePoint at;
+    std::uint64_t seq = 0;  ///< insertion order; (at, seq) totally orders pops
+    Action action;
+    std::uint32_t gen = 0;      ///< bumped on release; stales old EventIds
+    Where where = Where::kFree;
+    std::uint16_t rung = 0;     ///< rung index when kRung
+    std::uint32_t bucket = 0;   ///< bucket index when kRung
+    std::uint32_t pos = kNpos;  ///< index within its tier container
+    std::uint32_t next_free = kNpos;
+#if SANPERF_AUDIT_ENABLED
+    /// Generation the slot was pushed with; a mismatch at pop means a
+    /// dead-generation slot would fire.
+    std::uint32_t audit_live_gen = 0;
+#endif
+  };
+
+  /// One refinement level. Storage is recycled: rungs_[d] keeps its bucket
+  /// vectors' capacity across activations at depth d.
+  struct Rung {
+    std::int64_t start_ns = 0;  ///< time of bucket 0's lower edge
+    std::int64_t width_ns = 1;  ///< bucket width
+    /// Exact upper edge of the covered range. Stored, not computed: the
+    /// ceil-divided bucket width can overshoot the refined parent bucket,
+    /// and the logical coverage must end exactly where the parent's next
+    /// bucket begins or same-time events could fire out of push order.
+    std::int64_t end_ns = 0;
+    std::size_t cur = 0;  ///< next bucket to consume
+    std::vector<std::vector<std::uint32_t>> buckets;
+
+    [[nodiscard]] std::int64_t cur_start_ns() const {
+      const std::int64_t raw = start_ns + static_cast<std::int64_t>(cur) * width_ns;
+      return raw < end_ns ? raw : end_ns;
+    }
+  };
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+  static std::uint32_t slot_of(EventId id) { return static_cast<std::uint32_t>(id) - 1; }
+  static std::uint32_t gen_of(EventId id) { return static_cast<std::uint32_t>(id >> 32); }
+
+  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  /// Destroys the slot's action, bumps its generation and free-lists it.
+  void release_slot(std::uint32_t slot);
+  /// Unordered-tier removal: overwrite with the last entry, fix its pos.
+  void swap_remove(std::vector<std::uint32_t>& tier, std::uint32_t pos);
+
+  /// Files a freshly filled slot into the tier its time belongs to.
+  void place(std::uint32_t slot);
+  void push_top(std::uint32_t slot);
+  void insert_bottom(std::uint32_t slot);
+  /// Pulls buckets (refining oversized ones) until bottom is non-empty.
+  /// Requires live_ > 0.
+  void refill_bottom();
+  /// Builds rung 0 over the whole top band. Requires top_ non-empty.
+  void seed_from_top();
+  /// Refines rungs_[parent]'s current bucket into a narrower child rung.
+  void spawn_rung(std::size_t parent);
+  /// Returns tier boundaries to the everything-goes-to-top initial state.
+  void reset_window();
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
+  std::uint32_t gen_floor_ = 0;  ///< new slots start here; > any dropped gen
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+
+  std::vector<std::uint32_t> top_;     ///< unsorted far-future band
+  std::vector<std::uint32_t> bottom_;  ///< sorted descending; pop takes back()
+  std::vector<Rung> rungs_;            ///< storage for depths [0, depth_)
+  std::size_t depth_ = 0;              ///< active rungs; back = innermost
+
+  // Tier boundaries partitioning the time axis (ns):
+  //   (-inf, bottom_limit_) -> bottom (already-consumed bucket range)
+  //   [bottom_limit_, top_floor_) -> exactly one active rung
+  //   [top_floor_, +inf) -> top
+  // Initial/empty state: both at INT64_MIN, so everything lands in top.
+  std::int64_t bottom_limit_ = kFloorMin;
+  std::int64_t top_floor_ = kFloorMin;
+  static constexpr std::int64_t kFloorMin = INT64_MIN;
+
+#if SANPERF_AUDIT_ENABLED
+  static constexpr std::uint64_t kAuditPeriod = 1024;  ///< ops between self-checks
+  mutable std::uint64_t audit_ops_ = 0;
+#endif
+};
+
+}  // namespace sanperf::des

@@ -6,8 +6,8 @@
 
 namespace sanperf::net {
 
-void FifoServer::submit(des::Duration service, std::function<void()> on_done) {
-  Job job{service, std::move(on_done)};
+void FifoServer::submit(des::Duration service, des::EventAction on_done, std::size_t weight) {
+  Job job{service, std::move(on_done), weight};
   if (busy_) {
     waiting_.push_back(std::move(job));
   } else {
@@ -19,6 +19,7 @@ void FifoServer::start(Job job) {
   busy_ = true;
   drop_current_ = false;
   current_done_ = std::move(job.on_done);
+  current_weight_ = job.weight;
   service_start_ = sim_->now();
   sim_->schedule(job.service, [this] { complete(); });
 }
@@ -39,11 +40,12 @@ void FifoServer::complete() {
 }
 
 std::size_t FifoServer::drain(bool drop_in_service) {
-  std::size_t dropped = waiting_.size();
+  std::size_t dropped = 0;
+  for (const Job& job : waiting_) dropped += job.weight;
   waiting_.clear();
   if (drop_in_service && busy_ && !drop_current_) {
     drop_current_ = true;
-    ++dropped;
+    dropped += current_weight_;
   }
   return dropped;
 }
@@ -51,7 +53,7 @@ std::size_t FifoServer::drain(bool drop_in_service) {
 HubMedium::HubMedium(des::Simulator& sim, des::RandomEngine rng, std::size_t hosts)
     : sim_{&sim}, rng_{rng}, queues_(hosts) {}
 
-void HubMedium::submit(HostId src, des::Duration service, std::function<void()> on_done) {
+void HubMedium::submit(HostId src, des::Duration service, des::EventAction on_done) {
   queues_.at(src).push_back({service, std::move(on_done)});
   ++backlog_;
   if (!busy_) start_next();
@@ -70,20 +72,28 @@ void HubMedium::start_next() {
   queues_[winner].pop_front();
   --backlog_;
   busy_ = true;
+  current_done_ = std::move(frame.on_done);
   service_start_ = sim_->now();
-  sim_->schedule(frame.service, [this, done = std::move(frame.on_done)] {
-    busy_time_ += sim_->now() - service_start_;
-    ++served_;
-    busy_ = false;
-    if (done) done();
-    if (!busy_) start_next();  // `done` may have submitted and restarted
-  });
+  sim_->schedule(frame.service, [this] { complete(); });
+}
+
+void HubMedium::complete() {
+  busy_time_ += sim_->now() - service_start_;
+  ++served_;
+  busy_ = false;
+  auto done = std::move(current_done_);
+  if (done) done();
+  if (!busy_) start_next();  // `done` may have submitted and restarted
 }
 
 ContentionNetwork::ContentionNetwork(des::Simulator& sim, des::RandomEngine rng,
                                      NetworkParams params, std::size_t hosts,
                                      const topo::Topology* topology)
-    : sim_{&sim}, rng_{rng}, params_{params}, medium_{sim, rng.substream("hub"), hosts} {
+    : sim_{&sim},
+      rng_{rng},
+      params_{params},
+      pool_{std::make_shared<FramePool>()},
+      medium_{sim, rng.substream("hub"), hosts} {
   if (hosts < 2) throw std::invalid_argument{"ContentionNetwork: need at least 2 hosts"};
   // The hub medium is constructed either way (its "hub" substream is derived
   // but never drawn from unless used), so a degenerate topology leaves the
@@ -110,18 +120,34 @@ des::Duration ContentionNetwork::sample(const stats::BimodalUniform& dist) {
   return des::Duration::from_ms(ms);
 }
 
-void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass cls) {
+bool ContentionNetwork::test_and_set_dead_pair(HostId src, HostId dst) {
+  const std::size_t n = cpus_.size();
+  if (dead_pair_bits_.empty()) dead_pair_bits_.assign((n * n + 63) / 64, 0);
+  const std::size_t pair = static_cast<std::size_t>(src) * n + dst;
+  const std::uint64_t mask = std::uint64_t{1} << (pair & 63);
+  const bool was = (dead_pair_bits_[pair >> 6] & mask) != 0;
+  dead_pair_bits_[pair >> 6] |= mask;
+  return was;
+}
+
+void ContentionNetwork::clear_dead_pairs(HostId h) {
+  if (dead_pair_bits_.empty()) return;
+  const std::size_t n = cpus_.size();
+  for (std::size_t other = 0; other < n; ++other) {
+    for (const std::size_t pair : {other * n + h, static_cast<std::size_t>(h) * n + other}) {
+      dead_pair_bits_[pair >> 6] &= ~(std::uint64_t{1} << (pair & 63));
+    }
+  }
+}
+
+void ContentionNetwork::send(HostId src, HostId dst, FrameBody body, FrameClass cls) {
   if (src >= cpus_.size() || dst >= cpus_.size()) {
     throw std::invalid_argument{"ContentionNetwork::send: bad host id"};
   }
   if (src == dst) throw std::invalid_argument{"ContentionNetwork::send: src == dst"};
   if (down_[src]) return;  // a crashed host emits nothing
 
-  auto pkt = std::make_shared<Packet>();
-  pkt->src = src;
-  pkt->dst = dst;
-  pkt->body = std::move(body);
-  pkt->sent_at = sim_->now();
+  FrameRef frame{pool_, pool_->allocate(src, sim_->now(), std::move(body))};
   ++frames_sent_;
   SANPERF_AUDIT_ONLY(++audit_in_flight_;)
 
@@ -130,37 +156,111 @@ void ContentionNetwork::send(HostId src, HostId dst, std::any body, FrameClass c
   // Small datagrams (heartbeats) are UDP: connectionless, always emitted.
   bool wire = true;
   if (params_.dead_peer_absorption && cls == FrameClass::kProtocol && down_[dst]) {
-    const std::size_t pair = static_cast<std::size_t>(src) * cpus_.size() + dst;
-    if (dead_pair_sent_.empty()) dead_pair_sent_.assign(cpus_.size() * cpus_.size(), 0);
-    wire = dead_pair_sent_[pair] == 0;
-    dead_pair_sent_[pair] = 1;
+    wire = !test_and_set_dead_pair(src, dst);
   }
-
-  // Step 2: sender CPU.
-  cpus_[src].submit(des::Duration::from_ms(params_.send_cpu_ms * cpu_scale_[src]),
-                    [this, pkt, wire, cls] {
-    if (!wire) {
-      ++frames_dropped_;
-      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-      return;
-    }
-    if (routes_) {
-      // Step 4, routed: walk the compiled route link by link.
-      route_hop(pkt, cls, 0);
-      return;
-    }
-    // Step 4: the shared medium (exclusive wire occupancy).
-    const auto& wire_dist =
-        cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
-    medium_.submit(pkt->src, sample(wire_dist), [this, pkt] { receiver_edge(pkt); });
-  });
+  submit_unicast(std::move(frame), dst, wire, cls);
 }
 
-void ContentionNetwork::route_hop(std::shared_ptr<Packet> pkt, FrameClass cls,
+void ContentionNetwork::submit_unicast(FrameRef frame, HostId dst, bool wire, FrameClass cls) {
+  // Step 2: sender CPU.
+  const HostId src = frame.src();
+  cpus_[src].submit(des::Duration::from_ms(params_.send_cpu_ms * cpu_scale_[src]),
+                    [this, frame = std::move(frame), dst, wire, cls]() mutable {
+                      if (!wire) {
+                        ++frames_dropped_;
+                        SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+                        return;
+                      }
+                      if (routes_) {
+                        // Step 4, routed: walk the compiled route link by link.
+                        route_hop(std::move(frame), dst, cls, 0);
+                        return;
+                      }
+                      // Step 4: the shared medium (exclusive wire occupancy).
+                      const auto& wire_dist = cls == FrameClass::kSmall ? params_.small_wire_service
+                                                                        : params_.wire_service;
+                      const HostId fsrc = frame.src();
+                      const des::Duration service = sample(wire_dist);
+                      medium_.submit(fsrc, service, [this, frame = std::move(frame), dst] {
+                        receiver_edge(frame, dst);
+                      });
+                    });
+}
+
+void ContentionNetwork::broadcast(HostId src, FrameBody body, FrameClass cls) {
+  if (src >= cpus_.size()) {
+    throw std::invalid_argument{"ContentionNetwork::broadcast: bad host id"};
+  }
+  if (down_[src]) return;  // a crashed host emits nothing
+  const auto n = static_cast<HostId>(cpus_.size());
+  FrameRef frame{pool_, pool_->allocate(src, sim_->now(), std::move(body))};
+
+  if (!params_.batched_broadcast || routes_) {
+    // Shared-body unicasts: per-receiver resource occupancy, RNG draw order
+    // and event sequence identical to n-1 send() calls (only the n-1 body
+    // copies are gone), so every pre-pool golden reproduces bit for bit.
+    for (HostId dst = 0; dst < n; ++dst) {
+      if (dst == src) continue;
+      ++frames_sent_;
+      SANPERF_AUDIT_ONLY(++audit_in_flight_;)
+      bool wire = true;
+      if (params_.dead_peer_absorption && cls == FrameClass::kProtocol && down_[dst]) {
+        wire = !test_and_set_dead_pair(src, dst);
+      }
+      submit_unicast(frame, dst, wire, cls);
+    }
+    return;
+  }
+
+  // Batched hub fan-out: one sender-CPU job and one medium burst carry all
+  // n-1 frames. Total resource occupancy matches the unbatched path; the
+  // per-frame completion events collapse into two.
+  std::vector<HostId>& dsts = frame.bcast_dsts();
+  std::size_t absorbed = 0;
+  for (HostId dst = 0; dst < n; ++dst) {
+    if (dst == src) continue;
+    ++frames_sent_;
+    SANPERF_AUDIT_ONLY(++audit_in_flight_;)
+    if (params_.dead_peer_absorption && cls == FrameClass::kProtocol && down_[dst] &&
+        test_and_set_dead_pair(src, dst)) {
+      ++absorbed;  // costs the sender CPU below, then drops
+    } else {
+      dsts.push_back(dst);
+    }
+  }
+  const std::size_t total = dsts.size() + absorbed;
+  if (total == 0) return;
+  cpus_[src].submit(
+      des::Duration::from_ms(params_.send_cpu_ms * cpu_scale_[src] * static_cast<double>(total)),
+      [this, frame = std::move(frame), cls, absorbed]() mutable {
+        if (absorbed > 0) {
+          frames_dropped_ += absorbed;
+          SANPERF_AUDIT_ONLY(audit_in_flight_ -= absorbed;)
+        }
+        if (frame.bcast_dsts().empty()) return;
+        const auto& wire_dist =
+            cls == FrameClass::kSmall ? params_.small_wire_service : params_.wire_service;
+        // One wire sample per receiver in ascending-dst order -- the exact
+        // draws the unbatched path makes -- summed into a single burst.
+        des::Duration burst = des::Duration::zero();
+        for (std::size_t i = 0; i < frame.bcast_dsts().size(); ++i) burst += sample(wire_dist);
+        const HostId fsrc = frame.src();
+        medium_.submit(fsrc, burst, [this, frame = std::move(frame)] {
+          // Index-based walk: a receiver's handler may send and grow the
+          // pool while we iterate.
+          for (std::size_t i = 0; i < frame.bcast_dsts().size(); ++i) {
+            receiver_edge_batched(frame, frame.bcast_dsts()[i]);
+          }
+        });
+      },
+      /*weight=*/total);
+}
+
+void ContentionNetwork::route_hop(FrameRef frame, HostId dst, FrameClass cls,
                                   std::uint32_t step) {
-  const topo::RouteTable::Route& route = routes_->route(pkt->src, pkt->dst);
+  const topo::RouteTable::Route& route = routes_->route(frame.src(), dst);
   if (step >= route.hops) {
-    receiver_edge(std::move(pkt));
+    receiver_edge(std::move(frame), dst);
     return;
   }
   const std::uint32_t li = route.links[step];
@@ -180,88 +280,105 @@ void ContentionNetwork::route_hop(std::shared_ptr<Packet> pkt, FrameClass cls,
   if (lp.service_scale != 1.0) {
     service = des::Duration::from_ms(service.to_ms() * lp.service_scale);
   }
-  link.server.submit(service, [this, pkt = std::move(pkt), cls, step, li] {
+  link.server.submit(service, [this, frame = std::move(frame), dst, cls, step, li]() mutable {
     ++links_[li].exited;
     // The link's propagation delay is non-exclusive: the server frees up
     // while the frame is still on the wire towards the next hop.
     const double latency_ms = routes_->link(li).params.latency_ms;
     if (latency_ms > 0) {
       sim_->schedule(des::Duration::from_ms(latency_ms),
-                     [this, pkt, cls, step] { route_hop(pkt, cls, step + 1); });
+                     [this, frame = std::move(frame), dst, cls, step]() mutable {
+                       route_hop(std::move(frame), dst, cls, step + 1);
+                     });
     } else {
-      route_hop(pkt, cls, step + 1);
+      route_hop(std::move(frame), dst, cls, step + 1);
     }
   });
 }
 
-void ContentionNetwork::receiver_edge(std::shared_ptr<Packet> pkt) {
-  // Non-exclusive pipeline latency: stack traversal overlaps freely.
+void ContentionNetwork::receiver_edge(FrameRef frame, HostId dst) {
+  // Non-exclusive pipeline latency: stack traversal overlaps freely. The
+  // event is scheduled even at zero latency -- its queue position is part
+  // of the bit-exact event order the goldens pin down.
   des::Duration pipeline = sample(params_.pipeline_latency);
   if (pipeline_scale_ != 1.0) {
     pipeline = des::Duration::from_ms(pipeline.to_ms() * pipeline_scale_);
   }
-  sim_->schedule(pipeline, [this, pkt] {
-    if (down_[pkt->dst]) {
-      ++frames_dropped_;
-      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-      return;
-    }
-    // Receiver edge: the fault-injection filter sees every frame that
-    // survived the medium -- partition and loss drop here, duplication
-    // pays the receiver CPU twice.
-    FrameFate fate = FrameFate::kDeliver;
-    if (filter_) fate = filter_(*pkt);
-    if (fate == FrameFate::kDrop) {
-      ++frames_dropped_;
-      ++frames_filtered_;
-      SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-      return;
-    }
+  sim_->schedule(pipeline,
+                 [this, frame = std::move(frame), dst] { edge_arrive(frame, dst); });
+}
+
+void ContentionNetwork::receiver_edge_batched(const FrameRef& frame, HostId dst) {
+  des::Duration pipeline = sample(params_.pipeline_latency);
+  if (pipeline_scale_ != 1.0) {
+    pipeline = des::Duration::from_ms(pipeline.to_ms() * pipeline_scale_);
+  }
+  if (pipeline > des::Duration::zero()) {
+    sim_->schedule(pipeline, [this, frame, dst] { edge_arrive(frame, dst); });
+  } else {
+    edge_arrive(frame, dst);  // zero latency: no event, arrive in place
+  }
+}
+
+void ContentionNetwork::edge_arrive(const FrameRef& frame, HostId dst) {
+  if (down_[dst]) {
+    ++frames_dropped_;
+    SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+    return;
+  }
+  // Receiver edge: the fault-injection filter sees every frame that
+  // survived the medium -- partition and loss drop here, duplication
+  // pays the receiver CPU twice.
+  FrameFate fate = FrameFate::kDeliver;
+  if (filter_) fate = filter_(frame.packet(dst));
+  if (fate == FrameFate::kDrop) {
+    ++frames_dropped_;
+    ++frames_filtered_;
+    SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+    return;
+  }
 #if SANPERF_AUDIT_ENABLED
-    // A frame the filter lets through must not cross a pair the ground-truth
-    // oracle says is partitioned right now. Checked at the filter instant --
-    // not at delivery -- so frames already past the filter when a partition
-    // opens are legitimately delivered.
-    if (partition_oracle_) {
-      SANPERF_AUDIT_CHECK("net.no_delivery_across_partition",
-                          !partition_oracle_(pkt->src, pkt->dst),
-                          "frame " + std::to_string(pkt->src) + " -> " +
-                              std::to_string(pkt->dst) +
-                              " passed the filter across an active partition");
-    }
+  // A frame the filter lets through must not cross a pair the ground-truth
+  // oracle says is partitioned right now. Checked at the filter instant --
+  // not at delivery -- so frames already past the filter when a partition
+  // opens are legitimately delivered.
+  if (partition_oracle_) {
+    SANPERF_AUDIT_CHECK("net.no_delivery_across_partition",
+                        !partition_oracle_(frame.src(), dst),
+                        "frame " + std::to_string(frame.src()) + " -> " + std::to_string(dst) +
+                            " passed the filter across an active partition");
+  }
 #endif
-    const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
-    if (copies == 2) {
-      ++frames_duplicated_;
-      SANPERF_AUDIT_ONLY(++audit_in_flight_;)  // the extra copy is live too
-    }
-    for (int c = 0; c < copies; ++c) {
-      // Step 6: receiver CPU.
-      cpus_[pkt->dst].submit(
-          des::Duration::from_ms(params_.recv_cpu_ms * cpu_scale_[pkt->dst]),
-          [this, pkt] {
-            if (down_[pkt->dst]) {
-              ++frames_dropped_;
-              SANPERF_AUDIT_ONLY(--audit_in_flight_;)
-              return;
-            }
-            // A crashed host must never see a delivery: the guard above
-            // is the last line of defence and this audit proves it held.
-            SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[pkt->dst],
-                                "delivery to crashed host " + std::to_string(pkt->dst));
-            SANPERF_AUDIT_ONLY(++audit_delivered_; --audit_in_flight_;)
-            if (deliver_) deliver_(*pkt);  // step 7
-          });
-    }
-  });
+  const int copies = fate == FrameFate::kDuplicate ? 2 : 1;
+  if (copies == 2) {
+    ++frames_duplicated_;
+    SANPERF_AUDIT_ONLY(++audit_in_flight_;)  // the extra copy is live too
+  }
+  for (int c = 0; c < copies; ++c) {
+    // Step 6: receiver CPU.
+    cpus_[dst].submit(des::Duration::from_ms(params_.recv_cpu_ms * cpu_scale_[dst]),
+                      [this, frame, dst] {
+                        if (down_[dst]) {
+                          ++frames_dropped_;
+                          SANPERF_AUDIT_ONLY(--audit_in_flight_;)
+                          return;
+                        }
+                        // A crashed host must never see a delivery: the guard above
+                        // is the last line of defence and this audit proves it held.
+                        SANPERF_AUDIT_CHECK("net.no_delivery_to_crashed", !down_[dst],
+                                            "delivery to crashed host " + std::to_string(dst));
+                        SANPERF_AUDIT_ONLY(++audit_delivered_; --audit_in_flight_;)
+                        if (deliver_) deliver_(frame.packet(dst));  // step 7
+                      });
+  }
 }
 
 void ContentionNetwork::host_down(HostId h) {
   if (h >= cpus_.size()) throw std::invalid_argument{"ContentionNetwork::host_down: bad host"};
   down_[h] = 1;
   // The CPU abandons queued work; the job in service finishes occupying the
-  // resource but its completion is suppressed. Every vaporised job is one
-  // frame that reaches no other terminal -- account it as crash loss so the
+  // resource but its completion is suppressed. Every vaporised frame is one
+  // that reaches no other terminal -- account it as crash loss so the
   // conservation audit stays balanced across crashes.
   const std::size_t lost = cpus_[h].drain(/*drop_in_service=*/true);
   static_cast<void>(lost);
@@ -276,13 +393,7 @@ void ContentionNetwork::host_restart(HostId h) {
   // Reconnection resets the TCP dead-peer absorption in both directions, so
   // the first post-recovery protocol frame of every pair reaches the wire
   // again (and keeps doing so while the peer stays up).
-  if (!dead_pair_sent_.empty()) {
-    const std::size_t n = cpus_.size();
-    for (std::size_t other = 0; other < n; ++other) {
-      dead_pair_sent_[other * n + h] = 0;
-      dead_pair_sent_[h * n + other] = 0;
-    }
-  }
+  clear_dead_pairs(h);
 }
 
 void ContentionNetwork::set_cpu_scale(HostId h, double scale) {

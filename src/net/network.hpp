@@ -12,6 +12,12 @@
 // crashed host still occupy the medium (the wire does not know) but are
 // dropped before consuming the destination CPU.
 //
+// Frame bookkeeping is pooled (see frame_pool.hpp): a frame in flight is a
+// slot index into columnar storage, closures carry a 24-byte FrameRef
+// inside EventAction's inline buffer, and a broadcast shares one pooled
+// body across all n-1 receivers -- the steady-state send path performs no
+// heap allocation.
+//
 // Routed mode: constructed with a multi-rack topo::Topology, step 4 is no
 // longer one shared hub but the frame's compiled route -- each link on the
 // path (src access edge, the two rack uplinks when crossing racks, dst
@@ -23,7 +29,6 @@
 // golden reproduces bit for bit.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -35,12 +40,11 @@
 #include "core/audit.hpp"
 #include "des/random.hpp"
 #include "des/simulator.hpp"
+#include "net/frame_pool.hpp"
 #include "net/params.hpp"
 #include "topo/topology.hpp"
 
 namespace sanperf::net {
-
-using HostId = std::uint32_t;
 
 /// An exclusive FIFO server over the discrete-event simulator: jobs queue,
 /// one runs at a time for its service duration, then its completion action
@@ -50,7 +54,9 @@ class FifoServer {
   explicit FifoServer(des::Simulator& sim) : sim_{&sim} {}
 
   /// Enqueues a job with the given service time and completion action.
-  void submit(des::Duration service, std::function<void()> on_done);
+  /// `weight` is the number of frames the job stands for in conservation
+  /// accounting (a batched broadcast submits one job for n-1 frames).
+  void submit(des::Duration service, des::EventAction on_done, std::size_t weight = 1);
 
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::size_t queue_length() const { return waiting_.size(); }
@@ -60,15 +66,17 @@ class FifoServer {
 
   /// Discards queued jobs (used when a host crashes). The in-service job,
   /// if any, still completes unless `drop_in_service`. Returns how many
-  /// jobs will never run their completion (queued ones discarded here plus
-  /// an in-service one whose completion was suppressed), so callers can
-  /// keep conservation accounting over the submitted work.
+  /// frames will never see their completion run (the summed weights of
+  /// queued jobs discarded here plus an in-service one whose completion
+  /// was suppressed), so callers can keep conservation accounting over the
+  /// submitted work.
   std::size_t drain(bool drop_in_service);
 
  private:
   struct Job {
     des::Duration service;
-    std::function<void()> on_done;
+    des::EventAction on_done;
+    std::size_t weight;
   };
 
   void start(Job job);
@@ -78,19 +86,11 @@ class FifoServer {
   std::deque<Job> waiting_;
   bool busy_ = false;
   bool drop_current_ = false;
-  std::function<void()> current_done_;
+  des::EventAction current_done_;
+  std::size_t current_weight_ = 0;
   des::Duration busy_time_ = des::Duration::zero();
   des::TimePoint service_start_;
   std::uint64_t served_ = 0;
-};
-
-/// A message in flight: opaque body plus addressing. The runtime layer above
-/// defines the body type.
-struct Packet {
-  HostId src = 0;
-  HostId dst = 0;
-  std::any body;
-  des::TimePoint sent_at;  ///< stamped when submitted to the sender CPU
 };
 
 /// The shared half-duplex hub. Each host's NIC queues its frames in FIFO
@@ -103,7 +103,7 @@ class HubMedium {
 
   /// Enqueues a frame from `src`; `on_done` fires when its transmission
   /// (with the given occupancy) completes.
-  void submit(HostId src, des::Duration service, std::function<void()> on_done);
+  void submit(HostId src, des::Duration service, des::EventAction on_done);
 
   [[nodiscard]] bool busy() const { return busy_; }
   [[nodiscard]] std::size_t backlog() const { return backlog_; }
@@ -113,16 +113,18 @@ class HubMedium {
  private:
   struct Frame {
     des::Duration service;
-    std::function<void()> on_done;
+    des::EventAction on_done;
   };
 
   void start_next();
+  void complete();
 
   des::Simulator* sim_;
   des::RandomEngine rng_;
   std::vector<std::deque<Frame>> queues_;  // per source host
   std::size_t backlog_ = 0;
   bool busy_ = false;
+  des::EventAction current_done_;
   des::Duration busy_time_ = des::Duration::zero();
   des::TimePoint service_start_;
   std::uint64_t served_ = 0;
@@ -156,7 +158,17 @@ class ContentionNetwork {
   void set_frame_filter(FrameFilter filter) { filter_ = std::move(filter); }
 
   /// Starts a unicast transmission (step 1). `body` is delivered unchanged.
-  void send(HostId src, HostId dst, std::any body, FrameClass cls = FrameClass::kProtocol);
+  void send(HostId src, HostId dst, FrameBody body, FrameClass cls = FrameClass::kProtocol);
+
+  /// Starts a broadcast: one frame per receiver (ascending host id,
+  /// skipping the sender) sharing a single pooled body. With
+  /// NetworkParams::batched_broadcast off -- or in routed mode -- the
+  /// per-receiver resource occupancy, RNG draw order and event sequence
+  /// are identical to n-1 send() calls, so results are bit-identical; on,
+  /// the hub path coalesces the fan-out into one sender-CPU job and one
+  /// medium burst (total occupancy unchanged), cutting the scheduled
+  /// events per broadcast from ~4(n-1) to ~n+1.
+  void broadcast(HostId src, FrameBody body, FrameClass cls = FrameClass::kProtocol);
 
   /// Marks a host as crashed: queued CPU work is discarded and future frames
   /// addressed to it vanish after their medium occupancy.
@@ -188,6 +200,7 @@ class ContentionNetwork {
   [[nodiscard]] des::Duration medium_busy_time() const { return medium_.busy_time(); }
   [[nodiscard]] const FifoServer& cpu(HostId h) const { return cpus_.at(h); }
   [[nodiscard]] const HubMedium& medium() const { return medium_; }
+  [[nodiscard]] const FramePool& frame_pool() const { return *pool_; }
 
   // Routed-mode introspection. `route_table()` is null in hub mode.
   [[nodiscard]] bool routed() const { return routes_.has_value(); }
@@ -287,23 +300,41 @@ class ContentionNetwork {
   };
 
   [[nodiscard]] des::Duration sample(const stats::BimodalUniform& dist);
+  /// Steps 2-4 of one (shared-body) unicast frame: sender CPU, then hub or
+  /// route. The dead-pair decision (`wire`) was already taken at submit.
+  void submit_unicast(FrameRef frame, HostId dst, bool wire, FrameClass cls);
   /// Routed step 4: occupy route link `step`, pay its latency, recurse;
   /// past the last hop the frame reaches the receiver edge.
-  void route_hop(std::shared_ptr<Packet> pkt, FrameClass cls, std::uint32_t step);
-  /// Steps 5-7 (pipeline latency, receiver-edge filter, receiver CPU,
-  /// delivery), shared verbatim by the hub and routed paths.
-  void receiver_edge(std::shared_ptr<Packet> pkt);
+  void route_hop(FrameRef frame, HostId dst, FrameClass cls, std::uint32_t step);
+  /// Step 5 on the legacy per-frame path: always schedules the pipeline
+  /// event, even at zero latency -- the event order is part of the
+  /// bit-exact contract with the pre-pool goldens.
+  void receiver_edge(FrameRef frame, HostId dst);
+  /// Step 5 on the batched path: a zero pipeline latency short-circuits
+  /// straight into the receiver edge with no scheduled event.
+  void receiver_edge_batched(const FrameRef& frame, HostId dst);
+  /// Steps 5b-7 (receiver-edge filter, receiver CPU, delivery), shared by
+  /// every path.
+  void edge_arrive(const FrameRef& frame, HostId dst);
+
+  /// Sets the (src, dst) bit in the dead-pair table, returning its prior
+  /// value. The table is a packed bitset materialised only when the first
+  /// dead pair appears (n^2 bits instead of n^2 bytes; nothing at all for
+  /// runs without crashes).
+  bool test_and_set_dead_pair(HostId src, HostId dst);
+  void clear_dead_pairs(HostId h);
 
   des::Simulator* sim_;
   des::RandomEngine rng_;
   NetworkParams params_;
+  std::shared_ptr<FramePool> pool_;
   std::vector<FifoServer> cpus_;
   HubMedium medium_;
   std::optional<topo::RouteTable> routes_;  ///< engaged iff multi-rack (routed mode)
   std::vector<Link> links_;                 ///< routed mode: one server per topology link
   std::vector<char> down_;
-  std::vector<char> dead_pair_sent_;  // lazily sized n*n; see dead_peer_absorption
-  std::vector<double> cpu_scale_;     // per-host CPU service-time multiplier
+  std::vector<std::uint64_t> dead_pair_bits_;  // lazily sized ceil(n*n/64)
+  std::vector<double> cpu_scale_;              // per-host CPU service-time multiplier
   double pipeline_scale_ = 1.0;
   FrameFilter filter_;
   std::function<void(const Packet&)> deliver_;

@@ -45,6 +45,13 @@ struct NetworkParams {
   /// (sender, dead destination) pair.
   bool dead_peer_absorption = true;
 
+  /// Coalesce a hub-mode broadcast into one sender-CPU job and one medium
+  /// burst (total resource occupancy unchanged), cutting the scheduled
+  /// events per broadcast from ~4(n-1) to ~n+1. Off by default: the
+  /// unbatched path is bit-identical to n-1 unicasts and is what every
+  /// pre-existing golden pins down. Ignored in routed mode.
+  bool batched_broadcast = false;
+
   [[nodiscard]] static NetworkParams defaults() { return {}; }
 
   /// Mean uncontended end-to-end delay of a unicast message (ms);

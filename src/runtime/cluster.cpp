@@ -1,12 +1,12 @@
 #include "runtime/cluster.hpp"
 
-#include <any>
 #include <stdexcept>
 
 namespace sanperf::runtime {
 
 Cluster::Cluster(const ClusterConfig& cfg)
     : cfg_{cfg},
+      sim_{cfg.queue_backend},
       master_{cfg.seed},
       net_{sim_, master_.substream("net"), cfg.network, cfg.n, cfg.topology.get()} {
   if (cfg.n < 2) throw std::invalid_argument{"Cluster: need at least 2 processes"};
@@ -16,7 +16,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
                                                    master_.substream("proc", i), cfg.timers));
   }
   net_.set_deliver([this](const net::Packet& pkt) {
-    const auto& msg = std::any_cast<const Message&>(pkt.body);
+    const auto& msg = pkt.body->get<Message>();
     processes_[pkt.dst]->deliver(msg);
   });
 }

@@ -20,14 +20,20 @@ void Process::send(Message m, HostId dst) {
   ++sent_;
   const auto cls = m.kind == MsgKind::kHeartbeat ? net::ContentionNetwork::FrameClass::kSmall
                                                  : net::ContentionNetwork::FrameClass::kProtocol;
-  net_->send(id_, dst, m, cls);
+  net_->send(id_, dst, std::move(m), cls);
 }
 
 void Process::broadcast(Message m) {
-  for (HostId dst = 0; dst < static_cast<HostId>(n_); ++dst) {
-    if (dst == id_) continue;
-    send(m, dst);
-  }
+  if (crashed_) return;
+  // One shared-body frame for all n-1 receivers (ascending host id, as the
+  // per-receiver send loop did). `to` stays 0: no consumer reads it.
+  m.from = id_;
+  m.incarnation = static_cast<std::uint32_t>(epoch_);
+  m.sent_at = sim_->now();
+  sent_ += n_ - 1;
+  const auto cls = m.kind == MsgKind::kHeartbeat ? net::ContentionNetwork::FrameClass::kSmall
+                                                 : net::ContentionNetwork::FrameClass::kProtocol;
+  net_->broadcast(id_, std::move(m), cls);
 }
 
 TimerId Process::set_timer(des::Duration delay, std::function<void()> fn) {

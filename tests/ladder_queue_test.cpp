@@ -1,0 +1,209 @@
+// The ladder queue's contract is the EventQueue contract: same handles,
+// same (time, insertion-seq) total order, same slab reuse discipline. The
+// core test here is the randomized equivalence fuzz -- identical
+// push/cancel/pop interleavings against both backends must yield identical
+// pop sequences, which is exactly the property that makes SANPERF_QUEUE a
+// pure performance knob (either backend reproduces every golden bit for
+// bit).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/ladder_queue.hpp"
+#include "des/random.hpp"
+#include "des/simulator.hpp"
+#include "des/time.hpp"
+
+namespace sanperf::des {
+namespace {
+
+TimePoint at_ms(double ms) { return TimePoint::origin() + Duration::from_ms(ms); }
+
+TEST(LadderQueueTest, OrdersByTime) {
+  LadderQueue q;
+  std::vector<int> fired;
+  q.push(at_ms(2), [&] { fired.push_back(2); });
+  q.push(at_ms(1), [&] { fired.push_back(1); });
+  q.push(at_ms(3), [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LadderQueueTest, SameInstantPopsInPushOrder) {
+  LadderQueue q;
+  std::vector<int> fired;
+  // Enough same-time events to overflow the bottom threshold and force
+  // rung refinement to give up on splitting them (width 1 ns): FIFO order
+  // must survive every internal reorganisation.
+  const auto t = at_ms(1);
+  for (int i = 0; i < 200; ++i) {
+    q.push(t, [&fired, i] { fired.push_back(i); });
+  }
+  // A later band so the same-instant block is not the whole queue.
+  for (int i = 200; i < 210; ++i) {
+    q.push(at_ms(5 + i), [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  ASSERT_EQ(fired.size(), 210u);
+  for (int i = 0; i < 210; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(LadderQueueTest, CancelRemovesEventAcrossTiers) {
+  LadderQueue q;
+  // Spread events so all three tiers are populated after the first pop.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(q.push(at_ms(0.001 * i), [] {}));
+  }
+  (void)q.pop();  // forces seeding: rungs + bottom active, tail still in top
+  // Cancel a spread of the remaining events, wherever they sit.
+  std::size_t cancelled = 0;
+  for (std::size_t i = 1; i < ids.size(); i += 7) {
+    if (q.cancel(ids[i])) ++cancelled;
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(q.size(), 299u - cancelled);
+  // The survivors still pop in time order.
+  TimePoint last = TimePoint::origin();
+  while (!q.empty()) {
+    const auto popped = q.pop();
+    EXPECT_GE(popped.at, last);
+    last = popped.at;
+  }
+}
+
+TEST(LadderQueueTest, StaleIdOnReusedSlotDoesNotCancelNewEvent) {
+  LadderQueue q;
+  const EventId old_id = q.push(at_ms(1), [] {});
+  (void)q.pop();  // slot released and recycled below
+  bool fired = false;
+  const EventId fresh = q.push(at_ms(2), [&] { fired = true; });
+  EXPECT_FALSE(q.pending(old_id));
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_TRUE(q.pending(fresh));
+  q.pop().action();
+  EXPECT_TRUE(fired);
+}
+
+TEST(LadderQueueTest, PopOnEmptyThrows) {
+  LadderQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(LadderQueueTest, CancelledSlotIsReusedWithoutSlabGrowth) {
+  LadderQueue q;
+  const EventId a = q.push(at_ms(1), [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const std::size_t capacity = q.slot_capacity();
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = q.push(at_ms(1 + i), [] {});
+    EXPECT_NE(id, a) << "recycled slot must carry a fresh generation";
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.slot_capacity(), capacity);
+  }
+}
+
+TEST(LadderQueueTest, ClearAndShrinkReleasesSlabAndStalesIds) {
+  LadderQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(q.push(at_ms(0.01 * i), [] {}));
+  }
+  (void)q.pop();  // activate rungs/bottom so the shrink covers live tiers
+  q.clear_and_shrink();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.slot_capacity(), 0u);
+  for (const EventId id : ids) {
+    EXPECT_FALSE(q.pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  // Still functional, and recycled slots never resurrect old handles.
+  std::vector<int> order;
+  const EventId fresh = q.push(at_ms(2), [&] { order.push_back(2); });
+  q.push(at_ms(1), [&] { order.push_back(1); });
+  for (const EventId id : ids) EXPECT_NE(id, fresh);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// The load-bearing property: a random interleaving of push/cancel/pop
+// replayed against both backends yields the same (time, payload) pop
+// sequence. EventIds are not compared -- the two backends recycle free
+// slots in different orders after cancels -- but cancel() outcomes are:
+// the k-th issued handle must behave identically in both.
+TEST(LadderQueueTest, RandomizedEquivalenceWithHeap) {
+  for (const std::uint64_t seed : {7u, 19u, 1234u}) {
+    RandomEngine rng{seed};
+    EventQueue heap;
+    LadderQueue ladder;
+    std::vector<std::pair<EventId, EventId>> handles;  // k-th push in each
+    std::vector<std::pair<std::int64_t, int>> heap_pops;
+    std::vector<std::pair<std::int64_t, int>> ladder_pops;
+    int payload = 0;
+    for (int step = 0; step < 20'000; ++step) {
+      const double u = rng.uniform01();
+      if (u < 0.55 || heap.empty()) {
+        // Clustered times with occasional far-future outliers, so the
+        // ladder actually exercises top/rung/bottom migration.
+        const std::int64_t base = rng.uniform_int(0, 50'000);
+        const std::int64_t far = rng.bernoulli(0.05) ? rng.uniform_int(0, 40'000'000) : 0;
+        const auto at = TimePoint::origin() + Duration::nanos(base + far);
+        const int tag = payload++;
+        const EventId h = heap.push(at, [&heap_pops, at, tag] {
+          heap_pops.emplace_back((at - TimePoint::origin()).ns(), tag);
+        });
+        const EventId l = ladder.push(at, [&ladder_pops, at, tag] {
+          ladder_pops.emplace_back((at - TimePoint::origin()).ns(), tag);
+        });
+        handles.emplace_back(h, l);
+      } else if (u < 0.72 && !handles.empty()) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(handles.size()) - 1));
+        EXPECT_EQ(heap.cancel(handles[idx].first), ladder.cancel(handles[idx].second));
+      } else {
+        ASSERT_EQ(heap.size(), ladder.size());
+        ASSERT_EQ(heap.next_time(), ladder.next_time());
+        auto hp = heap.pop();
+        auto lp = ladder.pop();
+        ASSERT_EQ(hp.at, lp.at);
+        hp.action();
+        lp.action();
+        ASSERT_EQ(heap_pops.back(), ladder_pops.back());
+      }
+    }
+    // Drain both completely; the tails must agree element for element.
+    while (!heap.empty()) {
+      heap.pop().action();
+      ASSERT_FALSE(ladder.empty());
+      ladder.pop().action();
+    }
+    EXPECT_TRUE(ladder.empty());
+    EXPECT_EQ(heap_pops, ladder_pops);
+  }
+}
+
+TEST(SimulatorBackendTest, LadderBackendRunsIdenticalSchedule) {
+  // The same little simulation on both backends: identical fire order.
+  const auto run = [](QueueBackend backend) {
+    Simulator sim{backend};
+    std::vector<int> fired;
+    sim.schedule(Duration::from_ms(2.0), [&] { fired.push_back(2); });
+    sim.schedule(Duration::from_ms(1.0), [&fired, &sim] {
+      fired.push_back(1);
+      sim.schedule(Duration::from_ms(0.5), [&fired] { fired.push_back(3); });
+    });
+    const EventId dropped = sim.schedule(Duration::from_ms(1.2), [&] { fired.push_back(99); });
+    sim.cancel(dropped);
+    sim.run_until(TimePoint::origin() + Duration::from_ms(10.0));
+    return fired;
+  };
+  EXPECT_EQ(run(QueueBackend::kHeap), run(QueueBackend::kLadder));
+  EXPECT_EQ(to_string(QueueBackend::kHeap), std::string{"heap"});
+  EXPECT_EQ(to_string(QueueBackend::kLadder), std::string{"ladder"});
+}
+
+}  // namespace
+}  // namespace sanperf::des

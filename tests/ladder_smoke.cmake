@@ -1,0 +1,37 @@
+# Runs the same tiny campaign under the heap backend and under
+# SANPERF_QUEUE=ladder, then diffs the two CSVs at --tol 0.0. The ladder
+# queue is only allowed to exist because it is bit-identical; this is the
+# ctest-level pin of that contract.
+#
+# Invoked as:
+#   cmake -DSANPERF_CLI=<path> -DOUT_DIR=<dir> -P ladder_smoke.cmake
+
+set(heap_csv "${OUT_DIR}/ladder_smoke_heap.csv")
+set(ladder_csv "${OUT_DIR}/ladder_smoke_ladder.csv")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SANPERF_SCALE=quick SANPERF_QUEUE=heap
+          ${SANPERF_CLI} run table1 --scale quick --set n=3
+          --set scenario=coordinator-crash --threads 2 --format csv
+          --out ${heap_csv}
+  RESULT_VARIABLE rc_heap)
+if(NOT rc_heap EQUAL 0)
+  message(FATAL_ERROR "heap-backend run failed with rc=${rc_heap}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SANPERF_SCALE=quick SANPERF_QUEUE=ladder
+          ${SANPERF_CLI} run table1 --scale quick --set n=3
+          --set scenario=coordinator-crash --threads 2 --format csv
+          --out ${ladder_csv}
+  RESULT_VARIABLE rc_ladder)
+if(NOT rc_ladder EQUAL 0)
+  message(FATAL_ERROR "ladder-backend run failed with rc=${rc_ladder}")
+endif()
+
+execute_process(
+  COMMAND ${SANPERF_CLI} diff ${heap_csv} ${ladder_csv} --tol 0.0
+  RESULT_VARIABLE rc_diff)
+if(NOT rc_diff EQUAL 0)
+  message(FATAL_ERROR "ladder backend diverged from heap (rc=${rc_diff})")
+endif()
